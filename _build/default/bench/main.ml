@@ -1,0 +1,596 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Section 8) plus the ablations called out in DESIGN.md.
+
+   This container exposes a single hardware core, so thread sweeps are
+   produced by the recorded-DAG schedule simulator (DESIGN.md substitution
+   3): each phase's wall-clock is measured for real at one thread, and the
+   time at T threads is wall1 * makespan(T) / makespan(1) from the replay
+   of that phase's task trace.
+
+   Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
+   micro all (default: all). *)
+
+module Profile = Pbca_codegen.Profile
+module Emit = Pbca_codegen.Emit
+module Image = Pbca_binfmt.Image
+module Trace = Pbca_simsched.Trace
+module Replay = Pbca_simsched.Replay
+module TP = Pbca_concurrent.Task_pool
+module H = Pbca_hpcstruct.Hpcstruct
+module B = Pbca_binfeat.Binfeat
+
+let threads_sweep = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+let geomean xs =
+  match xs with
+  | [] -> 0.0
+  | _ ->
+    exp (List.fold_left (fun acc x -> acc +. log x) 0.0 xs
+         /. float_of_int (List.length xs))
+
+(* simulated wall at T threads, given the measured 1-thread wall *)
+let sim_wall trace wall1 threads =
+  let tasks = Trace.tasks trace in
+  if tasks = [] then wall1
+  else
+    let m1 = (Replay.simulate ~threads:1 tasks).makespan in
+    let mt = (Replay.simulate ~threads tasks).makespan in
+    if m1 = 0 then wall1 else wall1 *. float_of_int mt /. float_of_int m1
+
+let sim_speedup trace threads =
+  let tasks = Trace.tasks trace in
+  if tasks = [] then 1.0
+  else
+    let m1 = (Replay.simulate ~threads:1 tasks).makespan in
+    let mt = (Replay.simulate ~threads tasks).makespan in
+    if mt = 0 then 1.0 else float_of_int m1 /. float_of_int mt
+
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* scaled-down evaluation subjects; override with PBCA_SCALE *)
+let scale =
+  match Sys.getenv_opt "PBCA_SCALE" with
+  | Some s -> float_of_string s
+  | None -> 0.25
+
+let subjects () = List.map (Profile.scale scale) Profile.hpcstruct_subjects
+
+(* ---------------------------------------------------------------- *)
+(* Table 1: relevant statistics of the binaries.                     *)
+
+let table1 () =
+  header "Table 1: sizes of the generated evaluation subjects (KiB)";
+  Printf.printf "%-12s %10s %10s %10s %8s %8s\n" "Binary" "Total" ".text"
+    ".debug" "funcs" "symbols";
+  List.iter
+    (fun p ->
+      let r = Emit.generate p in
+      let sec name =
+        match Image.section r.image name with
+        | Some s -> float_of_int (Pbca_binfmt.Section.size s) /. 1024.0
+        | None -> 0.0
+      in
+      Printf.printf "%-12s %10.1f %10.1f %10.1f %8d %8d\n" p.Profile.name
+        (float_of_int (Image.total_size r.image) /. 1024.0)
+        (sec ".text") (sec ".debug")
+        (List.length r.ground_truth.gt_funcs)
+        (Pbca_binfmt.Symtab.length r.image.Image.symtab))
+    (subjects ())
+
+(* ---------------------------------------------------------------- *)
+(* Table 2 + Figures 2 and 3: hpcstruct.                             *)
+
+type subject_run = {
+  sr_name : string;
+  sr_result : H.result;
+}
+
+let run_subjects () =
+  List.map
+    (fun p ->
+      let r = Emit.generate p in
+      let bytes = Image.write r.image in
+      let pool = TP.create ~threads:1 in
+      { sr_name = p.Profile.name; sr_result = H.run ~pool bytes })
+    (subjects ())
+
+let phase_trace result name =
+  List.find_map
+    (fun (p : H.phase) -> if p.ph_name = name then p.ph_trace else None)
+    result.H.phases
+
+let phase_wall1 result name =
+  List.fold_left
+    (fun acc (p : H.phase) -> if p.ph_name = name then acc +. p.ph_wall else acc)
+    0.0 result.H.phases
+
+(* end-to-end hpcstruct time at T threads: parallel phases scale by their
+   trace, serial phases stay fixed (Amdahl, paper Section 8.2) *)
+let hpcstruct_wall result threads =
+  List.fold_left
+    (fun acc (p : H.phase) ->
+      acc
+      +.
+      match p.ph_trace with
+      | Some tr -> sim_wall tr p.ph_wall threads
+      | None -> p.ph_wall)
+    0.0 result.H.phases
+
+let table2 runs =
+  header
+    "Table 2: hpcstruct performance (measured at 1 thread; simulated sweeps)";
+  Printf.printf "%-12s %7s %10s %10s %12s\n" "Binary" "Cores" "DWARF(s)"
+    "CFG(s)" "hpcstruct(s)";
+  List.iter
+    (fun { sr_name; sr_result = r } ->
+      List.iter
+        (fun t ->
+          let dwarf =
+            match phase_trace r "dwarf" with
+            | Some tr -> sim_wall tr (phase_wall1 r "dwarf") t
+            | None -> phase_wall1 r "dwarf"
+          in
+          let cfg =
+            match phase_trace r "cfg" with
+            | Some tr -> sim_wall tr (phase_wall1 r "cfg") t
+            | None -> phase_wall1 r "cfg"
+          in
+          Printf.printf "%-12s %7d %10.4f %10.4f %12.4f\n"
+            (if t = 1 then sr_name else "")
+            t dwarf cfg (hpcstruct_wall r t))
+        [ 1; 16; 32; 64 ];
+      let sp name =
+        match phase_trace r name with
+        | Some tr -> sim_speedup tr 64
+        | None -> 1.0
+      in
+      Printf.printf "%-12s %7s %9.2fx %9.2fx %11.2fx\n" "" "spd@64" (sp "dwarf")
+        (sp "cfg")
+        (hpcstruct_wall r 1 /. hpcstruct_wall r 64))
+    runs
+
+let figure2 runs =
+  header "Figure 2: phase trace of hpcstruct on 'tensorflow' at 64 threads";
+  match List.find_opt (fun s -> s.sr_name = "tensorflow") runs with
+  | None -> print_endline "tensorflow subject missing"
+  | Some { sr_result = r; _ } ->
+    let sim_phases =
+      List.map
+        (fun (p : H.phase) ->
+          let w =
+            match p.ph_trace with
+            | Some tr -> sim_wall tr p.ph_wall 64
+            | None -> p.ph_wall
+          in
+          (p.ph_name, w, p.ph_trace <> None))
+        r.H.phases
+    in
+    let total = List.fold_left (fun a (_, w, _) -> a +. w) 0.0 sim_phases in
+    List.iteri
+      (fun i (name, w, par) ->
+        let width = int_of_float (60.0 *. w /. total) in
+        Printf.printf "(%d) %-9s %8.4fs %-8s |%s\n" (i + 1) name w
+          (if par then "parallel" else "serial")
+          (String.make (max 1 width) '#'))
+      sim_phases;
+    Printf.printf "total (simulated, 64 threads): %.4fs; measured 1-thread: %.4fs\n"
+      total (H.total_wall r)
+
+let figure3 runs =
+  header
+    "Figure 3: average speedup (geometric mean over the four binaries)";
+  Printf.printf "%8s %12s %12s %12s\n" "Threads" "hpcstruct" "DWARF" "CFG";
+  List.iter
+    (fun t ->
+      let of_phase name =
+        geomean
+          (List.filter_map
+             (fun { sr_result = r; _ } ->
+               Option.map (fun tr -> sim_speedup tr t) (phase_trace r name))
+             runs)
+      in
+      let e2e =
+        geomean
+          (List.map
+             (fun { sr_result = r; _ } ->
+               hpcstruct_wall r 1 /. hpcstruct_wall r t)
+             runs)
+      in
+      Printf.printf "%8d %12.2f %12.2f %12.2f\n" t e2e (of_phase "dwarf")
+        (of_phase "cfg"))
+    threads_sweep
+
+(* ---------------------------------------------------------------- *)
+(* Table 3: BinFeat.                                                 *)
+
+let table3 () =
+  header "Table 3: BinFeat performance over the forensics corpus";
+  let n_binaries =
+    match Sys.getenv_opt "PBCA_CORPUS" with
+    | Some s -> int_of_string s
+    | None -> max 16 (int_of_float (504.0 *. scale))
+  in
+  Printf.printf "corpus: %d binaries (paper: 504; scale with PBCA_CORPUS)\n"
+    n_binaries;
+  let images =
+    List.init n_binaries (fun i ->
+        (Emit.generate (Profile.forensics_member i)).image)
+  in
+  let pool = TP.create ~threads:1 in
+  let r = B.extract ~pool images in
+  Printf.printf "%d functions, %d distinct features\n\n" r.n_funcs r.n_features;
+  Printf.printf "%7s %10s %10s %10s %10s %12s\n" "Cores" "CFG(s)" "IF(s)"
+    "CF(s)" "DF(s)" "BinFeat(s)";
+  let stage name = List.find (fun (s : B.stage) -> s.st_name = name) r.stages in
+  List.iter
+    (fun t ->
+      let w name =
+        let s = stage name in
+        sim_wall s.st_trace s.st_wall t
+      in
+      let total = w "cfg" +. w "if" +. w "cf" +. w "df" in
+      Printf.printf "%7d %10.4f %10.4f %10.4f %10.4f %12.4f\n" t (w "cfg")
+        (w "if") (w "cf") (w "df") total)
+    threads_sweep;
+  let sp name = sim_speedup (stage name).st_trace 64 in
+  Printf.printf "%7s %9.2fx %9.2fx %9.2fx %9.2fx %11.2fx\n" "spd@64" (sp "cfg")
+    (sp "if") (sp "cf") (sp "df")
+    (let t1 = B.total_wall r in
+     let t64 =
+       List.fold_left
+         (fun acc (s : B.stage) -> acc +. sim_wall s.st_trace s.st_wall 64)
+         0.0 r.stages
+     in
+     t1 /. t64)
+
+(* ---------------------------------------------------------------- *)
+(* Section 8.1: correctness.                                         *)
+
+let correctness () =
+  header "Section 8.1: correctness against ground truth (113 binaries)";
+  let n =
+    match Sys.getenv_opt "PBCA_CORRECTNESS" with
+    | Some s -> int_of_string s
+    | None -> 113
+  in
+  let pool = TP.create ~threads:2 in
+  let classes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let exact = ref 0 and expected = ref 0 and unexplained = ref 0 in
+  let jt_exact = ref 0 and jt_total = ref 0 in
+  let nr_exact = ref 0 and nr_total = ref 0 in
+  for i = 0 to n - 1 do
+    let r = Emit.generate (Profile.coreutils_like i) in
+    let g = Pbca_core.Parallel.parse_and_finalize ~pool r.image in
+    let rep = Pbca_checker.Checker.check r.ground_truth g in
+    exact := !exact + rep.func_match;
+    expected := !expected + List.length rep.func_expected;
+    unexplained := !unexplained + List.length rep.func_mismatch;
+    jt_exact := !jt_exact + rep.jt_ok;
+    jt_total := !jt_total + rep.jt_total;
+    nr_exact := !nr_exact + rep.nr_ok;
+    nr_total := !nr_total + rep.nr_total;
+    List.iter
+      (fun (_, cls) ->
+        Hashtbl.replace classes cls
+          (1 + Option.value (Hashtbl.find_opt classes cls) ~default:0))
+      rep.func_expected
+  done;
+  Printf.printf "functions:      %d exact, %d expected-difference, %d UNEXPLAINED\n"
+    !exact !expected !unexplained;
+  Printf.printf "jump tables:    %d/%d exact (rest are expected-unresolved)\n"
+    !jt_exact !jt_total;
+  Printf.printf "noreturn calls: %d/%d exact (rest are expected error() misses)\n"
+    !nr_exact !nr_total;
+  Printf.printf "\ndifference classes (paper Section 8.1's taxonomy):\n";
+  Hashtbl.iter
+    (fun cls c -> Printf.printf "  %-40s %5d functions\n" cls c)
+    classes;
+  if !unexplained > 0 then Printf.printf "\n*** UNEXPLAINED DIFFERENCES ***\n"
+
+(* ---------------------------------------------------------------- *)
+(* Ablations.                                                        *)
+
+(* Hand-assembled binary for ablation (c): a jump table whose base register
+   is computed along two joining paths — a plain pc-relative lea on one, a
+   push/pop spill on the other. The union strategy recovers the table from
+   the analyzable path; without it the whole table is lost (Section 5.3). *)
+let mixed_path_jt_image () =
+  let open Pbca_isa in
+  let text_base = 0x1000 in
+  let default_ = 0x1044 in
+  let idiom = 0x103e in
+  let t1 = 0x1045 and t2 = 0x1050 and t3 = 0x105b in
+  let table = 0x2000 in
+  let buf = Buffer.create 256 in
+  let at () = text_base + Buffer.length buf in
+  let emit i = Codec.encode buf i in
+  let jcc c target = emit (Insn.Jcc (c, target - (at () + 6))) in
+  let jmp target = emit (Insn.Jmp (target - (at () + 5))) in
+  let lea r target = emit (Insn.Lea (r, target - (at () + 6))) in
+  let r2 = Reg.of_int 2 and r3 = Reg.of_int 3 and r4 = Reg.of_int 4 in
+  (* main: branch to the spill path or fall into the clean one *)
+  emit (Insn.Cmp_ri (Reg.r1, 0));
+  jcc Insn.Eq 0x1023;
+  (* clean path *)
+  emit (Insn.Cmp_ri (r2, 3));
+  jcc Insn.Ge default_;
+  lea r3 table;
+  jmp idiom;
+  (* spill path *)
+  assert (at () = 0x1023);
+  emit (Insn.Cmp_ri (r2, 3));
+  jcc Insn.Ge default_;
+  lea r3 table;
+  emit (Insn.Push r3);
+  emit (Insn.Pop r3);
+  jmp idiom;
+  (* the indirect jump *)
+  assert (at () = idiom);
+  emit (Insn.Load_idx (r4, r3, r2, 4));
+  emit (Insn.Jmp_ind r4);
+  assert (at () = default_);
+  emit Insn.Ret;
+  (* three switch cases *)
+  List.iter
+    (fun (t, v) ->
+      assert (at () = t);
+      emit (Insn.Mov_ri (Reg.r0, v));
+      jmp default_)
+    [ (t1, 1); (t2, 2); (t3, 3) ];
+  let rodata = Bytes.create 12 in
+  List.iteri
+    (fun i t ->
+      Bytes.set rodata (4 * i) (Char.chr (t land 0xff));
+      Bytes.set rodata ((4 * i) + 1) (Char.chr ((t lsr 8) land 0xff));
+      Bytes.set rodata ((4 * i) + 2) '\x00';
+      Bytes.set rodata ((4 * i) + 3) '\x00')
+    [ t1; t2; t3 ];
+  let tab = Pbca_binfmt.Symtab.create () in
+  ignore (Pbca_binfmt.Symtab.insert tab (Pbca_binfmt.Symbol.make "main" text_base));
+  Image.make ~name:"mixed_jt" ~entry:text_base
+    ~sections:
+      [
+        Pbca_binfmt.Section.make ~name:".text" ~addr:text_base
+          (Buffer.to_bytes buf);
+        Pbca_binfmt.Section.make ~name:".rodata" ~addr:table rodata;
+      ]
+    tab
+
+(* a worst case for non-returning dependencies: a deep chain where each
+   function's return instruction sits behind the fall-through of its call
+   to the next one (paper Section 4.3's serialization hazard) *)
+let chain_spec depth =
+  let open Pbca_codegen.Spec in
+  let f i =
+    let last = i = depth - 1 in
+    {
+      fs_name = Printf.sprintf "c%04d" i;
+      fs_blocks =
+        (if last then [| { bs_body = []; bs_term = T_ret } |]
+         else
+           (* the return sits behind the call's fall-through; a jump table
+              follows it, so deferred status propagation also re-triggers
+              table analysis every round (the Section 4.3 interaction) *)
+           [|
+             { bs_body = []; bs_term = T_call (i + 1) };
+             {
+               bs_body = [ Pbca_isa.Insn.Nop ];
+               bs_term = T_jumptable { targets = [ 3; 4 ]; spilled = false };
+             };
+             { bs_body = []; bs_term = T_ret };
+             { bs_body = []; bs_term = T_jmp 2 };
+             { bs_body = []; bs_term = T_jmp 2 };
+           |]);
+      fs_frame = false;
+      fs_cold = None;
+      fs_secondary = None;
+      fs_cu = 0;
+      fs_error_style = false;
+      fs_noreturn_leaf = false;
+    }
+  in
+  {
+    sp_profile = { Profile.default with Profile.name = "chain"; n_cus = 1 };
+    sp_funcs = Array.init depth f;
+    sp_stubs = [||];
+    sp_fptable = [| 0 |];
+    sp_data = Array.make depth None;
+  }
+
+let ablations () =
+  header "Ablations: the design choices of DESIGN.md";
+  let p = { (Profile.coreutils_like 7) with Profile.n_funcs = 400; seed = 808 } in
+  let r = Emit.generate p in
+  (* (a) eager non-returning notification, on a 300-deep call chain. The
+     image is stripped so every function is discovered through its caller:
+     call sites genuinely park waiters on UNSET callees. *)
+  let chain = Emit.emit (chain_spec 300) in
+  let chain_image =
+    Image.strip
+      ~keep:(fun s -> s.Pbca_binfmt.Symbol.offset = chain.Emit.image.Image.entry)
+      chain.Emit.image
+  in
+  let run_chain config =
+    let trace = Trace.create () in
+    let pool = TP.create ~threads:1 in
+    let g = Pbca_core.Parallel.parse ~config ~trace ~pool chain_image in
+    (trace, Atomic.get g.Pbca_core.Cfg.stats.jt_analyses)
+  in
+  let tr_eager, jt_eager = run_chain Pbca_core.Config.default in
+  let tr_lazy, jt_lazy =
+    run_chain { Pbca_core.Config.default with eager_noreturn = false }
+  in
+  let ms tr t = (Replay.simulate ~threads:t (Trace.tasks tr)).makespan in
+  Printf.printf
+    "(a) eager noreturn notification (Section 5.3), 300-deep call chain with\n\
+    \    one jump table per function:\n\
+    \    eager:    makespan@64 = %7d units, %6d jump-table analyses\n\
+    \    deferred: makespan@64 = %7d units, %6d jump-table analyses\n\
+    \    (deferred drains wait for round barriers, and every round repeats\n\
+    \    the jump-table fixed point - the Section 4.3 interaction)\n"
+    (ms tr_eager 64) jt_eager (ms tr_lazy 64) jt_lazy;
+  (* (b) thread-local decode cache *)
+  let decoded config =
+    let pool = TP.create ~threads:4 in
+    let g = Pbca_core.Parallel.parse ~config ~pool r.image in
+    Atomic.get g.Pbca_core.Cfg.stats.insns_decoded
+  in
+  let with_cache = decoded Pbca_core.Config.default in
+  let without = decoded { Pbca_core.Config.default with decode_cache = false } in
+  Printf.printf
+    "(b) thread-local decode cache (Section 6.3): %d insns decoded with, %d \
+     without (%.1f%% saved)\n"
+    with_cache without
+    (100.0 *. float_of_int (without - with_cache) /. float_of_int (max 1 without));
+  (* (c) jump-table union strategy: hand-assembled table whose base is
+     computed along two paths, one of which spills through the stack *)
+  let union_image = mixed_path_jt_image () in
+  let jt_targets config =
+    let pool = TP.create ~threads:1 in
+    let g = Pbca_core.Parallel.parse_and_finalize ~config ~pool union_image in
+    List.fold_left
+      (fun acc (t : Pbca_core.Cfg.jt_record) -> acc + t.jt_count)
+      0
+      (Pbca_concurrent.Conc_bag.to_list g.Pbca_core.Cfg.tables)
+  in
+  Printf.printf
+    "(c) jump-table union strategy (Section 5.3), two-path table with one \
+     unanalyzable path:\n\
+    \    union on:  %d targets recovered; union off: %d (whole table lost)\n"
+    (jt_targets Pbca_core.Config.default)
+    (jt_targets { Pbca_core.Config.default with jt_union = false });
+  (* (d) concurrency-structure overhead at one thread *)
+  let t0 = Unix.gettimeofday () in
+  let _ = Pbca_core.Serial.parse r.image in
+  let t_serial = Unix.gettimeofday () -. t0 in
+  let pool = TP.create ~threads:1 in
+  let t0 = Unix.gettimeofday () in
+  let _ = Pbca_core.Parallel.parse ~pool r.image in
+  let t_par1 = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "(d) synchronization overhead at 1 thread: serial %.4fs vs parallel@1 \
+     %.4fs (%.1f%%)\n"
+    t_serial t_par1
+    (100.0 *. (t_par1 -. t_serial) /. t_serial);
+  (* (e) recursive traversal vs linear sweep (Schwarz et al., Section 2) *)
+  let g = Pbca_core.Serial.parse_and_finalize r.image in
+  let sw = Pbca_core.Linear_sweep.sweep r.image in
+  let both, sweep_only, trav_only =
+    Pbca_core.Linear_sweep.compare_with_traversal sw g
+  in
+  Printf.printf
+    "(e) control-flow traversal vs linear sweep: %d code bytes agreed, %d \
+     extra bytes decoded by the sweep (padding/dead code as code), %d found \
+     only by traversal; and the sweep cannot attribute blocks to functions\n"
+    both sweep_only trav_only
+
+(* ---------------------------------------------------------------- *)
+(* Bechamel micro-benchmarks: one per table/figure plus substrates.  *)
+
+let micro () =
+  header "Micro-benchmarks (Bechamel)";
+  let open Bechamel in
+  let small = Emit.generate { Profile.default with Profile.n_funcs = 30 } in
+  let text =
+    (Pbca_binfmt.Image.text small.Emit.image).Pbca_binfmt.Section.data
+  in
+  let forensics3 =
+    List.init 3 (fun i -> (Emit.generate (Profile.forensics_member i)).image)
+  in
+  let sub1 = Profile.scale 0.02 Profile.llnl1 in
+  let sub1_bytes = Image.write (Emit.generate sub1).Emit.image in
+  let g_small = Pbca_core.Serial.parse_and_finalize small.Emit.image in
+  let some_func =
+    List.find
+      (fun (f : Pbca_core.Cfg.func) -> List.length f.Pbca_core.Cfg.f_blocks > 2)
+      (Pbca_core.Cfg.funcs_list g_small)
+  in
+  let tests =
+    [
+      Test.make ~name:"isa_decode_text" (Staged.stage (fun () ->
+          let rec go pos acc =
+            if pos >= Bytes.length text then acc
+            else
+              match Pbca_isa.Codec.decode text ~pos with
+              | Some (_, len) -> go (pos + len) (acc + 1)
+              | None -> go (pos + 1) acc
+          in
+          ignore (go 0 0)));
+      Test.make ~name:"table1_generate_subject" (Staged.stage (fun () ->
+          ignore (Emit.generate { sub1 with Profile.seed = 3 })));
+      Test.make ~name:"table2_cfg_parse" (Staged.stage (fun () ->
+          ignore (Pbca_core.Serial.parse_and_finalize small.Emit.image)));
+      Test.make ~name:"table2_hpcstruct_pipeline" (Staged.stage (fun () ->
+          let pool = TP.create ~threads:1 in
+          ignore (H.run ~pool sub1_bytes)));
+      Test.make ~name:"table3_binfeat_pipeline" (Staged.stage (fun () ->
+          let pool = TP.create ~threads:1 in
+          ignore (B.extract ~pool forensics3)));
+      Test.make ~name:"figure3_replay_sim" (Staged.stage (fun () ->
+          let trace = Trace.create () in
+          let pool = TP.create ~threads:1 in
+          ignore (Pbca_core.Parallel.parse ~trace ~pool small.Emit.image);
+          ignore (Replay.simulate ~threads:64 (Trace.tasks trace))));
+      Test.make ~name:"analysis_liveness" (Staged.stage (fun () ->
+          let fv = Pbca_analysis.Func_view.make g_small some_func in
+          ignore (Pbca_analysis.Liveness.compute g_small fv)));
+      Test.make ~name:"conc_hash_insert1k" (Staged.stage (fun () ->
+          let m = Pbca_core.Addr_map.create ~shards:64 () in
+          for i = 0 to 999 do
+            ignore (Pbca_core.Addr_map.insert_if_absent m (i * 16) ())
+          done));
+    ]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg [ instance ] test in
+      Hashtbl.iter
+        (fun name (b : Benchmark.t) ->
+          (* simple mean of time per run *)
+          let raw = b.Benchmark.lr in
+          let n = Array.length raw in
+          let total = ref 0.0 and runs = ref 0.0 in
+          Array.iter
+            (fun m ->
+              total :=
+                !total +. Measurement_raw.get ~label:(Measure.label instance) m;
+              runs := !runs +. Measurement_raw.run m)
+            raw;
+          if !runs > 0.0 then
+            Printf.printf "%-28s %12.1f ns/run (%d samples)\n" name
+              (!total /. !runs) n)
+        results)
+    tests
+
+(* ---------------------------------------------------------------- *)
+
+let () =
+  let cmds = Array.to_list Sys.argv |> List.tl in
+  let cmds = if cmds = [] then [ "all" ] else cmds in
+  let want c = List.mem c cmds || List.mem "all" cmds in
+  Printf.printf
+    "pbca bench harness (scale=%.2f; this machine has %d hardware core(s) — \
+     thread sweeps are schedule-simulated, see DESIGN.md)\n"
+    scale
+    (Domain.recommended_domain_count ());
+  if want "table1" then table1 ();
+  (if want "table2" || want "figure2" || want "figure3" then begin
+     let runs = run_subjects () in
+     if want "table2" then table2 runs;
+     if want "figure2" then figure2 runs;
+     if want "figure3" then figure3 runs
+   end);
+  if want "table3" then table3 ();
+  if want "correctness" then correctness ();
+  if want "ablations" then ablations ();
+  if want "micro" then micro ();
+  line ()

@@ -1,0 +1,74 @@
+(* Generate synthetic SBF binaries (and their ground truth) to disk. *)
+
+open Cmdliner
+
+let profiles =
+  [
+    ("llnl1", Pbca_codegen.Profile.llnl1);
+    ("llnl2", Pbca_codegen.Profile.llnl2);
+    ("camellia", Pbca_codegen.Profile.camellia);
+    ("tensorflow", Pbca_codegen.Profile.tensorflow);
+    ("default", Pbca_codegen.Profile.default);
+  ]
+
+let generate_one dir profile =
+  let r = Pbca_codegen.Emit.generate profile in
+  let path = Filename.concat dir (profile.Pbca_codegen.Profile.name ^ ".sbf") in
+  Pbca_binfmt.Image.save r.image path;
+  Printf.printf "%s: %d bytes (%d functions, %d jump tables)\n" path
+    (Pbca_binfmt.Image.total_size r.image)
+    (List.length r.ground_truth.gt_funcs)
+    (List.length r.ground_truth.gt_tables)
+
+let run dir profile corpus count seed funcs =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  (match corpus with
+  | Some "coreutils" ->
+    for i = 0 to count - 1 do
+      generate_one dir (Pbca_codegen.Profile.coreutils_like i)
+    done
+  | Some "forensics" ->
+    for i = 0 to count - 1 do
+      generate_one dir (Pbca_codegen.Profile.forensics_member i)
+    done
+  | Some other -> Printf.eprintf "unknown corpus %s\n" other
+  | None -> ());
+  match profile with
+  | Some name -> (
+    match List.assoc_opt name profiles with
+    | Some p ->
+      let p = { p with seed = Option.value seed ~default:p.seed } in
+      let p =
+        match funcs with Some n -> { p with n_funcs = n } | None -> p
+      in
+      generate_one dir p
+    | None -> Printf.eprintf "unknown profile %s\n" name)
+  | None -> ()
+
+let dir =
+  Arg.(value & opt string "corpus" & info [ "o"; "output" ] ~doc:"Output directory")
+
+let profile =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "p"; "profile" ] ~doc:"Named profile (llnl1, llnl2, camellia, tensorflow, default)")
+
+let corpus =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "c"; "corpus" ] ~doc:"Corpus family (coreutils, forensics)")
+
+let count = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Corpus size")
+let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"RNG seed")
+
+let funcs =
+  Arg.(value & opt (some int) None & info [ "funcs" ] ~doc:"Function count override")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bgen" ~doc:"Generate synthetic binaries with ground truth")
+    Term.(const run $ dir $ profile $ corpus $ count $ seed $ funcs)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,57 @@
+(* Parse an SBF binary and report its CFG. *)
+
+open Cmdliner
+
+let run path threads dump_funcs serial diff_with =
+  let image = Pbca_binfmt.Image.load path in
+  let t0 = Unix.gettimeofday () in
+  let g =
+    if serial then Pbca_core.Serial.parse_and_finalize image
+    else
+      let pool = Pbca_concurrent.Task_pool.create ~threads in
+      Pbca_core.Parallel.parse_and_finalize ~pool image
+  in
+  let dt = Unix.gettimeofday () -. t0 in
+  Format.printf "%s: %a@." path Pbca_core.Summary.pp_stats g;
+  Format.printf "parsed in %.3fs (%s, %d threads)@." dt
+    (if serial then "serial" else "parallel")
+    (if serial then 1 else threads);
+  (match diff_with with
+  | Some old_path ->
+    let old_image = Pbca_binfmt.Image.load old_path in
+    let old_g = Pbca_core.Serial.parse_and_finalize old_image in
+    Format.printf "diff vs %s:@ %a@." old_path Pbca_core.Cfg_diff.pp
+      (Pbca_core.Cfg_diff.diff old_g g)
+  | None -> ());
+  if dump_funcs then
+    List.iter
+      (fun (f : Pbca_core.Cfg.func) ->
+        let ranges = Pbca_core.Summary.func_ranges g f in
+        Format.printf "  %s @0x%x %s blocks=%d ranges=%s@." f.f_name
+          f.f_entry_addr
+          (match Atomic.get f.f_ret with
+          | Pbca_core.Cfg.Returns -> "ret"
+          | Pbca_core.Cfg.Noreturn -> "noret"
+          | Pbca_core.Cfg.Unset -> "unset")
+          (List.length f.f_blocks)
+          (String.concat ","
+             (List.map (fun (a, b) -> Printf.sprintf "[0x%x,0x%x)" a b) ranges)))
+      (Pbca_core.Cfg.funcs_list g)
+
+let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY")
+let threads = Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
+let dump = Arg.(value & flag & info [ "funcs" ] ~doc:"Dump per-function details")
+let serial = Arg.(value & flag & info [ "serial" ] ~doc:"Use the serial parser")
+
+let diff_with =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "diff" ] ~doc:"Diff against an older build of the same binary")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bparse" ~doc:"Construct and summarize a binary's CFG")
+    Term.(const run $ path $ threads $ dump $ serial $ diff_with)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,81 @@
+(* Ground-truth correctness evaluation (paper Section 8.1).
+
+   Two modes: generate the coreutils-like corpus in memory (default), or
+   verify .sbf files on disk against the ground truth embedded in their
+   .ground section (as written by bgen). *)
+
+open Cmdliner
+
+let ground_truth_of image =
+  match Pbca_binfmt.Image.section image ".ground" with
+  | Some sec ->
+    Some
+      (Pbca_codegen.Ground_truth.read
+         (Pbca_binfmt.Bio.R.of_bytes sec.Pbca_binfmt.Section.data))
+  | None -> None
+
+let check_one pool classes verbose name image gt =
+  let g = Pbca_core.Parallel.parse_and_finalize ~pool image in
+  let rep = Pbca_checker.Checker.check gt g in
+  List.iter
+    (fun (_, cls) ->
+      Hashtbl.replace classes cls
+        (1 + Option.value (Hashtbl.find_opt classes cls) ~default:0))
+    rep.func_expected;
+  let clean = Pbca_checker.Checker.clean rep in
+  if (not clean) || verbose then begin
+    Printf.printf "%s: " name;
+    Format.printf "%a@." Pbca_checker.Checker.pp rep
+  end;
+  clean
+
+let run count threads verbose dir =
+  let pool = Pbca_concurrent.Task_pool.create ~threads in
+  let classes : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let dirty = ref 0 in
+  let total = ref 0 in
+  (match dir with
+  | Some dir ->
+    let files =
+      Sys.readdir dir |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".sbf")
+      |> List.sort compare
+    in
+    List.iter
+      (fun f ->
+        let image = Pbca_binfmt.Image.load (Filename.concat dir f) in
+        match ground_truth_of image with
+        | Some gt ->
+          incr total;
+          if not (check_one pool classes verbose f image gt) then incr dirty
+        | None -> Printf.eprintf "%s: no embedded ground truth, skipped\n" f)
+      files
+  | None ->
+    for i = 0 to count - 1 do
+      let p = Pbca_codegen.Profile.coreutils_like i in
+      let r = Pbca_codegen.Emit.generate p in
+      incr total;
+      if not (check_one pool classes verbose p.name r.image r.ground_truth)
+      then incr dirty
+    done);
+  Printf.printf "\n%d/%d binaries fully explained\n" (!total - !dirty) !total;
+  Printf.printf "expected difference classes (paper Section 8.1):\n";
+  Hashtbl.iter (fun cls n -> Printf.printf "  %-40s %d functions\n" cls n) classes;
+  if !dirty > 0 then exit 1
+
+let count = Arg.(value & opt int 113 & info [ "n" ] ~doc:"Corpus size")
+let threads = Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
+let verbose = Arg.(value & flag & info [ "v" ] ~doc:"Print every report")
+
+let dir =
+  Arg.(
+    value
+    & opt (some dir) None
+    & info [ "dir" ] ~doc:"Verify .sbf files in this directory instead of generating")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "checker" ~doc:"Verify parsed CFGs against ground truth")
+    Term.(const run $ count $ threads $ verbose $ dir)
+
+let () = exit (Cmd.eval cmd)

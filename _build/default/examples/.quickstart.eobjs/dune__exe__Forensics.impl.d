@@ -1,0 +1,1 @@
+examples/forensics.ml: Hashtbl List Pbca_binfeat Pbca_codegen Pbca_concurrent Printf

@@ -1,0 +1,1 @@
+examples/forensics.mli:

@@ -1,0 +1,1 @@
+examples/perf_analysis.ml: List Option Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_debuginfo Pbca_hpcstruct Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Atomic Format List Pbca_binfmt Pbca_checker Pbca_codegen Pbca_concurrent Pbca_core Printf

@@ -1,0 +1,1 @@
+examples/shared_code.ml: Array Atomic Hashtbl List Pbca_codegen Pbca_concurrent Pbca_core Printf String

@@ -1,0 +1,1 @@
+examples/shared_code.mli:

@@ -1,0 +1,1 @@
+examples/vuln_search.ml: Array Hashtbl List Pbca_binfeat Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa Printf

@@ -1,0 +1,1 @@
+examples/vuln_search.mli:

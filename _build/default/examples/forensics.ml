@@ -1,0 +1,73 @@
+(* Software-forensics scenario (paper Section 7): extract BinFeat-style
+   feature vectors from a corpus of binaries and compare binaries by
+   cosine similarity — the representation used by compiler-identification
+   and authorship-attribution models.
+
+   Run with: dune exec examples/forensics.exe *)
+
+let feature_vector pool image =
+  let r = Pbca_binfeat.Binfeat.extract ~pool [ image ] in
+  r.Pbca_binfeat.Binfeat.index
+
+let cosine a b =
+  let dot = ref 0.0 and na = ref 0.0 and nb = ref 0.0 in
+  Hashtbl.iter
+    (fun k va ->
+      let va = float_of_int va in
+      na := !na +. (va *. va);
+      match Hashtbl.find_opt b k with
+      | Some vb -> dot := !dot +. (va *. float_of_int vb)
+      | None -> ())
+    a;
+  Hashtbl.iter
+    (fun _ vb ->
+      let vb = float_of_int vb in
+      nb := !nb +. (vb *. vb))
+    b;
+  if !na = 0.0 || !nb = 0.0 then 0.0 else !dot /. sqrt (!na *. !nb)
+
+let () =
+  let pool = Pbca_concurrent.Task_pool.create ~threads:4 in
+  (* three "authors": binaries generated from related vs unrelated seeds *)
+  let author_a1 =
+    (Pbca_codegen.Emit.generate
+       { (Pbca_codegen.Profile.forensics_member 0) with seed = 100 })
+      .image
+  in
+  let author_a2 =
+    (Pbca_codegen.Emit.generate
+       { (Pbca_codegen.Profile.forensics_member 0) with seed = 101 })
+      .image
+  in
+  let author_b =
+    (Pbca_codegen.Emit.generate
+       {
+         (Pbca_codegen.Profile.forensics_member 7) with
+         seed = 999;
+         p_jump_table = 0.25;
+         p_frame = 0.2;
+         max_body_insns = 12;
+       })
+      .image
+  in
+  let va1 = feature_vector pool author_a1 in
+  let va2 = feature_vector pool author_a2 in
+  let vb = feature_vector pool author_b in
+  Printf.printf "feature vector sizes: a1=%d a2=%d b=%d\n" (Hashtbl.length va1)
+    (Hashtbl.length va2) (Hashtbl.length vb);
+  Printf.printf "cosine(a1, a2) = %.4f   (same style)\n" (cosine va1 va2);
+  Printf.printf "cosine(a1, b)  = %.4f   (different style)\n" (cosine va1 vb);
+  Printf.printf "cosine(a2, b)  = %.4f   (different style)\n" (cosine va2 vb);
+  (* full-corpus extraction with the staged pipeline *)
+  let corpus =
+    List.init 12 (fun i ->
+        (Pbca_codegen.Emit.generate (Pbca_codegen.Profile.forensics_member i))
+          .image)
+  in
+  let r = Pbca_binfeat.Binfeat.extract ~pool corpus in
+  Printf.printf "\ncorpus: %d binaries -> %d features; stage walls:\n"
+    r.n_binaries r.n_features;
+  List.iter
+    (fun (s : Pbca_binfeat.Binfeat.stage) ->
+      Printf.printf "  %-4s %.4fs\n" s.st_name s.st_wall)
+    r.stages

@@ -1,0 +1,100 @@
+(* Vulnerability search by binary code similarity (paper Section 9): given
+   a known-vulnerable function, rank every function of a corpus by cosine
+   similarity of its BinFeat-style feature vector. The same function body
+   compiled into other binaries should surface at the top.
+
+   Run with: dune exec examples/vuln_search.exe *)
+
+module Spec = Pbca_codegen.Spec
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module Sim = Pbca_binfeat.Similarity
+
+(* the "vulnerable" routine: a distinctive shape (loop + jump table) we
+   plant into some corpus members under different names *)
+let vulnerable_body ~name =
+  {
+    Spec.fs_name = name;
+    fs_blocks =
+      [|
+        {
+          Spec.bs_body = [ Insn.Mov_ri (Reg.r1, 0); Insn.Mov_ri (Reg.r2, 0) ];
+          bs_term = Spec.T_fall;
+        };
+        {
+          Spec.bs_body = [ Insn.Cmp_ri (Reg.r1, 16) ];
+          bs_term = Spec.T_cond (Insn.Ge, 3);
+        };
+        {
+          Spec.bs_body =
+            [
+              Insn.Load_idx (Reg.r3, Reg.r4, Reg.r1, 4);
+              Insn.Xor (Reg.r5, Reg.r3);
+              Insn.Add_ri (Reg.r1, 1);
+            ];
+          bs_term = Spec.T_jmp 1;
+        };
+        { Spec.bs_body = []; bs_term = Spec.T_jumptable { targets = [ 5; 6 ]; spilled = false } };
+        { Spec.bs_body = []; bs_term = Spec.T_ret };
+        { Spec.bs_body = [ Insn.Mov_ri (Reg.r0, 1) ]; bs_term = Spec.T_jmp 4 };
+        { Spec.bs_body = [ Insn.Mov_ri (Reg.r0, 2) ]; bs_term = Spec.T_jmp 4 };
+      |];
+    fs_frame = true;
+    fs_cold = None;
+    fs_secondary = None;
+    fs_cu = 0;
+    fs_error_style = false;
+    fs_noreturn_leaf = false;
+  }
+
+let with_planted spec idx name =
+  let funcs = Array.copy spec.Spec.sp_funcs in
+  funcs.(idx) <- vulnerable_body ~name;
+  { spec with Spec.sp_funcs = funcs }
+
+let () =
+  let pool = Pbca_concurrent.Task_pool.create ~threads:4 in
+  (* reference binary containing the known-vulnerable function *)
+  let ref_spec =
+    Spec.generate { Pbca_codegen.Profile.default with n_funcs = 20; seed = 71 }
+  in
+  let ref_spec = with_planted ref_spec 5 "parse_header" in
+  let ref_image = (Pbca_codegen.Emit.emit ref_spec).image in
+  let ref_cfg = Pbca_core.Parallel.parse_and_finalize ~pool ref_image in
+  let vuln =
+    List.find
+      (fun (f : Pbca_core.Cfg.func) -> f.f_name = "parse_header")
+      (Pbca_core.Cfg.funcs_list ref_cfg)
+  in
+  let query = Sim.function_vector ref_cfg vuln in
+  Printf.printf "query: %s from %s (%d features)\n\n" vuln.f_name
+    ref_image.Pbca_binfmt.Image.name (Hashtbl.length query);
+
+  (* corpus: 8 binaries; three secretly contain the same routine *)
+  let corpus =
+    List.init 8 (fun i ->
+        let p =
+          { (Pbca_codegen.Profile.forensics_member i) with seed = 7000 + i }
+        in
+        let spec = Spec.generate p in
+        let spec =
+          match i with
+          | 1 -> with_planted spec 3 "decode_frame"
+          | 4 -> with_planted spec 9 "read_chunk"
+          | 6 -> with_planted spec 2 "handle_input"
+          | _ -> spec
+        in
+        let image = (Pbca_codegen.Emit.emit spec).image in
+        (image.Pbca_binfmt.Image.name, Pbca_core.Parallel.parse_and_finalize ~pool image))
+      |> List.map (fun x -> x)
+  in
+  let hits = Sim.search ~pool ~query corpus ~top:8 in
+  Printf.printf "%-16s %-16s %-10s %s\n" "binary" "function" "entry" "cosine";
+  List.iter
+    (fun (h : Sim.hit) ->
+      Printf.printf "%-16s %-16s 0x%-8x %.4f%s\n" h.h_binary h.h_func h.h_entry
+        h.h_score
+        (if List.mem h.h_func [ "decode_frame"; "read_chunk"; "handle_input" ]
+         then "   <- planted copy"
+         else ""))
+    hits

@@ -1,0 +1,1 @@
+lib/analysis/callgraph.ml: Array Hashtbl List Pbca_core Queue

@@ -1,0 +1,1 @@
+lib/analysis/dominators.mli: Func_view

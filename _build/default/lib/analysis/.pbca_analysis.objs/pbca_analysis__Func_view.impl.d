@@ -1,0 +1,1 @@
+lib/analysis/func_view.ml: Array Hashtbl List Pbca_core

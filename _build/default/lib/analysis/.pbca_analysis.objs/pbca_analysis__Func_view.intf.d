@@ -1,0 +1,1 @@
+lib/analysis/func_view.mli: Hashtbl Pbca_core Pbca_isa

@@ -1,0 +1,1 @@
+lib/analysis/liveness.ml: Array Func_view List Pbca_core Pbca_isa Pbca_simsched

@@ -1,0 +1,1 @@
+lib/analysis/liveness.mli: Func_view Pbca_core Pbca_isa

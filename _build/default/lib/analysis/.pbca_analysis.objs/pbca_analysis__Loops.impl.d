@@ -1,0 +1,1 @@
+lib/analysis/loops.ml: Array Dominators Func_view Hashtbl List

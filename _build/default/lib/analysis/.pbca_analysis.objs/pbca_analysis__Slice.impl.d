@@ -1,0 +1,1 @@
+lib/analysis/slice.ml: Array Func_view Hashtbl List Option Pbca_core Pbca_isa Queue

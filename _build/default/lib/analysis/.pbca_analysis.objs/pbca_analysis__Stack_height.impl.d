@@ -1,0 +1,1 @@
+lib/analysis/stack_height.ml: Array Format Func_view List Pbca_core Pbca_isa Pbca_simsched

@@ -1,0 +1,1 @@
+lib/analysis/stack_height.mli: Format Func_view Pbca_core

@@ -1,0 +1,125 @@
+module Cfg = Pbca_core.Cfg
+
+type t = {
+  funcs : Cfg.func array;
+  index_of : (int, int) Hashtbl.t;
+  callees : int list array;
+  callers : int list array;
+  tail_edges : (int * int) list;
+}
+
+let build ?(resolve_indirect = false) (g : Cfg.t) =
+  ignore resolve_indirect;
+  let funcs = Array.of_list (Cfg.funcs_list g) in
+  let n = Array.length funcs in
+  let index_of = Hashtbl.create (2 * n) in
+  Array.iteri
+    (fun i (f : Cfg.func) -> Hashtbl.replace index_of f.Cfg.f_entry_addr i)
+    funcs;
+  let callees = Array.make n [] in
+  let callers = Array.make n [] in
+  let tail_edges = ref [] in
+  Array.iteri
+    (fun i (f : Cfg.func) ->
+      List.iter
+        (fun (b : Cfg.block) ->
+          List.iter
+            (fun (e : Cfg.edge) ->
+              match e.e_kind with
+              | Cfg.Call | Cfg.Tail_call -> (
+                match Hashtbl.find_opt index_of e.e_dst.Cfg.b_start with
+                | Some j ->
+                  if not (List.mem j callees.(i)) then begin
+                    callees.(i) <- j :: callees.(i);
+                    callers.(j) <- i :: callers.(j)
+                  end;
+                  if e.e_kind = Cfg.Tail_call then
+                    tail_edges := (i, j) :: !tail_edges
+                | None -> ())
+              | _ -> ())
+            (Cfg.out_edges b))
+        f.Cfg.f_blocks)
+    funcs;
+  { funcs; index_of; callees; callers; tail_edges = !tail_edges }
+
+let n_funcs t = Array.length t.funcs
+let find t addr = Hashtbl.find_opt t.index_of addr
+
+let reachable_from t root =
+  let n = n_funcs t in
+  let seen = Array.make n false in
+  let rec visit i =
+    if i >= 0 && i < n && not seen.(i) then begin
+      seen.(i) <- true;
+      List.iter visit t.callees.(i)
+    end
+  in
+  visit root;
+  seen
+
+let depth_from t root =
+  let n = n_funcs t in
+  let depth = Array.make n (-1) in
+  let q = Queue.create () in
+  if root >= 0 && root < n then begin
+    depth.(root) <- 0;
+    Queue.add root q
+  end;
+  while not (Queue.is_empty q) do
+    let i = Queue.pop q in
+    List.iter
+      (fun j ->
+        if depth.(j) = -1 then begin
+          depth.(j) <- depth.(i) + 1;
+          Queue.add j q
+        end)
+      t.callees.(i)
+  done;
+  depth
+
+(* Tarjan's strongly connected components. *)
+let sccs t =
+  let n = n_funcs t in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let out = ref [] in
+  let rec strongconnect v =
+    index.(v) <- !counter;
+    lowlink.(v) <- !counter;
+    incr counter;
+    stack := v :: !stack;
+    on_stack.(v) <- true;
+    List.iter
+      (fun w ->
+        if index.(w) = -1 then begin
+          strongconnect w;
+          lowlink.(v) <- min lowlink.(v) lowlink.(w)
+        end
+        else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w))
+      t.callees.(v);
+    if lowlink.(v) = index.(v) then begin
+      let rec pop acc =
+        match !stack with
+        | w :: rest ->
+          stack := rest;
+          on_stack.(w) <- false;
+          if w = v then w :: acc else pop (w :: acc)
+        | [] -> acc
+      in
+      out := pop [] :: !out
+    end
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then strongconnect v
+  done;
+  List.sort
+    (fun a b -> compare (List.length b) (List.length a))
+    !out
+
+let leaf_functions t =
+  let out = ref [] in
+  Array.iteri (fun i cs -> if cs = [] then out := i :: !out) t.callees;
+  List.rev !out

@@ -1,0 +1,35 @@
+(** Whole-program call graph over a finalized CFG.
+
+    Nodes are functions; an edge [f -> g] exists when some block in [f]'s
+    boundary ends with a direct call or tail call to [g]'s entry (indirect
+    calls contribute edges to every function whose address appears in the
+    image's function-pointer data when [resolve_indirect] is set). The
+    forensic and vulnerability-search applications the paper's discussion
+    section mentions consume exactly this structure. *)
+
+type t = {
+  funcs : Pbca_core.Cfg.func array;  (** sorted by entry *)
+  index_of : (int, int) Hashtbl.t;  (** entry address -> index *)
+  callees : int list array;
+  callers : int list array;
+  tail_edges : (int * int) list;  (** (caller, callee) via tail calls *)
+}
+
+val build : ?resolve_indirect:bool -> Pbca_core.Cfg.t -> t
+val n_funcs : t -> int
+val find : t -> int -> int option
+(** Index of the function whose entry is the given address. *)
+
+val reachable_from : t -> int -> bool array
+(** Functions reachable (transitively, via calls and tail calls) from the
+    given function index. *)
+
+val sccs : t -> int list list
+(** Strongly connected components (Tarjan), largest call cycles first —
+    mutual recursion shows up here. *)
+
+val depth_from : t -> int -> int array
+(** BFS call depth from a root index; [-1] = unreachable. *)
+
+val leaf_functions : t -> int list
+(** Functions that call nothing. *)

@@ -1,0 +1,61 @@
+type t = { idom : int array; rpo : int array }
+
+let compute (fv : Func_view.t) =
+  let n = Func_view.n_blocks fv in
+  let entry = Func_view.entry_index fv in
+  let order = Array.make n (-1) in
+  (* postorder DFS *)
+  let po = ref [] in
+  let mark = Array.make n false in
+  let rec dfs i =
+    if not mark.(i) then begin
+      mark.(i) <- true;
+      List.iter dfs fv.succ.(i);
+      po := i :: !po
+    end
+  in
+  if n > 0 then dfs entry;
+  let rpo_list = !po in
+  List.iteri (fun pos i -> order.(i) <- pos) rpo_list;
+  let idom = Array.make n (-1) in
+  if n > 0 then begin
+    idom.(entry) <- entry;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while order.(!a) > order.(!b) && !a <> -1 do
+          a := idom.(!a)
+        done;
+        while order.(!b) > order.(!a) && !b <> -1 do
+          b := idom.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun i ->
+          if i <> entry then begin
+            let preds =
+              List.filter (fun p -> idom.(p) <> -1 || p = entry) fv.pred.(i)
+            in
+            match List.filter (fun p -> idom.(p) <> -1) preds with
+            | [] -> ()
+            | first :: rest ->
+              let new_idom = List.fold_left intersect first rest in
+              if idom.(i) <> new_idom then begin
+                idom.(i) <- new_idom;
+                changed := true
+              end
+          end)
+        rpo_list
+    done;
+    idom.(entry) <- -1
+  end;
+  { idom; rpo = order }
+
+let dominates t a b =
+  let rec up x = if x = -1 then false else x = a || up t.idom.(x) in
+  a = b || up t.idom.(b)

@@ -1,0 +1,12 @@
+(** Dominator trees (Cooper-Harvey-Kennedy "a simple, fast dominance
+    algorithm"). Input is a {!Func_view}; blocks unreachable from the entry
+    get [idom = -1]. Pure; thread-safe across functions. *)
+
+type t = {
+  idom : int array;  (** immediate dominator index, -1 for entry/unreachable *)
+  rpo : int array;  (** reverse-postorder positions *)
+}
+
+val compute : Func_view.t -> t
+val dominates : t -> int -> int -> bool
+(** [dominates t a b]: block [a] dominates block [b] (reflexive). *)

@@ -1,0 +1,44 @@
+module Cfg = Pbca_core.Cfg
+
+type t = {
+  func : Cfg.func;
+  blocks : Cfg.block array;
+  index_of : (int, int) Hashtbl.t;
+  succ : int list array;
+  pred : int list array;
+}
+
+let make g (f : Cfg.func) =
+  ignore g;
+  let blocks = Array.of_list f.Cfg.f_blocks in
+  (* f_blocks is sorted by start; make the entry index 0 by rotating if the
+     entry is not the lowest address (non-contiguous layouts) *)
+  let index_of = Hashtbl.create (Array.length blocks * 2) in
+  Array.iteri (fun i (b : Cfg.block) -> Hashtbl.replace index_of b.Cfg.b_start i) blocks;
+  let n = Array.length blocks in
+  let succ = Array.make n [] in
+  let pred = Array.make n [] in
+  Array.iteri
+    (fun i (b : Cfg.block) ->
+      List.iter
+        (fun (e : Cfg.edge) ->
+          if Cfg.is_intra e.e_kind then
+            match Hashtbl.find_opt index_of e.e_dst.Cfg.b_start with
+            | Some j ->
+              if not (List.mem j succ.(i)) then begin
+                succ.(i) <- j :: succ.(i);
+                pred.(j) <- i :: pred.(j)
+              end
+            | None -> ())
+        (Cfg.out_edges b))
+    blocks;
+  { func = f; blocks; index_of; succ; pred }
+
+let n_blocks t = Array.length t.blocks
+
+let entry_index t =
+  match Hashtbl.find_opt t.index_of t.func.Cfg.f_entry_addr with
+  | Some i -> i
+  | None -> 0
+
+let insns g t i = Pbca_core.Disasm.block_insns g t.blocks.(i)

@@ -1,0 +1,21 @@
+(** Per-function array view of a finalized CFG.
+
+    The intra-procedural analyses (dominators, loops, liveness, stack
+    heights) all want dense block indices and per-function successor and
+    predecessor lists restricted to the function's boundary. The CFG is
+    read-only after finalization (paper Section 7.2), so views can be built
+    for different functions from any number of threads. *)
+
+type t = {
+  func : Pbca_core.Cfg.func;
+  blocks : Pbca_core.Cfg.block array;  (** sorted by start; index 0 = entry *)
+  index_of : (int, int) Hashtbl.t;  (** block start -> index *)
+  succ : int list array;  (** intra-procedural successors *)
+  pred : int list array;
+}
+
+val make : Pbca_core.Cfg.t -> Pbca_core.Cfg.func -> t
+val n_blocks : t -> int
+val entry_index : t -> int
+val insns : Pbca_core.Cfg.t -> t -> int -> (int * Pbca_isa.Insn.t * int) list
+(** Instructions of block [i]. *)

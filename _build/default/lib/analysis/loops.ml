@@ -1,0 +1,76 @@
+type loop = { header : int; body : int list; parent : int option }
+type t = { loops : loop array; depth : int array }
+
+let compute (fv : Func_view.t) (dom : Dominators.t) =
+  let n = Func_view.n_blocks fv in
+  (* back edges and per-header loop bodies *)
+  let bodies : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 8 in
+  for src = 0 to n - 1 do
+    List.iter
+      (fun dst ->
+        if Dominators.dominates dom dst src then begin
+          (* natural loop of (src -> dst): dst + all blocks reaching src
+             without passing through dst *)
+          let body =
+            match Hashtbl.find_opt bodies dst with
+            | Some b -> b
+            | None ->
+              let b = Hashtbl.create 8 in
+              Hashtbl.replace b dst ();
+              Hashtbl.replace bodies dst b;
+              b
+          in
+          let rec pull x =
+            if not (Hashtbl.mem body x) then begin
+              Hashtbl.replace body x ();
+              List.iter pull fv.pred.(x)
+            end
+          in
+          pull src
+        end)
+      fv.succ.(src)
+  done;
+  let headers = Hashtbl.fold (fun h _ acc -> h :: acc) bodies [] in
+  let headers = List.sort compare headers in
+  let loops_list =
+    List.map
+      (fun h ->
+        let body = Hashtbl.find bodies h in
+        let members = Hashtbl.fold (fun b () acc -> b :: acc) body [] in
+        (h, List.sort compare members))
+      headers
+  in
+  (* nesting: loop A encloses B if A contains B's header and A <> B *)
+  let arr = Array.of_list loops_list in
+  let contains (_, body) x = List.mem x body in
+  let parent_of i =
+    let _, body_i = arr.(i) in
+    let candidates =
+      Array.to_list
+        (Array.mapi
+           (fun j l ->
+             if j <> i && contains l (fst arr.(i)) then
+               Some (j, List.length (snd l))
+             else None)
+           arr)
+      |> List.filter_map (fun x -> x)
+    in
+    ignore body_i;
+    (* innermost enclosing = smallest containing body *)
+    match List.sort (fun (_, a) (_, b) -> compare a b) candidates with
+    | (j, _) :: _ -> Some j
+    | [] -> None
+  in
+  let loops =
+    Array.mapi
+      (fun i (h, body) -> { header = h; body; parent = parent_of i })
+      arr
+  in
+  let depth = Array.make n 0 in
+  Array.iter
+    (fun l -> List.iter (fun b -> depth.(b) <- depth.(b) + 1) l.body)
+    loops;
+  { loops; depth }
+
+let loop_count t = Array.length t.loops
+let max_depth t = Array.fold_left max 0 t.depth

@@ -1,0 +1,22 @@
+(** Natural-loop identification and nesting (analysis capability AC2).
+
+    Back edges are edges whose target dominates their source; each defines
+    a natural loop (the target is the header). Loops with the same header
+    are merged. Nesting depth is the number of distinct loop bodies a block
+    belongs to — hpcstruct attributes instructions to loop constructs, and
+    BinFeat uses nesting levels as features. *)
+
+type loop = {
+  header : int;  (** block index of the loop header *)
+  body : int list;  (** block indices, including the header *)
+  parent : int option;  (** index into [loops] of the innermost enclosing loop *)
+}
+
+type t = {
+  loops : loop array;
+  depth : int array;  (** nesting depth per block; 0 = not in any loop *)
+}
+
+val compute : Func_view.t -> Dominators.t -> t
+val loop_count : t -> int
+val max_depth : t -> int

@@ -1,0 +1,73 @@
+module Reg = Pbca_isa.Reg
+module Semantics = Pbca_isa.Semantics
+
+type criterion = { at : int; block : int; regs : Reg.Set.t }
+type slice = { insns : (int * Pbca_isa.Insn.t) list; complete : bool }
+
+(* Worklist over (block, live-register-set) states; within a block, walk
+   instructions backward transferring the wanted set. *)
+let backward g (fv : Func_view.t) crit =
+  let collected : (int, Pbca_isa.Insn.t) Hashtbl.t = Hashtbl.create 32 in
+  let complete = ref true in
+  (* most-demanded set seen per block, to bound re-visits *)
+  let seen : (int, Reg.Set.t) Hashtbl.t = Hashtbl.create 16 in
+  let queue = Queue.create () in
+  let enqueue block wanted =
+    if wanted <> Reg.Set.empty then begin
+      let prev = Option.value (Hashtbl.find_opt seen block) ~default:Reg.Set.empty in
+      let merged = Reg.Set.union prev wanted in
+      if merged <> prev then begin
+        Hashtbl.replace seen block merged;
+        Queue.add (block, wanted) queue
+      end
+    end
+  in
+  (* walk one block backward from [upto] (exclusive; max_int = whole block),
+     returning the wanted set at block entry *)
+  let walk_block block upto wanted =
+    let insns = List.rev (Func_view.insns g fv block) in
+    List.fold_left
+      (fun wanted (a, insn, _) ->
+        if a >= upto then wanted
+        else
+          let defs = Semantics.defs insn in
+          if Reg.Set.inter defs wanted <> Reg.Set.empty then begin
+            Hashtbl.replace collected a insn;
+            if Semantics.reads_mem insn then complete := false;
+            (* the instruction's inputs become wanted; its outputs stop *)
+            Reg.Set.union (Semantics.uses insn) (Reg.Set.diff wanted defs)
+          end
+          else wanted)
+      wanted insns
+  in
+  let at_entry = walk_block crit.block crit.at crit.regs in
+  enqueue crit.block Reg.Set.empty (* mark visited *);
+  Hashtbl.replace seen crit.block crit.regs;
+  let propagate block wanted =
+    if wanted <> Reg.Set.empty then
+      match fv.pred.(block) with
+      | [] ->
+        (* registers still wanted at the function entry: arguments or
+           untracked state *)
+        if block = Func_view.entry_index fv then ()
+        else complete := false
+      | preds -> List.iter (fun p -> enqueue p wanted) preds
+  in
+  propagate crit.block at_entry;
+  while not (Queue.is_empty queue) do
+    let block, wanted = Queue.pop queue in
+    if wanted <> Reg.Set.empty then begin
+      let at_entry = walk_block block max_int wanted in
+      propagate block at_entry
+    end
+  done;
+  let insns =
+    Hashtbl.fold (fun a i acc -> (a, i) :: acc) collected []
+    |> List.sort compare
+  in
+  { insns; complete = !complete }
+
+let criterion_of_terminator g (fv : Func_view.t) block =
+  match Pbca_core.Disasm.terminator g fv.blocks.(block) with
+  | Some (a, insn, _) -> Some { at = a; block; regs = Semantics.uses insn }
+  | None -> None

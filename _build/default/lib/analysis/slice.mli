@@ -1,0 +1,30 @@
+(** Intra-procedural backward slicing.
+
+    The general form of the technique the paper's jump-table analysis is
+    built on (Section 2.1: "backward slicing to identify the instructions
+    involved in the target calculation"): starting from a register use at a
+    program point, collect every instruction whose definitions can flow
+    into it, following intra-procedural edges backward through the function
+    view. BinFeat-style tools use slices as features; the core parser keeps
+    its own specialized slicer ({!Pbca_core.Jump_table}) tuned for table
+    idioms. *)
+
+type criterion = {
+  at : int;  (** instruction address *)
+  block : int;  (** block index within the view *)
+  regs : Pbca_isa.Reg.Set.t;  (** registers of interest just before [at] *)
+}
+
+type slice = {
+  insns : (int * Pbca_isa.Insn.t) list;  (** in ascending address order *)
+  complete : bool;
+      (** false when the dependence chase left the function or hit a memory
+          load whose source is untracked *)
+}
+
+val backward : Pbca_core.Cfg.t -> Func_view.t -> criterion -> slice
+
+val criterion_of_terminator :
+  Pbca_core.Cfg.t -> Func_view.t -> int -> criterion option
+(** Slice criterion for a block's terminating instruction (its uses), e.g.
+    the jump register of an indirect jump. *)

@@ -1,0 +1,22 @@
+(** Stack-height analysis (Dyninst's StackAnalysis in paper Listing 7).
+
+    Forward data-flow of the stack pointer's offset from its value at
+    function entry. The lattice per block is [Bottom] (unvisited), a
+    constant height, or [Top] (conflicting heights or a non-constant
+    adjustment such as [Leave]). Used by the tail-call heuristics of real
+    parsers and here by BinFeat as a data-flow feature. *)
+
+type height = Bottom | Height of int | Top
+
+type t = {
+  at_entry : height array;  (** per block *)
+  at_exit : height array;
+}
+
+val compute : Pbca_core.Cfg.t -> Func_view.t -> t
+
+val join : height -> height -> height
+(** Lattice join: [Bottom] is the identity, conflicting constants go to
+    [Top]. *)
+
+val pp_height : Format.formatter -> height -> unit

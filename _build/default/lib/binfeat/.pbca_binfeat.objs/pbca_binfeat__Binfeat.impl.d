@@ -1,0 +1,1 @@
+lib/binfeat/binfeat.ml: Array Format Hashtbl List Option Pbca_analysis Pbca_concurrent Pbca_core Pbca_isa Pbca_simsched Printf Unix

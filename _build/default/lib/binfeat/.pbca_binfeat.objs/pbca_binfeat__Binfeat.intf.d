@@ -1,0 +1,1 @@
+lib/binfeat/binfeat.mli: Hashtbl Pbca_analysis Pbca_binfmt Pbca_concurrent Pbca_core Pbca_simsched

@@ -1,0 +1,1 @@
+lib/binfeat/similarity.ml: Array Binfeat Hashtbl List Pbca_analysis Pbca_concurrent Pbca_core Pbca_simsched

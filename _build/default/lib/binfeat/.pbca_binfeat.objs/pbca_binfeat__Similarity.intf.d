@@ -1,0 +1,1 @@
+lib/binfeat/similarity.mli: Hashtbl Pbca_concurrent Pbca_core

@@ -1,0 +1,34 @@
+(** Binary code similarity (paper Section 9, "benefiting other
+    applications"): software-vulnerability search computes similarity
+    between a known-vulnerable function and every function of a corpus,
+    using the same instruction/control-flow/data-flow characteristics that
+    BinFeat extracts.
+
+    Function feature vectors are sparse maps; similarity is cosine. The
+    corpus search parallelizes trivially once CFGs exist (read-only after
+    finalization). *)
+
+type vector = (string, float) Hashtbl.t
+
+val function_vector :
+  Pbca_core.Cfg.t -> Pbca_core.Cfg.func -> vector
+(** Instruction n-grams, degree/edge-kind shapes, loop structure and
+    liveness counts of one function, TF-weighted. *)
+
+val cosine : vector -> vector -> float
+
+type hit = {
+  h_binary : string;
+  h_func : string;
+  h_entry : int;
+  h_score : float;
+}
+
+val search :
+  pool:Pbca_concurrent.Task_pool.t ->
+  query:vector ->
+  (string * Pbca_core.Cfg.t) list ->
+  top:int ->
+  hit list
+(** Rank every function of every (named) parsed binary against the query
+    vector; return the [top] best hits, best first. *)

@@ -1,0 +1,1 @@
+lib/binfmt/bio.ml: Buffer Bytes Char String

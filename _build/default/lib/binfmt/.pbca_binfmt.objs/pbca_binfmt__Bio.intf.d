@@ -1,0 +1,1 @@
+lib/binfmt/bio.mli: Bytes

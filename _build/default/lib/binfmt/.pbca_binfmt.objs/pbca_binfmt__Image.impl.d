@@ -1,0 +1,1 @@
+lib/binfmt/image.ml: Bio Bytes Filename Fun List Option Pbca_isa Section Symbol Symtab

@@ -1,0 +1,1 @@
+lib/binfmt/image.mli: Bytes Pbca_isa Section Symbol Symtab

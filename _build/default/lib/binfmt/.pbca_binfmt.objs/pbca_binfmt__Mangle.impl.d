@@ -1,0 +1,1 @@
+lib/binfmt/mangle.ml: Buffer Char List String

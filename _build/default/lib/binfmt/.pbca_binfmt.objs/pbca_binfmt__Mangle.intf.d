@@ -1,0 +1,1 @@
+lib/binfmt/mangle.mli:

@@ -1,0 +1,1 @@
+lib/binfmt/section.ml: Bytes Char Format

@@ -1,0 +1,1 @@
+lib/binfmt/section.mli: Bytes Format

@@ -1,0 +1,1 @@
+lib/binfmt/symbol.ml: Bio Format Hashtbl Mangle

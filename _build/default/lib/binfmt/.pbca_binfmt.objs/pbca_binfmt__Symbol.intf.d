@@ -1,0 +1,1 @@
+lib/binfmt/symbol.mli: Bio Format

@@ -1,0 +1,1 @@
+lib/binfmt/symtab.ml: Bio Hashtbl Int List Option Pbca_concurrent String Symbol

@@ -1,0 +1,1 @@
+lib/binfmt/symtab.mli: Bio Symbol

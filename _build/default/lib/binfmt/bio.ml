@@ -1,0 +1,83 @@
+module W = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b v;
+    u8 b (v lsr 8)
+
+  let u32 b v =
+    u16 b v;
+    u16 b (v lsr 16)
+
+  let u64 b v =
+    u32 b v;
+    u32 b (v lsr 32)
+
+  let str b s =
+    u16 b (String.length s);
+    Buffer.add_string b s
+
+  let bytes b d =
+    u32 b (Bytes.length d);
+    Buffer.add_bytes b d
+
+  let raw b d = Buffer.add_bytes b d
+  let contents b = Buffer.to_bytes b
+  let length b = Buffer.length b
+end
+
+module R = struct
+  type t = { data : Bytes.t; mutable pos : int }
+
+  exception Truncated
+
+  let of_bytes data = { data; pos = 0 }
+  let pos t = t.pos
+
+  let seek t p =
+    if p < 0 || p > Bytes.length t.data then raise Truncated;
+    t.pos <- p
+
+  let eof t = t.pos >= Bytes.length t.data
+
+  let u8 t =
+    if t.pos >= Bytes.length t.data then raise Truncated;
+    let v = Char.code (Bytes.get t.data t.pos) in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let a = u8 t in
+    let b = u8 t in
+    a lor (b lsl 8)
+
+  let u32 t =
+    let a = u16 t in
+    let b = u16 t in
+    a lor (b lsl 16)
+
+  let u64 t =
+    let a = u32 t in
+    let b = u32 t in
+    a lor (b lsl 32)
+
+  let str t =
+    let n = u16 t in
+    if t.pos + n > Bytes.length t.data then raise Truncated;
+    let s = Bytes.sub_string t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let raw t n =
+    if n < 0 || t.pos + n > Bytes.length t.data then raise Truncated;
+    let s = Bytes.sub t.data t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let bytes t =
+    let n = u32 t in
+    raw t n
+end

@@ -1,0 +1,42 @@
+(** Little-endian byte-stream readers and writers used by every serialized
+    structure in the toolkit (the SBF container, symbol tables, debug-info
+    sections, ground-truth records). *)
+
+module W : sig
+  type t
+
+  val create : unit -> t
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val u64 : t -> int -> unit
+  val str : t -> string -> unit
+  (** Length-prefixed (u16) string. *)
+
+  val bytes : t -> Bytes.t -> unit
+  (** Length-prefixed (u32) byte blob. *)
+
+  val raw : t -> Bytes.t -> unit
+  (** Unprefixed bytes. *)
+
+  val contents : t -> Bytes.t
+  val length : t -> int
+end
+
+module R : sig
+  type t
+
+  exception Truncated
+
+  val of_bytes : Bytes.t -> t
+  val pos : t -> int
+  val seek : t -> int -> unit
+  val eof : t -> bool
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val u64 : t -> int
+  val str : t -> string
+  val bytes : t -> Bytes.t
+  val raw : t -> int -> Bytes.t
+end

@@ -1,0 +1,106 @@
+type t = {
+  name : string;
+  sections : Section.t list;
+  symtab : Symtab.t;
+  entry : int;
+}
+
+let make ~name ?(entry = 0) ~sections symtab = { name; sections; symtab; entry }
+
+let section t n = List.find_opt (fun s -> s.Section.name = n) t.sections
+
+let text t =
+  match section t ".text" with Some s -> s | None -> raise Not_found
+
+let find_section_at t a = List.find_opt (fun s -> Section.contains s a) t.sections
+
+let u8 t a =
+  match find_section_at t a with Some s -> Some (Section.u8 s a) | None -> None
+
+let u32 t a =
+  match find_section_at t a with
+  | Some s when Section.contains s (a + 3) -> Some (Section.u32 s a)
+  | _ -> None
+
+let in_text t a =
+  match section t ".text" with Some s -> Section.contains s a | None -> false
+
+let decode_at t a =
+  match section t ".text" with
+  | Some s when Section.contains s a ->
+    Pbca_isa.Codec.decode s.Section.data ~pos:(a - s.Section.addr)
+  | _ -> None
+
+let text_size t = match section t ".text" with Some s -> Section.size s | None -> 0
+let total_size t = List.fold_left (fun acc s -> acc + Section.size s) 0 t.sections
+
+let magic = "SBF1"
+
+let write t =
+  let w = Bio.W.create () in
+  Bio.W.str w magic;
+  Bio.W.str w t.name;
+  Bio.W.u64 w t.entry;
+  Bio.W.u32 w (List.length t.sections);
+  List.iter
+    (fun s ->
+      Bio.W.str w s.Section.name;
+      Bio.W.u64 w s.Section.addr;
+      Bio.W.bytes w s.Section.data)
+    t.sections;
+  let symw = Bio.W.create () in
+  Symtab.write symw t.symtab;
+  Bio.W.bytes w (Bio.W.contents symw);
+  Bio.W.contents w
+
+let read ?name data =
+  let r = Bio.R.of_bytes data in
+  (try if Bio.R.str r <> magic then failwith "Image.read: bad magic"
+   with Bio.R.Truncated -> failwith "Image.read: truncated header");
+  try
+    let stored_name = Bio.R.str r in
+    let entry = Bio.R.u64 r in
+    let n = Bio.R.u32 r in
+    let sections =
+      List.init n (fun _ ->
+          let sname = Bio.R.str r in
+          let addr = Bio.R.u64 r in
+          let data = Bio.R.bytes r in
+          Section.make ~name:sname ~addr data)
+    in
+    let symtab = Symtab.read (Bio.R.of_bytes (Bio.R.bytes r)) in
+    {
+      name = Option.value name ~default:stored_name;
+      sections;
+      symtab;
+      entry;
+    }
+  with Bio.R.Truncated -> failwith "Image.read: truncated container"
+
+let strip ?keep t =
+  let keep =
+    match keep with
+    | Some f -> f
+    | None -> fun (s : Symbol.t) -> not (Symbol.is_func s)
+  in
+  let tab = Symtab.create () in
+  Symtab.fold
+    (fun s () -> if keep s then ignore (Symtab.insert tab s))
+    t.symtab ();
+  { t with symtab = tab }
+
+let save t path =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_bytes oc (write t))
+
+let load path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let data = Bytes.create n in
+      really_input ic data 0 n;
+      read ~name:(Filename.basename path) data)

@@ -1,0 +1,50 @@
+(** A loaded binary: the SBF (Simple Binary Format) container.
+
+    Plays the role of an ELF image in the paper: a [.text] section holding
+    encoded instructions, [.rodata] holding jump-table data, [.symtab] the
+    multi-keyed symbol table, and an optional [.debug] blob parsed by
+    {!Pbca_debuginfo}. Byte and instruction reads are pure, so any number of
+    threads may decode concurrently. *)
+
+type t = {
+  name : string;
+  sections : Section.t list;
+  symtab : Symtab.t;
+  entry : int;  (** program entry point address, 0 if none *)
+}
+
+val make :
+  name:string -> ?entry:int -> sections:Section.t list -> Symtab.t -> t
+
+val section : t -> string -> Section.t option
+val text : t -> Section.t
+(** The [.text] section. Raises [Not_found] if the image has none. *)
+
+val find_section_at : t -> int -> Section.t option
+val u8 : t -> int -> int option
+val u32 : t -> int -> int option
+
+val in_text : t -> int -> bool
+(** True when the address lies inside [.text]. *)
+
+val decode_at : t -> int -> (Pbca_isa.Insn.t * int) option
+(** Decode the instruction at a virtual address in [.text]. *)
+
+val text_size : t -> int
+val total_size : t -> int
+
+val write : t -> Bytes.t
+(** Serialize to the SBF byte format. *)
+
+val read : ?name:string -> Bytes.t -> t
+(** Parse an SBF byte image. Raises [Failure] on a malformed container. *)
+
+val strip : ?keep:(Symbol.t -> bool) -> t -> t
+(** Remove symbols, as [strip] does to a real binary (paper Section 9:
+    stripped binaries lose [.symtab] but keep dynamic symbols). [keep]
+    selects survivors; by default only [Object] symbols remain, so every
+    function must be discovered through control flow from the entry
+    point. *)
+
+val save : t -> string -> unit
+val load : string -> t

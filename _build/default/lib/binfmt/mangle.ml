@@ -1,0 +1,57 @@
+type arg_type = Int | Float | Ptr
+
+let type_char = function Int -> 'i' | Float -> 'f' | Ptr -> 'p'
+
+let type_of_char = function
+  | 'i' -> Some Int
+  | 'f' -> Some Float
+  | 'p' -> Some Ptr
+  | _ -> None
+
+let type_name = function Int -> "int" | Float -> "float" | Ptr -> "ptr"
+
+let mangle name args =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "_M";
+  Buffer.add_string b (string_of_int (String.length name));
+  Buffer.add_string b name;
+  Buffer.add_char b 'A';
+  List.iter (fun a -> Buffer.add_char b (type_char a)) args;
+  Buffer.contents b
+
+let demangle s =
+  let n = String.length s in
+  if n < 4 || s.[0] <> '_' || s.[1] <> 'M' then None
+  else begin
+    (* read the decimal length *)
+    let rec read_len i acc =
+      if i < n && s.[i] >= '0' && s.[i] <= '9' then
+        read_len (i + 1) ((acc * 10) + (Char.code s.[i] - Char.code '0'))
+      else (i, acc)
+    in
+    let i, len = read_len 2 0 in
+    if len = 0 || i + len > n then None
+    else
+      let name = String.sub s i len in
+      let j = i + len in
+      if j >= n || s.[j] <> 'A' then None
+      else
+        let rec read_args k acc =
+          if k >= n then Some (List.rev acc)
+          else
+            match type_of_char s.[k] with
+            | Some t -> read_args (k + 1) (t :: acc)
+            | None -> None
+        in
+        match read_args (j + 1) [] with
+        | Some args -> Some (name, args)
+        | None -> None
+  end
+
+let pretty s = match demangle s with Some (name, _) -> name | None -> s
+
+let typed s =
+  match demangle s with
+  | Some (name, args) ->
+    name ^ "(" ^ String.concat ", " (List.map type_name args) ^ ")"
+  | None -> s

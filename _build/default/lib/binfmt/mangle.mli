@@ -1,0 +1,22 @@
+(** Toy name mangling.
+
+    Dyninst's symbol table answers lookups by mangled, "pretty" and "typed"
+    name (paper Section 6.2). This module gives the synthetic toolchain an
+    equivalent scheme so those three derived keys are genuinely distinct:
+
+    - mangled: [_M<len><name>A<types>] where each type is one of [i], [f],
+      [p] (int, float, pointer), e.g. [_M3fooAip] for [foo(int, ptr)];
+    - pretty:  the bare function name, e.g. [foo];
+    - typed:   the name with its signature, e.g. [foo(int, ptr)].
+
+    Names that do not start with [_M] are treated as unmangled C symbols:
+    pretty and typed are the name itself. *)
+
+type arg_type = Int | Float | Ptr
+
+val mangle : string -> arg_type list -> string
+val pretty : string -> string
+val typed : string -> string
+
+val demangle : string -> (string * arg_type list) option
+(** Inverse of [mangle]; [None] for unmangled names. *)

@@ -1,0 +1,17 @@
+type t = { name : string; addr : int; data : Bytes.t }
+
+let make ~name ~addr data = { name; addr; data }
+let size t = Bytes.length t.data
+let contains t a = a >= t.addr && a < t.addr + Bytes.length t.data
+
+let u8 t a =
+  if not (contains t a) then invalid_arg ("Section.u8: " ^ t.name);
+  Char.code (Bytes.get t.data (a - t.addr))
+
+let u32 t a = u8 t a lor (u8 t (a + 1) lsl 8) lor (u8 t (a + 2) lsl 16)
+              lor (u8 t (a + 3) lsl 24)
+
+let pp fmt t =
+  Format.fprintf fmt "%s [0x%x, 0x%x) %d bytes" t.name t.addr
+    (t.addr + Bytes.length t.data)
+    (Bytes.length t.data)

@@ -1,0 +1,17 @@
+(** A named, addressed region of the binary. *)
+
+type t = { name : string; addr : int; data : Bytes.t }
+
+val make : name:string -> addr:int -> Bytes.t -> t
+val size : t -> int
+val contains : t -> int -> bool
+(** [contains s a] is true when virtual address [a] falls inside [s]. *)
+
+val u8 : t -> int -> int
+(** [u8 s a] reads the byte at virtual address [a]. Raises
+    [Invalid_argument] when out of range. *)
+
+val u32 : t -> int -> int
+(** Little-endian 32-bit read at virtual address [a]. *)
+
+val pp : Format.formatter -> t -> unit

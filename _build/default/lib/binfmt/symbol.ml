@@ -1,0 +1,38 @@
+type kind = Func | Object
+
+type t = {
+  mangled : string;
+  offset : int;
+  size : int;
+  kind : kind;
+  global : bool;
+}
+
+let make ?(size = 0) ?(kind = Func) ?(global = true) mangled offset =
+  { mangled; offset; size; kind; global }
+
+let pretty t = Mangle.pretty t.mangled
+let typed t = Mangle.typed t.mangled
+let is_func t = t.kind = Func
+let equal a b = a.mangled = b.mangled && a.offset = b.offset && a.kind = b.kind
+let hash t = Hashtbl.hash (t.mangled, t.offset)
+
+let pp fmt t =
+  Format.fprintf fmt "%s@0x%x (%s, %d bytes)" t.mangled t.offset
+    (match t.kind with Func -> "func" | Object -> "object")
+    t.size
+
+let write w t =
+  Bio.W.str w t.mangled;
+  Bio.W.u64 w t.offset;
+  Bio.W.u32 w t.size;
+  Bio.W.u8 w (match t.kind with Func -> 0 | Object -> 1);
+  Bio.W.u8 w (if t.global then 1 else 0)
+
+let read r =
+  let mangled = Bio.R.str r in
+  let offset = Bio.R.u64 r in
+  let size = Bio.R.u32 r in
+  let kind = if Bio.R.u8 r = 0 then Func else Object in
+  let global = Bio.R.u8 r = 1 in
+  { mangled; offset; size; kind; global }

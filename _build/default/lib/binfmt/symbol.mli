@@ -1,0 +1,21 @@
+(** Symbols of the SBF container. *)
+
+type kind = Func | Object
+
+type t = {
+  mangled : string;
+  offset : int;  (** virtual address *)
+  size : int;
+  kind : kind;
+  global : bool;
+}
+
+val make : ?size:int -> ?kind:kind -> ?global:bool -> string -> int -> t
+val pretty : t -> string
+val typed : t -> string
+val is_func : t -> bool
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val write : Bio.W.t -> t -> unit
+val read : Bio.R.t -> t

@@ -1,0 +1,1 @@
+lib/checker/checker.ml: Atomic Format Hashtbl List Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa Printf String

@@ -1,0 +1,1 @@
+lib/checker/checker.mli: Format Pbca_codegen Pbca_core

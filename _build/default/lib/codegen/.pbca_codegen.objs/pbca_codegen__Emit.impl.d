@@ -1,0 +1,1 @@
+lib/codegen/emit.ml: Array Buffer Bytes Char Ground_truth Hashtbl List Pbca_binfmt Pbca_debuginfo Pbca_isa Printf Profile Rng Spec

@@ -1,0 +1,1 @@
+lib/codegen/emit.mli: Ground_truth Pbca_binfmt Pbca_debuginfo Profile Spec

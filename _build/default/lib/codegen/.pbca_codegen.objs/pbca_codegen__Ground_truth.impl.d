@@ -1,0 +1,1 @@
+lib/codegen/ground_truth.ml: List Pbca_binfmt

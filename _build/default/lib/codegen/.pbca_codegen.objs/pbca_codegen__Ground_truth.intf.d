@@ -1,0 +1,1 @@
+lib/codegen/ground_truth.mli: Pbca_binfmt

@@ -1,0 +1,1 @@
+lib/codegen/rng.ml: Array Int64 List

@@ -1,0 +1,1 @@
+lib/codegen/spec.ml: Array Bytes Char List Pbca_isa Printf Profile Rng

@@ -1,0 +1,1 @@
+lib/codegen/spec.mli: Bytes Pbca_isa Profile

@@ -1,0 +1,804 @@
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module Codec = Pbca_isa.Codec
+module Image = Pbca_binfmt.Image
+module Section = Pbca_binfmt.Section
+module Symbol = Pbca_binfmt.Symbol
+module Symtab = Pbca_binfmt.Symtab
+module Mangle = Pbca_binfmt.Mangle
+module Dbg = Pbca_debuginfo.Types
+
+type result = {
+  image : Image.t;
+  ground_truth : Ground_truth.t;
+  debug : Dbg.t;
+}
+
+type label =
+  | L_block of int * int  (* fidx, bidx *)
+  | L_func of int
+  | L_stub of int
+  | L_table of int
+  | L_fptable
+
+type mark = M_jt_jump of int | M_nr_call of int (* callee fidx *)
+
+type item =
+  | I of Insn.t
+  | Raw of Bytes.t  (* data-in-text blob *)
+  | Jmp_to of label
+  | Jcc_to of Insn.cond * label
+  | Call_to of label
+  | Lea_to of Reg.t * label
+  | Marked of mark * item
+
+(* emission units, in layout order *)
+type unit_kind =
+  | U_func of int
+  | U_stub of int
+  | U_cold of int (* fidx *)
+  | U_data of int (* blob after function fidx *)
+
+type eunit = {
+  kind : unit_kind;
+  items : item list;
+  (* block index boundaries, as (bidx, item offset) pairs; item offsets are
+     turned into addresses once the unit's base address is known *)
+  block_starts : (int * int) list; (* bidx, index into items *)
+}
+
+let rec item_size = function
+  | I i -> Codec.encoded_length i
+  | Raw b -> Bytes.length b
+  | Jmp_to _ | Call_to _ -> 5
+  | Jcc_to _ -> 6
+  | Lea_to _ -> 6
+  | Marked (_, it) -> item_size it
+
+let r2 = Reg.of_int 2
+let r3 = Reg.of_int 3
+let r4 = Reg.of_int 4
+let r5 = Reg.of_int 5
+let r6 = Reg.of_int 6
+let r7 = Reg.of_int 7
+let r8 = Reg.of_int 8
+
+(* ------------------------------------------------------------------ *)
+(* Pass 0: build item lists.                                           *)
+
+type build_state = {
+  spec : Spec.t;
+  mutable n_tables : int;
+  mutable table_targets : (int * label list * bool) list;
+      (* tid, entry labels, resolvable *)
+}
+
+let alloc_table st labels ~resolvable =
+  let tid = st.n_tables in
+  st.n_tables <- tid + 1;
+  st.table_targets <- (tid, labels, resolvable) :: st.table_targets;
+  tid
+
+(* Does this sharer tear its frame down before jumping into the stub? *)
+let stub_leave (stub : Spec.sspec) fidx =
+  match stub.ss_mode with
+  | Spec.Shared -> false
+  | Spec.Tail -> true
+  | Spec.Mixed ->
+    (* deterministic split: alternate along the sharer list *)
+    let rec pos i = function
+      | [] -> 0
+      | x :: _ when x = fidx -> i
+      | _ :: rest -> pos (i + 1) rest
+    in
+    pos 0 stub.ss_sharers mod 2 = 0
+
+let term_items st ~fidx ~bidx ~frame (term : Spec.term) : item list =
+  match term with
+  | Spec.T_ret -> (if frame then [ I Insn.Leave ] else []) @ [ I Insn.Ret ]
+  | Spec.T_halt -> [ I Insn.Halt ]
+  | Spec.T_jmp j -> [ Jmp_to (L_block (fidx, j)) ]
+  | Spec.T_cond (c, j) -> [ Jcc_to (c, L_block (fidx, j)) ]
+  | Spec.T_call g -> [ Call_to (L_func g) ]
+  | Spec.T_call_noret g -> [ Marked (M_nr_call g, Call_to (L_func g)) ]
+  | Spec.T_icall slot ->
+    let n = Array.length st.spec.sp_fptable in
+    [
+      I (Insn.Mov_ri (r8, slot mod n));
+      Lea_to (r6, L_fptable);
+      I (Insn.Load_idx (r7, r6, r8, 4));
+      I (Insn.Call_ind r7);
+    ]
+  | Spec.T_tailcall g ->
+    (if frame then [ I Insn.Leave ] else []) @ [ Jmp_to (L_func g) ]
+  | Spec.T_stub sid ->
+    let stub = st.spec.sp_stubs.(sid) in
+    (if stub_leave stub fidx then [ I Insn.Leave ] else [])
+    @ [ Jmp_to (L_stub sid) ]
+  | Spec.T_jumptable { targets; spilled } ->
+    let labels = List.map (fun j -> L_block (fidx, j)) targets in
+    let tid = alloc_table st labels ~resolvable:(not spilled) in
+    let k = List.length targets in
+    [ I (Insn.Cmp_ri (r2, k)); Jcc_to (Ge, L_block (fidx, bidx + 1)) ]
+    @ [ Lea_to (r3, L_table tid) ]
+    @ (if spilled then
+         [
+           I (Insn.Push r3);
+           I (Insn.Pop r5);
+           I (Insn.Load_idx (r4, r5, r2, 4));
+         ]
+       else [ I (Insn.Load_idx (r4, r3, r2, 4)) ])
+    @ [ Marked (M_jt_jump tid, I (Insn.Jmp_ind r4)) ]
+  | Spec.T_fall -> []
+
+let build_units (spec : Spec.t) st : eunit list =
+  let n_funcs = Array.length spec.sp_funcs in
+  let n_stubs = Array.length spec.sp_stubs in
+  let stub_every =
+    if n_stubs = 0 then max_int else max 1 (n_funcs / n_stubs)
+  in
+  let units = ref [] in
+  let emitted_stubs = ref 0 in
+  let maybe_stub i =
+    if !emitted_stubs < n_stubs && (i + 1) mod stub_every = 0 then begin
+      let sid = !emitted_stubs in
+      incr emitted_stubs;
+      let stub = spec.sp_stubs.(sid) in
+      let items =
+        List.map (fun ins -> I ins) stub.ss_body
+        @ [ I (if stub.ss_ret then Insn.Ret else Insn.Halt) ]
+      in
+      units := { kind = U_stub sid; items; block_starts = [] } :: !units
+    end
+  in
+  for fidx = 0 to n_funcs - 1 do
+    let fs = spec.sp_funcs.(fidx) in
+    let items = ref [] in
+    let block_starts = ref [] in
+    let off = ref 0 in
+    let push it =
+      items := it :: !items;
+      incr off
+    in
+    Array.iteri
+      (fun bidx (b : Spec.bspec) ->
+        if Some bidx <> fs.fs_cold then begin
+          block_starts := (bidx, !off) :: !block_starts;
+          if bidx = 0 && fs.fs_frame then push (I (Insn.Enter 64));
+          List.iter (fun ins -> push (I ins)) b.bs_body;
+          List.iter push (term_items st ~fidx ~bidx ~frame:fs.fs_frame b.bs_term)
+        end)
+      fs.fs_blocks;
+    units :=
+      {
+        kind = U_func fidx;
+        items = List.rev !items;
+        block_starts = List.rev !block_starts;
+      }
+      :: !units;
+    (match spec.sp_data.(fidx) with
+    | Some blob ->
+      units :=
+        { kind = U_data fidx; items = [ Raw blob ]; block_starts = [] }
+        :: !units
+    | None -> ());
+    maybe_stub fidx
+  done;
+  (* leftover stubs, then the cold region *)
+  while !emitted_stubs < n_stubs do
+    let sid = !emitted_stubs in
+    incr emitted_stubs;
+    let stub = spec.sp_stubs.(sid) in
+    let items =
+      List.map (fun ins -> I ins) stub.ss_body
+      @ [ I (if stub.ss_ret then Insn.Ret else Insn.Halt) ]
+    in
+    units := { kind = U_stub sid; items; block_starts = [] } :: !units
+  done;
+  for fidx = 0 to n_funcs - 1 do
+    let fs = spec.sp_funcs.(fidx) in
+    match fs.fs_cold with
+    | None -> ()
+    | Some c ->
+      let b = fs.fs_blocks.(c) in
+      let items =
+        List.map (fun ins -> I ins) b.bs_body
+        @ term_items st ~fidx ~bidx:c ~frame:fs.fs_frame b.bs_term
+      in
+      units :=
+        { kind = U_cold fidx; items; block_starts = [ (c, 0) ] } :: !units
+  done;
+  List.rev !units
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: assign addresses.                                           *)
+
+let text_base = 0x1000
+let align16 a = (a + 15) land lnot 15
+
+type layout = {
+  unit_addrs : (unit_kind * int) list;
+  block_addr : (int * int, int) Hashtbl.t; (* (fidx,bidx) -> addr *)
+  block_end : (int * int, int) Hashtbl.t;
+  func_addr : int array;
+  stub_addr : int array;
+  stub_end : int array;
+  table_addr : int array;
+  fptable_addr : int;
+  rodata_base : int;
+  text_end : int;
+  jt_jump_addr : (int, int) Hashtbl.t; (* tid -> addr of Jmp_ind *)
+  nr_calls : (int * int) list; (* call insn addr, callee fidx *)
+}
+
+let assign_addresses (spec : Spec.t) st (units : eunit list) : layout =
+  let block_addr = Hashtbl.create 1024 in
+  let block_end = Hashtbl.create 1024 in
+  let func_addr = Array.make (Array.length spec.sp_funcs) 0 in
+  let stub_addr = Array.make (Array.length spec.sp_stubs) 0 in
+  let stub_end = Array.make (Array.length spec.sp_stubs) 0 in
+  let jt_jump_addr = Hashtbl.create 64 in
+  let nr_calls = ref [] in
+  let unit_addrs = ref [] in
+  let addr = ref text_base in
+  List.iter
+    (fun u ->
+      addr := align16 !addr;
+      let base = !addr in
+      unit_addrs := (u.kind, base) :: !unit_addrs;
+      let fidx_of_unit =
+        match u.kind with
+        | U_func f | U_cold f -> Some f
+        | U_stub _ | U_data _ -> None
+      in
+      (match u.kind with
+      | U_func f -> func_addr.(f) <- base
+      | U_stub s -> stub_addr.(s) <- base
+      | U_cold _ | U_data _ -> ());
+      (* walk items, tracking block boundaries *)
+      let starts = u.block_starts in
+      let rec walk items idx starts prev_block =
+        (* close the previous block when a new one starts or at the end *)
+        match items with
+        | [] ->
+          (match prev_block with
+          | Some b ->
+            (match fidx_of_unit with
+            | Some f -> Hashtbl.replace block_end (f, b) !addr
+            | None -> ())
+          | None -> ())
+        | it :: rest ->
+          let starts, prev_block =
+            match starts with
+            | (b, i) :: more when i = idx ->
+              (match (prev_block, fidx_of_unit) with
+              | Some pb, Some f -> Hashtbl.replace block_end (f, pb) !addr
+              | _ -> ());
+              (match fidx_of_unit with
+              | Some f -> Hashtbl.replace block_addr (f, b) !addr
+              | None -> ());
+              (more, Some b)
+            | _ -> (starts, prev_block)
+          in
+          (* record marks at the item's address *)
+          let rec note = function
+            | Marked (M_jt_jump tid, inner) ->
+              Hashtbl.replace jt_jump_addr tid !addr;
+              note inner
+            | Marked (M_nr_call callee, inner) ->
+              nr_calls := (!addr, callee) :: !nr_calls;
+              note inner
+            | _ -> ()
+          in
+          note it;
+          addr := !addr + item_size it;
+          walk rest (idx + 1) starts prev_block
+      in
+      walk u.items 0 starts None;
+      match u.kind with
+      | U_stub s -> stub_end.(s) <- !addr
+      | U_func _ | U_cold _ | U_data _ -> ())
+    units;
+  let text_end = !addr in
+  let rodata_base = align16 (text_end + 0x1000) in
+  let table_addr = Array.make st.n_tables 0 in
+  let roff = ref rodata_base in
+  List.iter
+    (fun (tid, labels, _) ->
+      table_addr.(tid) <- !roff;
+      roff := !roff + (4 * List.length labels))
+    (List.sort compare st.table_targets);
+  let fptable_addr = !roff in
+  {
+    unit_addrs = List.rev !unit_addrs;
+    block_addr;
+    block_end;
+    func_addr;
+    stub_addr;
+    stub_end;
+    table_addr;
+    fptable_addr;
+    rodata_base;
+    text_end;
+    jt_jump_addr;
+    nr_calls = !nr_calls;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: resolve and encode.                                         *)
+
+let resolve lay = function
+  | L_block (f, b) -> Hashtbl.find lay.block_addr (f, b)
+  | L_func f -> lay.func_addr.(f)
+  | L_stub s -> lay.stub_addr.(s)
+  | L_table t -> lay.table_addr.(t)
+  | L_fptable -> lay.fptable_addr
+
+let encode_text (spec : Spec.t) st (units : eunit list) lay : Bytes.t =
+  ignore spec;
+  ignore st;
+  let buf = Buffer.create 65536 in
+  let addr = ref text_base in
+  let pad_to target =
+    while !addr < target do
+      Codec.encode buf Insn.Nop;
+      incr addr
+    done
+  in
+  List.iter
+    (fun u ->
+      let base = List.assoc u.kind lay.unit_addrs in
+      pad_to base;
+      let rec emit_item it =
+        match it with
+        | Marked (_, inner) -> emit_item inner
+        | I ins ->
+          Codec.encode buf ins;
+          addr := !addr + Codec.encoded_length ins
+        | Raw b ->
+          Buffer.add_bytes buf b;
+          addr := !addr + Bytes.length b
+        | Jmp_to l ->
+          let rel = resolve lay l - (!addr + 5) in
+          Codec.encode buf (Insn.Jmp rel);
+          addr := !addr + 5
+        | Call_to l ->
+          let rel = resolve lay l - (!addr + 5) in
+          Codec.encode buf (Insn.Call rel);
+          addr := !addr + 5
+        | Jcc_to (c, l) ->
+          let rel = resolve lay l - (!addr + 6) in
+          Codec.encode buf (Insn.Jcc (c, rel));
+          addr := !addr + 6
+        | Lea_to (r, l) ->
+          let disp = resolve lay l - (!addr + 6) in
+          Codec.encode buf (Insn.Lea (r, disp));
+          addr := !addr + 6
+      in
+      List.iter emit_item u.items)
+    units;
+  Buffer.to_bytes buf
+
+let encode_rodata st lay : Bytes.t =
+  let size = lay.fptable_addr + 4 * 64 - lay.rodata_base in
+  let data = Bytes.make size '\x00' in
+  let put_u32 off v =
+    Bytes.set data off (Char.chr (v land 0xff));
+    Bytes.set data (off + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set data (off + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set data (off + 3) (Char.chr ((v lsr 24) land 0xff))
+  in
+  List.iter
+    (fun (tid, labels, _) ->
+      let base = lay.table_addr.(tid) - lay.rodata_base in
+      List.iteri (fun i l -> put_u32 (base + (4 * i)) (resolve lay l)) labels)
+    st.table_targets;
+  data
+
+let fill_fptable (spec : Spec.t) lay data =
+  let put_u32 off v =
+    Bytes.set data off (Char.chr (v land 0xff));
+    Bytes.set data (off + 1) (Char.chr ((v lsr 8) land 0xff));
+    Bytes.set data (off + 2) (Char.chr ((v lsr 16) land 0xff));
+    Bytes.set data (off + 3) (Char.chr ((v lsr 24) land 0xff))
+  in
+  Array.iteri
+    (fun i f ->
+      put_u32 (lay.fptable_addr - lay.rodata_base + (4 * i)) lay.func_addr.(f))
+    spec.sp_fptable
+
+(* ------------------------------------------------------------------ *)
+(* Ground truth.                                                       *)
+
+let block_range lay f b =
+  (Hashtbl.find lay.block_addr (f, b), Hashtbl.find lay.block_end (f, b))
+
+(* Classification of each stub after the parser's tail-call correction
+   rules have converged (paper Section 5.4):
+   - no reachable frame-tearing sharer: the stub is plain shared code in
+     every reachable sharer's boundary;
+   - at least one tear-down entry and >= 2 reachable sharers: the stub is
+     its own (symbol-less) function, all entries are tail calls (rule 1
+     flips the plain jumps);
+   - exactly one reachable sharer, tearing down: rule 3 (outlined code)
+     flips the lone tail call back, merging the stub into that sharer. *)
+type stub_class =
+  | Stub_shared of int list  (* reachable sharer fidxs owning the range *)
+  | Stub_function
+  | Stub_merged of int
+  | Stub_dead
+
+let classify_stubs (spec : Spec.t) returns =
+  Array.mapi
+    (fun sid (stub : Spec.sspec) ->
+      let reachable =
+        List.filteri
+          (fun _pos f ->
+            let fs = spec.sp_funcs.(f) in
+            let roots =
+              0 :: (match fs.fs_secondary with Some s -> [ s ] | None -> [])
+            in
+            List.exists
+              (fun root ->
+                let reach = Spec.block_reachable spec ~returns f root in
+                Array.exists
+                  (fun b -> b)
+                  (Array.mapi
+                     (fun bi r ->
+                       r && fs.fs_blocks.(bi).bs_term = Spec.T_stub sid)
+                     reach))
+              roots)
+          stub.ss_sharers
+      in
+      let tearing = List.filter (fun f -> stub_leave stub f) reachable in
+      match (reachable, tearing) with
+      | [], _ -> Stub_dead
+      | rs, [] -> Stub_shared rs
+      | [ f ], _ -> Stub_merged f
+      | _, _ -> Stub_function)
+    spec.sp_stubs
+
+let ground_truth (spec : Spec.t) st lay : Ground_truth.t =
+  let returns = Spec.spec_returns spec in
+  let stub_classes = classify_stubs spec returns in
+  let funcs = ref [] in
+  let pretty_of fidx = spec.sp_funcs.(fidx).fs_name in
+  Array.iteri
+    (fun fidx (fs : Spec.fspec) ->
+      let reach = Spec.block_reachable spec ~returns fidx 0 in
+      let ranges = ref [] in
+      Array.iteri
+        (fun b ok ->
+          if ok && Some b <> fs.fs_cold then
+            ranges := block_range lay fidx b :: !ranges)
+        reach;
+      (* stubs this function owns (shared or merged) contribute their range *)
+      Array.iteri
+        (fun b ok ->
+          if ok then
+            match fs.fs_blocks.(b).bs_term with
+            | Spec.T_stub sid -> (
+              match stub_classes.(sid) with
+              | Stub_shared rs when List.mem fidx rs ->
+                ranges := (lay.stub_addr.(sid), lay.stub_end.(sid)) :: !ranges
+              | Stub_merged f when f = fidx ->
+                ranges := (lay.stub_addr.(sid), lay.stub_end.(sid)) :: !ranges
+              | Stub_shared _ | Stub_merged _ | Stub_function | Stub_dead -> ())
+            | _ -> ())
+        reach;
+      funcs :=
+        {
+          Ground_truth.gf_name = pretty_of fidx;
+          gf_entry = lay.func_addr.(fidx);
+          gf_ranges = Ground_truth.coalesce !ranges;
+          gf_returns = returns.(fidx);
+          gf_in_symtab = true;
+          gf_cold_parent = None;
+        }
+        :: !funcs;
+      (* secondary entry: its own function sharing the tail *)
+      (match fs.fs_secondary with
+      | Some s ->
+        let reach2 = Spec.block_reachable spec ~returns fidx s in
+        let ranges2 = ref [] in
+        Array.iteri
+          (fun b ok ->
+            if ok && Some b <> fs.fs_cold then
+              ranges2 := block_range lay fidx b :: !ranges2)
+          reach2;
+        let returns2 =
+          Array.exists
+            (fun x -> x)
+            (Array.mapi
+               (fun b ok ->
+                 ok
+                 &&
+                 match fs.fs_blocks.(b).bs_term with
+                 | Spec.T_ret -> true
+                 | Spec.T_tailcall g -> returns.(g)
+                 | Spec.T_stub sid -> spec.sp_stubs.(sid).ss_ret
+                 (* a branch to block 0 is a tail call to the primary
+                    entry, so the secondary inherits its status *)
+                 | Spec.T_jmp 0 | Spec.T_cond (_, 0) -> returns.(fidx)
+                 | _ -> false)
+               reach2)
+        in
+        funcs :=
+          {
+            Ground_truth.gf_name = pretty_of fidx ^ "__e2";
+            gf_entry = Hashtbl.find lay.block_addr (fidx, s);
+            gf_ranges = Ground_truth.coalesce !ranges2;
+            gf_returns = returns2;
+            gf_in_symtab = true;
+            gf_cold_parent = None;
+          }
+          :: !funcs
+      | None -> ());
+      (* cold fragment: its own function in the parser's view *)
+      match fs.fs_cold with
+      | Some c ->
+        funcs :=
+          {
+            Ground_truth.gf_name = pretty_of fidx ^ ".cold";
+            gf_entry = Hashtbl.find lay.block_addr (fidx, c);
+            gf_ranges = [ block_range lay fidx c ];
+            gf_returns = false;
+            gf_in_symtab = true;
+            gf_cold_parent = Some (pretty_of fidx);
+          }
+          :: !funcs
+      | None -> ())
+    spec.sp_funcs;
+  (* stubs entered by tail calls become their own (symbol-less) functions *)
+  Array.iteri
+    (fun sid (stub : Spec.sspec) ->
+      match stub_classes.(sid) with
+      | Stub_function ->
+        funcs :=
+          {
+            Ground_truth.gf_name = Printf.sprintf "stub_%d" sid;
+            gf_entry = lay.stub_addr.(sid);
+            gf_ranges = [ (lay.stub_addr.(sid), lay.stub_end.(sid)) ];
+            gf_returns = stub.ss_ret;
+            gf_in_symtab = false;
+            gf_cold_parent = None;
+          }
+          :: !funcs
+      | Stub_shared _ | Stub_merged _ | Stub_dead -> ())
+    spec.sp_stubs;
+  (* tables and call sites sitting in dead code (e.g. after a call to a
+     non-returning function) are invisible to any reachability-based parser;
+     keep only the ones inside some function's true ranges *)
+  let all_ranges =
+    List.concat_map (fun (f : Ground_truth.gfun) -> f.gf_ranges) !funcs
+  in
+  let live addr =
+    List.exists (fun (lo, hi) -> addr >= lo && addr < hi) all_ranges
+  in
+  let tables =
+    List.filter_map
+      (fun (tid, labels, resolvable) ->
+        let jump_addr = Hashtbl.find lay.jt_jump_addr tid in
+        if live jump_addr then
+          Some
+            {
+              Ground_truth.jt_jump_addr = jump_addr;
+              jt_table_addr = lay.table_addr.(tid);
+              jt_entries = List.length labels;
+              jt_targets = List.map (resolve lay) labels;
+              jt_resolvable = resolvable;
+            }
+        else None)
+      (List.sort compare st.table_targets)
+  in
+  let nr_calls =
+    List.filter_map
+      (fun (addr, callee) ->
+        if live addr then
+          Some
+            {
+              Ground_truth.nc_call_addr = addr;
+              nc_callee = lay.func_addr.(callee);
+              nc_matchable = not returns.(callee);
+            }
+        else None)
+      lay.nr_calls
+  in
+  {
+    Ground_truth.gt_binary = spec.sp_profile.name;
+    gt_funcs = List.rev !funcs;
+    gt_tables = tables;
+    gt_nr_calls = nr_calls;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Symbol table.                                                       *)
+
+let arg_types fidx : Mangle.arg_type list =
+  List.init (fidx mod 4) (fun k ->
+      match k mod 3 with 0 -> Mangle.Int | 1 -> Mangle.Ptr | _ -> Mangle.Float)
+
+let build_symtab (spec : Spec.t) lay : Symtab.t =
+  let tab = Symtab.create () in
+  let add s = ignore (Symtab.insert tab s) in
+  Array.iteri
+    (fun fidx (fs : Spec.fspec) ->
+      (* plain names for the ABI-visible ones so the non-returning name
+         matching can find exit/abort and miss error, as in real binaries *)
+      let mangled =
+        if fs.fs_noreturn_leaf || fs.fs_error_style || fidx = 0 then fs.fs_name
+        else Mangle.mangle fs.fs_name (arg_types fidx)
+      in
+      let size =
+        (* span of the contiguous main region: entry to end of last
+           non-cold block *)
+        let last = ref lay.func_addr.(fidx) in
+        Array.iteri
+          (fun b _ ->
+            if Some b <> fs.fs_cold then
+              match Hashtbl.find_opt lay.block_end (fidx, b) with
+              | Some e -> last := max !last e
+              | None -> ())
+          fs.fs_blocks;
+        !last - lay.func_addr.(fidx)
+      in
+      add (Symbol.make ~size ~kind:Func mangled lay.func_addr.(fidx));
+      (match fs.fs_secondary with
+      | Some s ->
+        add
+          (Symbol.make ~kind:Func (fs.fs_name ^ "__e2")
+             (Hashtbl.find lay.block_addr (fidx, s)))
+      | None -> ());
+      match fs.fs_cold with
+      | Some c ->
+        add
+          (Symbol.make ~kind:Func (fs.fs_name ^ ".cold")
+             (Hashtbl.find lay.block_addr (fidx, c)))
+      | None -> ())
+    spec.sp_funcs;
+  (* object symbols for the rodata blobs *)
+  Array.iteri
+    (fun tid addr -> add (Symbol.make ~kind:Object (Printf.sprintf "jt_%d" tid) addr))
+    lay.table_addr;
+  add (Symbol.make ~kind:Object "fptable" lay.fptable_addr);
+  tab
+
+(* ------------------------------------------------------------------ *)
+(* Debug information (DWARF semantics: cold fragments belong to their
+   parent, paper Section 8.1).                                         *)
+
+let build_debug (spec : Spec.t) lay (gt : Ground_truth.t) : Dbg.t =
+  let p = spec.sp_profile in
+  let n_cus = max 1 p.n_cus in
+  let cu_funcs = Array.make n_cus [] in
+  let cu_lines = Array.make n_cus [] in
+  let rng = Rng.create (p.seed lxor 0x5EED) in
+  Array.iteri
+    (fun fidx (fs : Spec.fspec) ->
+      let cu = fs.fs_cu mod n_cus in
+      let file = Printf.sprintf "src_%03d.c" cu in
+      let gf =
+        match Ground_truth.find_func gt lay.func_addr.(fidx) with
+        | Some g -> g
+        | None -> assert false
+      in
+      let cold_ranges =
+        match fs.fs_cold with
+        | Some c ->
+          let lo, hi = block_range lay fidx c in
+          [ { Dbg.lo; hi } ]
+        | None -> []
+      in
+      let ranges =
+        List.map (fun (lo, hi) -> { Dbg.lo; hi }) gf.Ground_truth.gf_ranges
+        @ cold_ranges
+      in
+      let decl_line = 10 * (fidx + 1) in
+      (* line table: split the main contiguous span into lines_per_func
+         consecutive ranges *)
+      let lines =
+        match ranges with
+        | [] -> []
+        | first :: _ ->
+          let span = first.Dbg.hi - first.Dbg.lo in
+          let k = max 1 (min p.lines_per_func (span / 4)) in
+          let step = max 1 (span / k) in
+          List.init k (fun j ->
+              let lo = first.Dbg.lo + (j * step) in
+              let hi = if j = k - 1 then first.Dbg.hi else lo + step in
+              {
+                Dbg.range = { Dbg.lo; hi };
+                file;
+                line = decl_line + j;
+              })
+      in
+      let inlines =
+        if Rng.bool rng p.p_inline then
+          match ranges with
+          | { Dbg.lo; hi } :: _ when hi - lo > 16 ->
+            let mid = lo + ((hi - lo) / 2) in
+            [
+              {
+                Dbg.callee = Printf.sprintf "inl_%d" fidx;
+                call_file = file;
+                call_line = decl_line + 1;
+                inl_ranges = [ { Dbg.lo = lo + 4; hi = mid } ];
+                children =
+                  (if Rng.bool rng 0.4 then
+                     [
+                       {
+                         Dbg.callee = Printf.sprintf "inl_%d_inner" fidx;
+                         call_file = file;
+                         call_line = decl_line + 2;
+                         inl_ranges = [ { Dbg.lo = lo + 8; hi = lo + ((mid - lo) / 2) } ];
+                         children = [];
+                       };
+                     ]
+                   else []);
+              };
+            ]
+          | _ -> []
+        else []
+      in
+      let fi =
+        {
+          Dbg.fi_name = fs.fs_name;
+          fi_ranges = ranges;
+          fi_decl_file = file;
+          fi_decl_line = decl_line;
+          fi_inlines = inlines;
+        }
+      in
+      cu_funcs.(cu) <- fi :: cu_funcs.(cu);
+      cu_lines.(cu) <- lines @ cu_lines.(cu))
+    spec.sp_funcs;
+  (* compilation units vary wildly in size in real projects (template-heavy
+     translation units vs. small C files); the imbalance is what limits the
+     paper's DWARF-phase scaling (Figure 2's idle gaps). Deterministic
+     skew: most CUs near the base size, every 13th one a whale. *)
+  let pad_of cu =
+    let f = 1 + (cu * 7 mod 10) in
+    let f = if cu mod 17 = 0 then f * 6 else f in
+    p.debug_pad_per_cu * f / 4
+  in
+  {
+    Dbg.cus =
+      Array.init n_cus (fun cu ->
+          {
+            Dbg.cu_name = Printf.sprintf "src_%03d.c" cu;
+            cu_funcs = List.rev cu_funcs.(cu);
+            cu_lines = List.rev cu_lines.(cu);
+            cu_pad = pad_of cu;
+          });
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let emit (spec : Spec.t) : result =
+  let st = { spec; n_tables = 0; table_targets = [] } in
+  let units = build_units spec st in
+  let lay = assign_addresses spec st units in
+  let text = encode_text spec st units lay in
+  let rodata = encode_rodata st lay in
+  fill_fptable spec lay rodata;
+  let gt = ground_truth spec st lay in
+  let dbg = build_debug spec lay gt in
+  let debug_bytes = Pbca_debuginfo.Codec.encode dbg in
+  let gt_w = Pbca_binfmt.Bio.W.create () in
+  Ground_truth.write gt_w gt;
+  let symtab = build_symtab spec lay in
+  let sections =
+    [
+      Section.make ~name:".text" ~addr:text_base text;
+      Section.make ~name:".rodata" ~addr:lay.rodata_base rodata;
+      Section.make ~name:".debug" ~addr:0 debug_bytes;
+      Section.make ~name:".ground" ~addr:0 (Pbca_binfmt.Bio.W.contents gt_w);
+    ]
+  in
+  let image =
+    Image.make ~name:spec.sp_profile.name ~entry:lay.func_addr.(0)
+      ~sections symtab
+  in
+  { image; ground_truth = gt; debug = dbg }
+
+let generate (p : Profile.t) : result = emit (Spec.generate p)

@@ -1,0 +1,20 @@
+(** Lowering of program specs to SBF images.
+
+    Two-pass assembly: item lists with symbolic labels are built from the
+    spec, addresses are assigned (16-byte function alignment, NOP padding),
+    then displacements are resolved and bytes encoded. Jump tables and the
+    indirect-call function-pointer table are materialized in [.rodata];
+    debug information in [.debug]. Ground truth is computed from the spec
+    and the assigned addresses, so it is exact by construction. *)
+
+type result = {
+  image : Pbca_binfmt.Image.t;
+  ground_truth : Ground_truth.t;
+  debug : Pbca_debuginfo.Types.t;
+      (** the debug info also serialized into the [.debug] section *)
+}
+
+val emit : Spec.t -> result
+
+val generate : Profile.t -> result
+(** [generate p] = [emit (Spec.generate p)]. *)

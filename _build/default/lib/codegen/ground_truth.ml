@@ -1,0 +1,119 @@
+module W = Pbca_binfmt.Bio.W
+module R = Pbca_binfmt.Bio.R
+
+type range = int * int
+
+type gfun = {
+  gf_name : string;
+  gf_entry : int;
+  gf_ranges : range list;
+  gf_returns : bool;
+  gf_in_symtab : bool;
+  gf_cold_parent : string option;
+}
+
+type jump_table = {
+  jt_jump_addr : int;
+  jt_table_addr : int;
+  jt_entries : int;
+  jt_targets : int list;
+  jt_resolvable : bool;
+}
+
+type nr_call = { nc_call_addr : int; nc_callee : int; nc_matchable : bool }
+
+type t = {
+  gt_binary : string;
+  gt_funcs : gfun list;
+  gt_tables : jump_table list;
+  gt_nr_calls : nr_call list;
+}
+
+let coalesce ranges =
+  let sorted = List.sort compare ranges in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 ->
+      merge ((a1, max b1 b2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let find_func t entry =
+  List.find_opt (fun f -> f.gf_entry = entry) t.gt_funcs
+
+let write_func w f =
+  W.str w f.gf_name;
+  W.u64 w f.gf_entry;
+  W.u32 w (List.length f.gf_ranges);
+  List.iter
+    (fun (lo, hi) ->
+      W.u64 w lo;
+      W.u64 w hi)
+    f.gf_ranges;
+  W.u8 w (if f.gf_returns then 1 else 0);
+  W.u8 w (if f.gf_in_symtab then 1 else 0);
+  match f.gf_cold_parent with
+  | None -> W.u8 w 0
+  | Some p ->
+    W.u8 w 1;
+    W.str w p
+
+let read_func r =
+  let gf_name = R.str r in
+  let gf_entry = R.u64 r in
+  let n = R.u32 r in
+  let gf_ranges =
+    List.init n (fun _ ->
+        let lo = R.u64 r in
+        let hi = R.u64 r in
+        (lo, hi))
+  in
+  let gf_returns = R.u8 r = 1 in
+  let gf_in_symtab = R.u8 r = 1 in
+  let gf_cold_parent = if R.u8 r = 1 then Some (R.str r) else None in
+  { gf_name; gf_entry; gf_ranges; gf_returns; gf_in_symtab; gf_cold_parent }
+
+let write_table w t =
+  W.u64 w t.jt_jump_addr;
+  W.u64 w t.jt_table_addr;
+  W.u32 w t.jt_entries;
+  W.u32 w (List.length t.jt_targets);
+  List.iter (W.u64 w) t.jt_targets;
+  W.u8 w (if t.jt_resolvable then 1 else 0)
+
+let read_table r =
+  let jt_jump_addr = R.u64 r in
+  let jt_table_addr = R.u64 r in
+  let jt_entries = R.u32 r in
+  let n = R.u32 r in
+  let jt_targets = List.init n (fun _ -> R.u64 r) in
+  let jt_resolvable = R.u8 r = 1 in
+  { jt_jump_addr; jt_table_addr; jt_entries; jt_targets; jt_resolvable }
+
+let write_nr w c =
+  W.u64 w c.nc_call_addr;
+  W.u64 w c.nc_callee;
+  W.u8 w (if c.nc_matchable then 1 else 0)
+
+let read_nr r =
+  let nc_call_addr = R.u64 r in
+  let nc_callee = R.u64 r in
+  let nc_matchable = R.u8 r = 1 in
+  { nc_call_addr; nc_callee; nc_matchable }
+
+let write w t =
+  W.str w t.gt_binary;
+  W.u32 w (List.length t.gt_funcs);
+  List.iter (write_func w) t.gt_funcs;
+  W.u32 w (List.length t.gt_tables);
+  List.iter (write_table w) t.gt_tables;
+  W.u32 w (List.length t.gt_nr_calls);
+  List.iter (write_nr w) t.gt_nr_calls
+
+let read r =
+  let gt_binary = R.str r in
+  let gt_funcs = List.init (R.u32 r) (fun _ -> read_func r) in
+  let gt_tables = List.init (R.u32 r) (fun _ -> read_table r) in
+  let gt_nr_calls = List.init (R.u32 r) (fun _ -> read_nr r) in
+  { gt_binary; gt_funcs; gt_tables; gt_nr_calls }

@@ -1,0 +1,58 @@
+(** Ground truth emitted alongside each generated binary.
+
+    Plays the role of the paper's DWARF + RTL ground truth (Section 8.1):
+    function address ranges (supporting non-contiguous functions and code
+    shared between functions), jump-table sizes and targets, and
+    non-returning call sites. Items that a correct parser is *expected* to
+    miss carry flags matching the paper's four difference classes: calls to
+    the conditionally-returning [error] are not name-matchable; [.cold]
+    fragments carry their parent's name; stack-spilled jump tables are marked
+    unresolvable. *)
+
+type range = int * int
+(** Half-open [lo, hi). *)
+
+type gfun = {
+  gf_name : string;
+  gf_entry : int;
+  gf_ranges : range list;  (** coalesced, sorted by start *)
+  gf_returns : bool;
+  gf_in_symtab : bool;  (** false for code reached only via tail calls *)
+  gf_cold_parent : string option;
+      (** [Some parent] when this is an outlined [parent.cold] fragment that
+          DWARF would attribute to [parent] (paper difference 2) *)
+}
+
+type jump_table = {
+  jt_jump_addr : int;  (** address of the indirect jump instruction *)
+  jt_table_addr : int;
+  jt_entries : int;
+  jt_targets : int list;
+  jt_resolvable : bool;
+      (** false when the computation spills through the stack
+          (paper difference 3) *)
+}
+
+type nr_call = {
+  nc_call_addr : int;  (** address of the call instruction *)
+  nc_callee : int;  (** callee entry address *)
+  nc_matchable : bool;
+      (** false for calls to [error]-style conditional non-returners
+          (paper difference 1) *)
+}
+
+type t = {
+  gt_binary : string;
+  gt_funcs : gfun list;
+  gt_tables : jump_table list;
+  gt_nr_calls : nr_call list;
+}
+
+val coalesce : range list -> range list
+(** Sort and merge adjacent/overlapping ranges. *)
+
+val find_func : t -> int -> gfun option
+(** Look up by entry address. *)
+
+val write : Pbca_binfmt.Bio.W.t -> t -> unit
+val read : Pbca_binfmt.Bio.R.t -> t

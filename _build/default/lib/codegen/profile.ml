@@ -1,0 +1,174 @@
+type t = {
+  name : string;
+  seed : int;
+  n_funcs : int;
+  min_blocks : int;
+  max_blocks : int;
+  min_body_insns : int;
+  max_body_insns : int;
+  p_frame : float;
+  p_call : float;
+  p_icall : float;
+  p_jump_table : float;
+  jt_min_targets : int;
+  jt_max_targets : int;
+  p_jt_spilled : float;
+  p_tail_call : float;
+  p_noreturn_leaf : float;
+  p_noreturn_call : float;
+  with_error_style : bool;
+  n_shared_stubs : int;
+  sharers_per_stub : int;
+  p_stub_tail : float;
+  n_listing1 : int;
+  p_cold : float;
+  p_secondary_entry : float;
+  n_cus : int;
+  lines_per_func : int;
+  p_inline : float;
+  debug_pad_per_cu : int;
+  p_data_in_text : float;
+}
+
+let default =
+  {
+    name = "default";
+    seed = 42;
+    n_funcs = 200;
+    min_blocks = 2;
+    max_blocks = 12;
+    min_body_insns = 1;
+    max_body_insns = 6;
+    p_frame = 0.7;
+    p_call = 0.25;
+    p_icall = 0.03;
+    p_jump_table = 0.06;
+    jt_min_targets = 3;
+    jt_max_targets = 12;
+    p_jt_spilled = 0.0;
+    p_tail_call = 0.05;
+    p_noreturn_leaf = 0.02;
+    p_noreturn_call = 0.02;
+    with_error_style = false;
+    n_shared_stubs = 4;
+    sharers_per_stub = 5;
+    p_stub_tail = 0.5;
+    n_listing1 = 0;
+    p_cold = 0.02;
+    p_secondary_entry = 0.01;
+    n_cus = 8;
+    lines_per_func = 6;
+    p_inline = 0.2;
+    debug_pad_per_cu = 2048;
+    p_data_in_text = 0.0;
+  }
+
+let coreutils_like i =
+  {
+    default with
+    name = Printf.sprintf "coreutils_%03d" i;
+    seed = 0xC0DE + (i * 7919);
+    n_funcs = 40 + (i mod 60);
+    p_jt_spilled = 0.1;
+    with_error_style = true;
+    n_listing1 = 1;
+    p_cold = 0.05;
+  }
+
+let forensics_member i =
+  let base =
+    {
+      default with
+      name = Printf.sprintf "forensics_%03d" i;
+      seed = 0xF0F0 + (i * 104729);
+      n_funcs = 30 + (i mod 45);
+      (* a long tail of oversized functions: data-flow feature extraction
+         is dominated by the biggest functions (paper Section 8.3) *)
+      max_blocks =
+        (if i mod 37 = 0 then 150 else if i mod 9 = 0 then 60 else 12);
+      n_cus = 4;
+      debug_pad_per_cu = 256;
+    }
+  in
+  if i mod 53 = 0 then
+    (* the occasional generated-code monster: one gigantic leaf function
+       (interpreter loops, generated parsers); no calls, so the whole body
+       is reachable without inter-procedural dependencies *)
+    {
+      base with
+      n_funcs = 1;
+      min_blocks = 800;
+      max_blocks = 950;
+      p_call = 0.0;
+      p_icall = 0.0;
+      p_tail_call = 0.0;
+      p_noreturn_call = 0.0;
+      n_shared_stubs = 0;
+      p_secondary_entry = 0.0;
+      p_cold = 0.0;
+    }
+  else base
+
+(* The four Table-1 subjects, scaled down ~100x from the paper's binaries
+   while keeping their relative proportions: TensorFlow is text-light but
+   debug-heavy; LLNL2 is the largest text; Camellia is the smallest. *)
+
+let llnl1 =
+  {
+    default with
+    name = "llnl1";
+    p_noreturn_call = 0.06;
+    seed = 1001;
+    n_funcs = 2600;
+    max_blocks = 14;
+    n_cus = 60;
+    debug_pad_per_cu = 24_000;
+    p_jump_table = 0.05;
+  }
+
+let llnl2 =
+  {
+    default with
+    name = "llnl2";
+    p_noreturn_call = 0.06;
+    seed = 1002;
+    n_funcs = 5000;
+    max_blocks = 14;
+    n_cus = 90;
+    debug_pad_per_cu = 100_000;
+    p_jump_table = 0.05;
+  }
+
+let camellia =
+  {
+    default with
+    name = "camellia";
+    p_noreturn_call = 0.06;
+    seed = 1003;
+    n_funcs = 1400;
+    max_blocks = 13;
+    n_cus = 40;
+    debug_pad_per_cu = 32_000;
+  }
+
+let tensorflow =
+  {
+    default with
+    name = "tensorflow";
+    p_noreturn_call = 0.06;
+    seed = 1004;
+    n_funcs = 3800;
+    max_blocks = 13;
+    n_cus = 220;
+    debug_pad_per_cu = 180_000;
+    p_jump_table = 0.07;
+    p_cold = 0.04;
+  }
+
+let hpcstruct_subjects = [ llnl1; llnl2; camellia; tensorflow ]
+
+let scale f t =
+  (* function count scales; the CU count does not — it determines the
+     available DWARF-phase parallelism, which is a property of the project's
+     build structure rather than of our down-scaling *)
+  { t with n_funcs = max 1 (int_of_float (float_of_int t.n_funcs *. f)) }

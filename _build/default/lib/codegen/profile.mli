@@ -1,0 +1,68 @@
+(** Generation profiles: the knobs that shape a synthetic binary.
+
+    Named profiles model the paper's evaluation subjects at a reduced scale
+    (Table 1): the two LLNL applications, Camellia, the TensorFlow shared
+    library, the coreutils-like correctness corpus (Section 8.1) and the
+    BinFeat forensics corpus members (Section 8.3). Scale factors were chosen
+    so a full bench run completes in minutes on one core while preserving the
+    relative proportions of text vs. debug-info volume. *)
+
+type t = {
+  name : string;
+  seed : int;
+  n_funcs : int;
+  min_blocks : int;
+  max_blocks : int;
+  min_body_insns : int;
+  max_body_insns : int;
+  p_frame : float;  (** probability a function sets up a stack frame *)
+  p_call : float;  (** probability a block terminator is a direct call *)
+  p_icall : float;
+  p_jump_table : float;
+  jt_min_targets : int;
+  jt_max_targets : int;
+  p_jt_spilled : float;
+      (** fraction of jump tables whose base is spilled through the stack —
+          statically unresolvable (paper Section 8.1 difference 3) *)
+  p_tail_call : float;
+  p_noreturn_leaf : float;  (** fraction of functions that are exit-like *)
+  p_noreturn_call : float;  (** block chance of ending in a noreturn call *)
+  with_error_style : bool;
+      (** include an [error]-style conditionally-returning function and call
+          sites with a non-zero first argument (paper difference 1) *)
+  n_shared_stubs : int;  (** shared error-handling stubs (functions sharing
+                             code) *)
+  sharers_per_stub : int;
+  p_stub_tail : float;  (** chance a stub is entered via tail calls *)
+  n_listing1 : int;  (** Listing-1 style ambiguous pairs to emit *)
+  p_cold : float;  (** fraction of functions with an outlined .cold block *)
+  p_secondary_entry : float;  (** Fortran/Power-style extra entry points *)
+  n_cus : int;
+  lines_per_func : int;
+  p_inline : float;  (** chance a function gets an inline subtree *)
+  debug_pad_per_cu : int;  (** bytes of type-info padding per CU *)
+  p_data_in_text : float;
+      (** chance of a raw data blob (string constants, padding tables)
+          between two functions: never reachable, so control-flow traversal
+          skips it, but a linear sweep decodes it as garbage — the classic
+          data-in-text hazard (Schwarz et al.) *)
+}
+
+val default : t
+val coreutils_like : int -> t
+(** [coreutils_like i] — the i-th member of the 113-binary correctness
+    corpus: small, every construct enabled. *)
+
+val forensics_member : int -> t
+(** Member of the 504-binary BinFeat corpus. *)
+
+val llnl1 : t
+val llnl2 : t
+val camellia : t
+val tensorflow : t
+
+val hpcstruct_subjects : t list
+(** The four Table-1/Table-2 subjects. *)
+
+val scale : float -> t -> t
+(** Multiply the function count (and CU count) by a factor. *)

@@ -1,0 +1,35 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+
+let next_u64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_u64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_u64 t) 1) (Int64.of_int n))
+
+let range t lo hi =
+  if hi < lo then invalid_arg "Rng.range";
+  lo + int t (hi - lo + 1)
+
+let float t =
+  Int64.to_float (Int64.shift_right_logical (next_u64 t) 11)
+  /. 9007199254740992.0 (* 2^53 *)
+
+let bool t p = float t < p
+
+let choose t xs =
+  match xs with [] -> invalid_arg "Rng.choose" | _ -> List.nth xs (int t (List.length xs))
+
+let choose_arr t xs =
+  if Array.length xs = 0 then invalid_arg "Rng.choose_arr";
+  xs.(int t (Array.length xs))

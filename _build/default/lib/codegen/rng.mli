@@ -1,0 +1,26 @@
+(** Deterministic pseudo-random number generator (SplitMix64).
+
+    Every generated binary is a pure function of its profile's seed, so
+    corpora are reproducible across runs and machines — a requirement for
+    the correctness experiments, which compare a parsed CFG against ground
+    truth emitted at generation time. *)
+
+type t
+
+val create : int -> t
+val split : t -> t
+(** Derive an independent stream (e.g. one per function). *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [0, n). [n] must be positive. *)
+
+val range : t -> int -> int -> int
+(** [range t lo hi] is uniform in [lo, hi]. *)
+
+val bool : t -> float -> bool
+(** [bool t p] is true with probability [p]. *)
+
+val choose : t -> 'a list -> 'a
+val choose_arr : t -> 'a array -> 'a
+val float : t -> float
+(** Uniform in [0, 1). *)

@@ -1,0 +1,449 @@
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+
+type term =
+  | T_ret
+  | T_halt
+  | T_jmp of int
+  | T_cond of Insn.cond * int
+  | T_call of int
+  | T_call_noret of int
+  | T_icall of int
+  | T_tailcall of int
+  | T_jumptable of { targets : int list; spilled : bool }
+  | T_stub of int
+  | T_fall
+
+type bspec = { bs_body : Insn.t list; bs_term : term }
+
+type fspec = {
+  fs_name : string;
+  fs_blocks : bspec array;
+  fs_frame : bool;
+  fs_cold : int option;
+  fs_secondary : int option;
+  fs_cu : int;
+  fs_error_style : bool;
+  fs_noreturn_leaf : bool;
+}
+
+type stub_mode = Shared | Tail | Mixed
+
+type sspec = {
+  ss_body : Insn.t list;
+  ss_ret : bool;
+  ss_mode : stub_mode;
+  ss_sharers : int list;
+}
+
+type t = {
+  sp_profile : Profile.t;
+  sp_funcs : fspec array;
+  sp_stubs : sspec array;
+  sp_fptable : int array;
+  sp_data : Bytes.t option array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Random straight-line bodies.                                        *)
+
+let body_regs = Array.init 14 Reg.of_int (* r0-r13: never touch fp/sp *)
+
+let gen_insn rng ~frame : Insn.t =
+  let r () = Rng.choose_arr rng body_regs in
+  match Rng.int rng 12 with
+  | 0 -> Mov_ri (r (), Rng.range rng (-1000) 1000)
+  | 1 -> Mov_rr (r (), r ())
+  | 2 -> Add (r (), r ())
+  | 3 -> Sub (r (), r ())
+  | 4 -> Mul (r (), r ())
+  | 5 -> Xor (r (), r ())
+  | 6 -> And_ (r (), r ())
+  | 7 -> Shl (r (), 1 + Rng.int rng 31)
+  | 8 ->
+    if frame then Load (r (), Reg.fp, -8 * (1 + Rng.int rng 8))
+    else Load (r (), r (), 8 * Rng.int rng 8)
+  | 9 ->
+    if frame then Store (Reg.fp, -8 * (1 + Rng.int rng 8), r ())
+    else Cmp_rr (r (), r ())
+  | 10 -> Cmp_ri (r (), Rng.range rng 0 255)
+  | _ -> Lea (r (), Rng.range rng (-4096) 4096)
+
+let gen_body rng ~frame n = List.init n (fun _ -> gen_insn rng ~frame)
+
+(* ------------------------------------------------------------------ *)
+(* Function skeletons: a forward scan that keeps the invariant "block i
+   is reachable when its terminator is chosen" — either block i-1 falls
+   through into it, or an earlier block targeted it explicitly. *)
+
+type gen_ctx = {
+  p : Profile.t;
+  rng : Rng.t;
+  n_funcs : int;
+  noreturn_leaves : int list;
+  error_idx : int option;
+}
+
+let is_fallthrough_term = function
+  | T_cond _ | T_call _ | T_icall _ | T_fall -> true
+  | T_ret | T_halt | T_jmp _ | T_call_noret _ | T_tailcall _ | T_jumptable _
+  | T_stub _ ->
+    false
+
+let any_cond rng : Insn.cond =
+  Rng.choose rng [ Insn.Eq; Insn.Ne; Insn.Lt; Insn.Ge; Insn.Gt; Insn.Le ]
+
+(* Choose a forward conditional target, preferring blocks not yet reachable
+   so the whole function gets covered. *)
+let pick_forward rng targeted lo hi =
+  let untargeted = ref [] in
+  for j = lo to hi do
+    if not targeted.(j) then untargeted := j :: !untargeted
+  done;
+  match !untargeted with
+  | [] -> Rng.range rng lo hi
+  | us when Rng.bool rng 0.7 -> Rng.choose rng us
+  | _ -> Rng.range rng lo hi
+
+let gen_ender ctx ~fidx ~frame:_ ~i ~n rng : term =
+  let p = ctx.p in
+  let pick_callee () = Rng.int rng ctx.n_funcs in
+  let r = Rng.float rng in
+  if r < p.p_tail_call && ctx.n_funcs > 1 then begin
+    (* avoid self tail calls: they are just loops to the entry *)
+    let callee = pick_callee () in
+    if callee = fidx then T_ret else T_tailcall callee
+  end
+  else if r < p.p_tail_call +. p.p_noreturn_call && ctx.noreturn_leaves <> []
+  then begin
+    match (ctx.error_idx, Rng.bool rng 0.3) with
+    | Some e, true -> T_call_noret e (* error(nonzero): unmatchable *)
+    | _ -> T_call_noret (Rng.choose rng ctx.noreturn_leaves)
+  end
+  else if r < p.p_tail_call +. p.p_noreturn_call +. 0.08 && i > 0 then
+    T_jmp (Rng.int rng (max 1 i)) (* back edge: loop *)
+  else if n - 1 = i || Rng.bool rng 0.9 then T_ret
+  else T_ret
+
+let gen_function ctx ~fidx ~cu : fspec =
+  let p = ctx.p in
+  let rng = Rng.split ctx.rng in
+  let frame = Rng.bool rng p.p_frame in
+  let noreturn_leaf = List.mem fidx ctx.noreturn_leaves in
+  (* Reserve the last block as a secondary-entry region when drawn. *)
+  let want_secondary =
+    (not noreturn_leaf) && Rng.bool rng p.p_secondary_entry
+  in
+  let n_main =
+    let n = Rng.range rng p.min_blocks p.max_blocks in
+    if noreturn_leaf then 1 else n
+  in
+  let n = n_main + if want_secondary then 1 else 0 in
+  let targeted = Array.make (n + 1) false in
+  let terms = Array.make n T_ret in
+  let bodies = Array.make n [] in
+  let jt_budget = ref (if Rng.bool rng p.p_jump_table then 1 + Rng.int rng 2 else 0) in
+  let i = ref 0 in
+  while !i < n_main do
+    let idx = !i in
+    let body_n = Rng.range rng p.min_body_insns p.max_body_insns in
+    bodies.(idx) <- gen_body rng ~frame body_n;
+    let remaining = n_main - idx - 1 in
+    let term =
+      if noreturn_leaf then T_halt
+      else if remaining = 0 then
+        (* last main block: must not fall through *)
+        gen_ender ctx ~fidx ~frame ~i:idx ~n:n_main rng
+      else if
+        !jt_budget > 0
+        && remaining >= p.jt_min_targets + 1
+        && Rng.bool rng 0.8
+      then begin
+        decr jt_budget;
+        let k =
+          Rng.range rng p.jt_min_targets (min p.jt_max_targets (remaining - 1))
+        in
+        let targets = List.init k (fun j -> idx + 2 + j) in
+        List.iter (fun t -> targeted.(t) <- true) targets;
+        (* the default case is reached through the bounds-check branch *)
+        targeted.(idx + 1) <- true;
+        (* a couple of extra entries reusing earlier targets keeps tables
+           realistic (duplicate entries are legal) *)
+        let extras =
+          if Rng.bool rng 0.3 then [ Rng.choose rng targets ] else []
+        in
+        T_jumptable
+          { targets = targets @ extras; spilled = Rng.bool rng p.p_jt_spilled }
+      end
+      else if targeted.(idx + 1) && Rng.bool rng 0.25 then
+        (* next block is already reachable: this one may end the chain *)
+        gen_ender ctx ~fidx ~frame ~i:idx ~n:n_main rng
+      else begin
+        (* fallthrough-kind terminator *)
+        let r = Rng.float rng in
+        if r < p.p_call then begin
+          match ctx.error_idx with
+          | Some e when Rng.bool rng 0.08 ->
+            (* returning call to error: first argument zero *)
+            bodies.(idx) <- bodies.(idx) @ [ Insn.Mov_ri (Reg.r1, 0) ];
+            T_call e
+          | _ -> T_call (Rng.int rng ctx.n_funcs)
+        end
+        else if r < p.p_call +. p.p_icall then T_icall (Rng.int rng 64)
+        else if r < p.p_call +. p.p_icall +. 0.25 && remaining >= 2 then begin
+          let tgt = pick_forward rng targeted (idx + 2) (n_main - 1) in
+          targeted.(tgt) <- true;
+          T_cond (any_cond rng, tgt)
+        end
+        else if r < p.p_call +. p.p_icall +. 0.35 && idx > 0 then
+          (* loop back edge; still falls through *)
+          T_cond (any_cond rng, Rng.int rng (idx + 1))
+        else T_fall
+      end
+    in
+    terms.(idx) <- term;
+    incr i
+  done;
+  (* Secondary-entry region: one block reachable only through its symbol,
+     flowing back into the middle of the function (Fortran ENTRY / Power
+     multi-entry functions: functions sharing code). *)
+  let secondary =
+    if want_secondary && n_main >= 2 then begin
+      let m = 1 + Rng.int rng (n_main - 1) in
+      bodies.(n - 1) <- gen_body rng ~frame 2;
+      terms.(n - 1) <- T_jmp m;
+      Some (n - 1)
+    end
+    else None
+  in
+  (* Cold outlining: a block that is branch-targeted only, whose physical
+     predecessor does not fall into it, and that ends without fallthrough. *)
+  let cold =
+    if (not noreturn_leaf) && secondary = None && Rng.bool rng p.p_cold then begin
+      let eligible = ref [] in
+      for c = 1 to n_main - 1 do
+        let self_ok =
+          match terms.(c) with T_halt | T_call_noret _ -> true | _ -> false
+        in
+        let pred_ok = not (is_fallthrough_term terms.(c - 1)) in
+        (* jump-table targets cannot move: the table stores their address,
+           which is fine, but the default chain must stay adjacent; simplest
+           is to exclude JT-involved blocks *)
+        let not_jt_involved =
+          not
+            (Array.exists
+               (function
+                 | T_jumptable { targets; _ } -> List.mem c targets
+                 | _ -> false)
+               terms)
+        in
+        if self_ok && pred_ok && targeted.(c) && not_jt_involved then
+          eligible := c :: !eligible
+      done;
+      match !eligible with [] -> None | cs -> Some (Rng.choose rng cs)
+    end
+    else None
+  in
+  let blocks =
+    Array.init n (fun j -> { bs_body = bodies.(j); bs_term = terms.(j) })
+  in
+  {
+    fs_name = Printf.sprintf "fn_%04d" fidx;
+    fs_blocks = blocks;
+    fs_frame = frame;
+    fs_cold = cold;
+    fs_secondary = secondary;
+    fs_cu = cu;
+    fs_error_style = false;
+    fs_noreturn_leaf = noreturn_leaf;
+  }
+
+let error_fspec ~cu : fspec =
+  {
+    fs_name = "error";
+    fs_blocks =
+      [|
+        { bs_body = [ Insn.Cmp_ri (Reg.r1, 0) ]; bs_term = T_cond (Eq, 2) };
+        { bs_body = []; bs_term = T_halt };
+        { bs_body = []; bs_term = T_ret };
+      |];
+    fs_frame = true;
+    fs_cold = None;
+    fs_secondary = None;
+    fs_cu = cu;
+    fs_error_style = true;
+    fs_noreturn_leaf = false;
+  }
+
+let generate (p : Profile.t) : t =
+  let rng = Rng.create p.seed in
+  let n_normal = p.n_funcs in
+  let n_total = n_normal + if p.with_error_style then 1 else 0 in
+  let error_idx = if p.with_error_style then Some n_normal else None in
+  (* exit-like leaves among the normal functions *)
+  let n_leaves =
+    let base = int_of_float (p.p_noreturn_leaf *. float_of_int n_normal) in
+    if p.p_noreturn_call > 0.0 then max 1 base else base
+  in
+  let noreturn_leaves =
+    List.init n_leaves (fun k -> (k * 37 mod max 1 (n_normal - 1)) + 1)
+    |> List.sort_uniq compare
+    |> List.filter (fun i -> i < n_normal)
+  in
+  let ctx = { p; rng; n_funcs = n_normal; noreturn_leaves; error_idx } in
+  let funcs =
+    Array.init n_total (fun fidx ->
+        if Some fidx = error_idx then error_fspec ~cu:(fidx mod p.n_cus)
+        else gen_function ctx ~fidx ~cu:(fidx mod p.n_cus))
+  in
+  (* Rename the leaves so the name-matching non-returning analysis finds
+     them (paper Section 2.1: matching against exit/abort). *)
+  List.iteri
+    (fun k i ->
+      funcs.(i) <-
+        { (funcs.(i)) with fs_name = (if k = 0 then "exit" else Printf.sprintf "abort_%d" k) })
+    noreturn_leaves;
+  funcs.(0) <- { (funcs.(0)) with fs_name = "main" };
+  (* Shared stubs. *)
+  let stubs =
+    Array.init p.n_shared_stubs (fun sid ->
+        let srng = Rng.split rng in
+        let mode =
+          if sid < p.n_listing1 then Mixed
+          else if Rng.bool srng p.p_stub_tail then Tail
+          else Shared
+        in
+        let want = max (if mode = Mixed then 2 else 1) p.sharers_per_stub in
+        (* pick sharer functions that still have a T_ret ender to donate *)
+        let sharers = ref [] in
+        let attempts = ref 0 in
+        while List.length !sharers < want && !attempts < want * 20 do
+          incr attempts;
+          let f = Rng.int srng n_normal in
+          let fs = funcs.(f) in
+          let has_ret =
+            (not fs.fs_noreturn_leaf) && (not fs.fs_error_style)
+            && fs.fs_cold = None && fs.fs_secondary = None
+            && Array.exists (fun b -> b.bs_term = T_ret) fs.fs_blocks
+            && not (List.mem f !sharers)
+          in
+          if has_ret then sharers := f :: !sharers
+        done;
+        let sharers = List.rev !sharers in
+        List.iter
+          (fun f ->
+            let fs = funcs.(f) in
+            let bi =
+              let rec find i =
+                if fs.fs_blocks.(i).bs_term = T_ret then i else find (i + 1)
+              in
+              find 0
+            in
+            let blocks = Array.copy fs.fs_blocks in
+            blocks.(bi) <- { (blocks.(bi)) with bs_term = T_stub sid };
+            funcs.(f) <- { fs with fs_blocks = blocks })
+          sharers;
+        {
+          ss_body = gen_body srng ~frame:false (2 + Rng.int srng 4);
+          ss_ret = Rng.bool srng 0.8;
+          ss_mode = mode;
+          ss_sharers = sharers;
+        })
+  in
+  let fptable =
+    Array.init 8 (fun _ -> Rng.int rng n_normal)
+  in
+  (* raw data interleaved with code: jump-table-like constants and strings
+     that a linear sweep will happily mis-decode *)
+  let data =
+    Array.init n_total (fun _ ->
+        if Rng.bool rng p.p_data_in_text then begin
+          let len = 8 + Rng.int rng 56 in
+          Some
+            (Bytes.init len (fun _ ->
+                 if Rng.bool rng 0.4 then
+                   (* a plausible opcode byte: desynchronizes the sweep *)
+                   Char.chr (Rng.choose rng [ 0x11; 0x14; 0x28; 0x31; 0x53 ])
+                 else Char.chr (0x80 + Rng.int rng 0x80)))
+        end
+        else None)
+  in
+  {
+    sp_profile = p;
+    sp_funcs = funcs;
+    sp_stubs = stubs;
+    sp_fptable = fptable;
+    sp_data = data;
+  }
+
+let error_index t =
+  let n = Array.length t.sp_funcs in
+  if t.sp_profile.with_error_style then Some (n - 1) else None
+
+(* ------------------------------------------------------------------ *)
+(* "Can this function return" fixpoint over the spec, mirroring the
+   non-returning-function analysis the parser runs (paper Section 2.1). *)
+
+let block_reachable t ~returns fidx root =
+  let fs = t.sp_funcs.(fidx) in
+  let n = Array.length fs.fs_blocks in
+  let seen = Array.make n false in
+  (* A branch to block 0 targets the function's entry symbol; the parser's
+     static heuristic classifies any branch to a known function entry as a
+     tail call, so such edges are inter-procedural and not followed. *)
+  let rec visit b =
+    if b >= 0 && b < n && not seen.(b) then begin
+      seen.(b) <- true;
+      let next = b + 1 in
+      match fs.fs_blocks.(b).bs_term with
+      | T_ret | T_halt | T_tailcall _ | T_call_noret _ -> ()
+      | T_jmp 0 -> ()
+      | T_jmp j -> visit j
+      | T_cond (_, 0) -> visit next
+      | T_cond (_, j) ->
+        visit j;
+        visit next
+      | T_call callee -> if returns.(callee) then visit next
+      | T_icall _ | T_fall -> visit next
+      | T_jumptable { targets; _ } ->
+        List.iter visit targets;
+        visit next
+      | T_stub _ -> () (* stub code is accounted separately *)
+    end
+  in
+  visit root;
+  seen
+
+let spec_returns t =
+  let n = Array.length t.sp_funcs in
+  let returns = Array.make n false in
+  let stub_ret sid = t.sp_stubs.(sid).ss_ret in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for f = 0 to n - 1 do
+      if not returns.(f) then begin
+        let reach = block_reachable t ~returns f 0 in
+        let fs = t.sp_funcs.(f) in
+        let can =
+          Array.exists
+            (fun b -> b)
+            (Array.mapi
+               (fun i r ->
+                 r
+                 &&
+                 match fs.fs_blocks.(i).bs_term with
+                 | T_ret -> true
+                 | T_tailcall g -> returns.(g)
+                 | T_stub sid -> stub_ret sid
+                 | _ -> false)
+               reach)
+        in
+        if can then begin
+          returns.(f) <- true;
+          changed := true
+        end
+      end
+    done
+  done;
+  returns

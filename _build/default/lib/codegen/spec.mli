@@ -1,0 +1,74 @@
+(** Program specifications: the structured intermediate form from which
+    binaries are emitted.
+
+    [generate] builds a random program as an array of function specs, each a
+    tree-shaped basic-block skeleton guaranteeing that every block is
+    reachable from its function entry. Terminators encode every challenging
+    construct of paper Section 2.1. Emission ({!Emit}) lowers this to bytes;
+    ground truth is computed directly from the spec, so it is exact by
+    construction. *)
+
+type term =
+  | T_ret
+  | T_halt
+  | T_jmp of int  (** to block index within this function *)
+  | T_cond of Pbca_isa.Insn.cond * int
+      (** conditional: taken target block; fallthrough is the next block *)
+  | T_call of int  (** direct call to function index; fallthrough next *)
+  | T_call_noret of int  (** call to a non-returning callee; block ends *)
+  | T_icall of int  (** indirect call through fp-table slot; fallthrough *)
+  | T_tailcall of int  (** jump to another function's entry *)
+  | T_jumptable of { targets : int list; spilled : bool }
+      (** switch over block indices; default case is the next block *)
+  | T_stub of int  (** jump into shared stub [sid] *)
+  | T_fall  (** no control-flow instruction; continues into next block *)
+
+type bspec = { bs_body : Pbca_isa.Insn.t list; bs_term : term }
+
+type fspec = {
+  fs_name : string;
+  fs_blocks : bspec array;
+  fs_frame : bool;
+  fs_cold : int option;  (** block index outlined as [name.cold] *)
+  fs_secondary : int option;  (** block index with an extra entry symbol *)
+  fs_cu : int;
+  fs_error_style : bool;  (** the conditionally-returning [error] function *)
+  fs_noreturn_leaf : bool;  (** exit-like: every path ends in [Halt] *)
+}
+
+type stub_mode =
+  | Shared  (** entered by plain jumps: code shared between functions *)
+  | Tail  (** entered by tail calls: becomes its own function *)
+  | Mixed  (** some sharers tear down their frame first, some do not —
+               the Listing-1 ambiguity *)
+
+type sspec = {
+  ss_body : Pbca_isa.Insn.t list;
+  ss_ret : bool;  (** ends in [Ret]; otherwise [Halt] *)
+  ss_mode : stub_mode;
+  ss_sharers : int list;  (** function indices that branch into this stub *)
+}
+
+type t = {
+  sp_profile : Profile.t;
+  sp_funcs : fspec array;
+  sp_stubs : sspec array;
+  sp_fptable : int array;  (** function indices reachable via [T_icall] *)
+  sp_data : Bytes.t option array;
+      (** raw data blob emitted after function [i] (data-in-text); same
+          length as [sp_funcs] *)
+}
+
+val generate : Profile.t -> t
+
+val spec_returns : t -> bool array
+(** Per-function "can return" fixpoint over the spec (including tail calls
+    and shared stubs), mirroring the non-returning-function analysis. *)
+
+val block_reachable : t -> returns:bool array -> int -> int -> bool array
+(** [block_reachable t ~returns fidx root] marks the blocks of function
+    [fidx] reachable from block [root] by intra-procedural control flow,
+    where call fall-through paths exist only for returning callees. *)
+
+val error_index : t -> int option
+(** Index of the [error]-style function, when the profile enables it. *)

@@ -1,0 +1,1 @@
+lib/concurrent/conc_bag.mli:

@@ -1,0 +1,1 @@
+lib/concurrent/rwlock.ml: Condition Mutex

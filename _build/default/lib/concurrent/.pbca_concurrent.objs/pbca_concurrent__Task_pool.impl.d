@@ -1,0 +1,1 @@
+lib/concurrent/task_pool.ml: Array Atomic Domain Unix Wsdeque

@@ -1,0 +1,1 @@
+lib/concurrent/task_pool.mli:

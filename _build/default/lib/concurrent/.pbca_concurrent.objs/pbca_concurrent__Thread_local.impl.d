@@ -1,0 +1,1 @@
+lib/concurrent/thread_local.ml: Atomic Domain List

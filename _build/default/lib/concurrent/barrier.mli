@@ -1,0 +1,10 @@
+(** Cyclic barrier for [n] parties. Used by the concurrency tests to force
+    the interleavings the parsing invariants must survive. *)
+
+type t
+
+val create : int -> t
+
+(** [await t] blocks until [n] parties have called it, then releases them
+    all; the barrier then resets for reuse. *)
+val await : t -> unit

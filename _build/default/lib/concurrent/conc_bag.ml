@@ -1,0 +1,12 @@
+type 'a t = 'a list Atomic.t
+
+let create () = Atomic.make []
+
+let rec add t x =
+  let cur = Atomic.get t in
+  if not (Atomic.compare_and_set t cur (x :: cur)) then add t x
+
+let is_empty t = Atomic.get t = []
+let drain t = Atomic.exchange t []
+let to_list t = Atomic.get t
+let length t = List.length (Atomic.get t)

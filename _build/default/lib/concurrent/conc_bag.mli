@@ -1,0 +1,20 @@
+(** Concurrent bag: unordered collection with cheap concurrent insertion.
+
+    Used to collect results produced by parallel tasks (e.g. newly discovered
+    functions, trace events). Insertions are wait-free on an atomic list
+    head; draining happens after the parallel phase quiesces. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val add : 'a t -> 'a -> unit
+val is_empty : 'a t -> bool
+
+(** [drain t] atomically removes and returns all elements (unspecified
+    order). *)
+val drain : 'a t -> 'a list
+
+(** [to_list t] returns the current contents without removing them. *)
+val to_list : 'a t -> 'a list
+
+val length : 'a t -> int

@@ -1,0 +1,25 @@
+(** Reader-writer lock.
+
+    Multiple readers may hold the lock simultaneously; a writer excludes
+    everyone. Writers are given preference over incoming readers to avoid
+    writer starvation. This is the OCaml counterpart of the entry-level
+    reader-writer locks that TBB's [concurrent_hash_map] exposes through its
+    accessor semantics (paper, Section 6.1). *)
+
+type t
+
+val create : unit -> t
+
+val read_lock : t -> unit
+val read_unlock : t -> unit
+
+val write_lock : t -> unit
+val write_unlock : t -> unit
+
+(** [with_read t f] runs [f ()] while holding the lock in shared mode,
+    releasing it even if [f] raises. *)
+val with_read : t -> (unit -> 'a) -> 'a
+
+(** [with_write t f] runs [f ()] while holding the lock exclusively,
+    releasing it even if [f] raises. *)
+val with_write : t -> (unit -> 'a) -> 'a

@@ -1,0 +1,132 @@
+type t = { n : int }
+
+let create ~threads =
+  if threads < 1 then invalid_arg "Task_pool.create: threads must be >= 1";
+  { n = threads }
+
+let threads t = t.n
+
+type region = {
+  deques : (unit -> unit) Wsdeque.t array;
+  pending : int Atomic.t; (* spawned-but-unfinished tasks *)
+  failure : exn option Atomic.t;
+}
+
+(* Worker slot of the current domain within the active region. *)
+let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+
+let worker_index () = Domain.DLS.get slot_key
+
+let spawn_in region task =
+  let me = Domain.DLS.get slot_key in
+  Atomic.incr region.pending;
+  Wsdeque.push region.deques.(me) task
+
+let run_task region task =
+  (match task () with
+  | () -> ()
+  | exception e ->
+    (* Keep the first failure; later tasks still drain so the region can
+       terminate cleanly. *)
+    ignore (Atomic.compare_and_set region.failure None (Some e)));
+  Atomic.decr region.pending
+
+(* Find work: own deque first, then steal round-robin from the others. *)
+let find_work region me =
+  match Wsdeque.pop region.deques.(me) with
+  | Some _ as t -> t
+  | None ->
+    let n = Array.length region.deques in
+    let rec try_steal i =
+      if i >= n then None
+      else
+        let victim = (me + i) mod n in
+        match Wsdeque.steal region.deques.(victim) with
+        | Some _ as t -> t
+        | None -> try_steal (i + 1)
+    in
+    try_steal 1
+
+let worker_loop region me =
+  Domain.DLS.set slot_key me;
+  let idle_spins = ref 0 in
+  let rec loop () =
+    if Atomic.get region.pending = 0 then ()
+    else
+      match find_work region me with
+      | Some task ->
+        idle_spins := 0;
+        run_task region task;
+        loop ()
+      | None ->
+        incr idle_spins;
+        if !idle_spins > 64 then begin
+          (* Nothing to steal: another worker is still producing. Sleep
+             briefly rather than burning the core it may be sharing. *)
+          idle_spins := 0;
+          Unix.sleepf 0.0002
+        end
+        else Domain.cpu_relax ();
+        loop ()
+  in
+  loop ()
+
+let run t root =
+  let region =
+    {
+      deques = Array.init t.n (fun _ -> Wsdeque.create ());
+      pending = Atomic.make 0;
+      failure = Atomic.make None;
+    }
+  in
+  let spawn task = spawn_in region task in
+  Atomic.incr region.pending;
+  Wsdeque.push region.deques.(0) (fun () -> root spawn);
+  let helpers =
+    Array.init (t.n - 1) (fun i ->
+        Domain.spawn (fun () -> worker_loop region (i + 1)))
+  in
+  worker_loop region 0;
+  Array.iter Domain.join helpers;
+  Domain.DLS.set slot_key 0;
+  match Atomic.get region.failure with None -> () | Some e -> raise e
+
+let parallel_for t ?chunk lo hi f =
+  if hi > lo then begin
+    let count = hi - lo in
+    let chunk =
+      match chunk with
+      | Some c -> max 1 c
+      | None -> max 1 (count / (t.n * 8))
+    in
+    let next = Atomic.make lo in
+    let body () =
+      let rec grab () =
+        let start = Atomic.fetch_and_add next chunk in
+        if start < hi then begin
+          let stop = min hi (start + chunk) in
+          for i = start to stop - 1 do
+            f i
+          done;
+          grab ()
+        end
+      in
+      grab ()
+    in
+    run t (fun spawn ->
+        for _ = 2 to t.n do
+          spawn body
+        done;
+        body ())
+  end
+
+let parallel_for_reduce t ?chunk lo hi ~init ~map ~combine =
+  let partials = Array.make t.n init in
+  parallel_for t ?chunk lo hi (fun i ->
+      let w = worker_index () in
+      partials.(w) <- combine partials.(w) (map i));
+  Array.fold_left combine init partials
+
+let parallel_iter_list t xs f =
+  let arr = Array.of_list xs in
+  parallel_for t 0 (Array.length arr) (fun i -> f arr.(i))

@@ -1,0 +1,56 @@
+(** Work-stealing task pool over OCaml domains.
+
+    The paper's implementation moved from OpenMP parallel-for loops to OpenMP
+    tasks so that a newly discovered function starts being analyzed
+    immediately instead of waiting for the current loop to drain (Section
+    6.3). This pool provides the same model: a parallel region in which any
+    task may [spawn] further tasks, with per-worker deques and random
+    stealing for load balance. The region ends when every transitively
+    spawned task has completed.
+
+    A pool with [threads = 1] executes everything on the calling domain with
+    no domains spawned, which serves as the serial baseline configuration.
+
+    Regions must not be nested. *)
+
+type t
+
+(** [create ~threads] builds a pool descriptor. [threads] counts the calling
+    domain, so [threads = 4] spawns 3 additional domains per region. *)
+val create : threads:int -> t
+
+val threads : t -> int
+
+(** [run t root] opens a parallel region. [root] receives [spawn], which may
+    be called from any task in the region to add work. [run] returns when the
+    root and all spawned tasks have finished. The first exception raised by
+    any task is re-raised after the region drains. *)
+val run : t -> (((unit -> unit) -> unit) -> unit) -> unit
+
+(** [parallel_for t ?chunk lo hi f] applies [f] to every [i] in [lo, hi)
+    using dynamic (guided-by-chunk) scheduling, as in
+    [#pragma omp parallel for schedule(dynamic)] of paper Listing 7. *)
+val parallel_for : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
+
+(** [parallel_for_reduce t ?chunk lo hi ~init ~map ~combine] folds [map i]
+    over the index space; per-worker partial results are combined with
+    [combine] (order unspecified, so [combine] should be associative and
+    commutative up to the caller's needs). *)
+val parallel_for_reduce :
+  t ->
+  ?chunk:int ->
+  int ->
+  int ->
+  init:'b ->
+  map:(int -> 'b) ->
+  combine:('b -> 'b -> 'b) ->
+  'b
+
+(** [parallel_iter_list t xs f] applies [f] to each element of [xs] as
+    separate tasks. *)
+val parallel_iter_list : t -> 'a list -> ('a -> unit) -> unit
+
+(** [worker_index ()] is the caller's worker slot in the current region
+    (0 for the master), or 0 outside any region. Useful for per-worker
+    accumulators. *)
+val worker_index : unit -> int

@@ -1,0 +1,24 @@
+type 'a t = {
+  key : 'a option ref Domain.DLS.key;
+  mk : unit -> 'a;
+  all : 'a list Atomic.t;
+}
+
+let create mk =
+  { key = Domain.DLS.new_key (fun () -> ref None); mk; all = Atomic.make [] }
+
+let rec register t v =
+  let cur = Atomic.get t.all in
+  if not (Atomic.compare_and_set t.all cur (v :: cur)) then register t v
+
+let get t =
+  let cell = Domain.DLS.get t.key in
+  match !cell with
+  | Some v -> v
+  | None ->
+    let v = t.mk () in
+    cell := Some v;
+    register t v;
+    v
+
+let fold t ~init ~f = List.fold_left f init (Atomic.get t.all)

@@ -1,0 +1,20 @@
+(** Per-domain storage.
+
+    The paper uses a thread-local cache of already-decoded addresses to avoid
+    both redundant decoding and synchronization on the shared block table
+    (Section 6.3). This module wraps [Domain.DLS] so each domain lazily gets
+    its own instance of a value, and the instances can be enumerated once the
+    parallel phase has quiesced. *)
+
+type 'a t
+
+(** [create mk] makes a slot whose per-domain value is built on first access
+    by [mk ()]. *)
+val create : (unit -> 'a) -> 'a t
+
+(** [get t] returns the calling domain's instance. *)
+val get : 'a t -> 'a
+
+(** [fold t ~init ~f] folds over every instance created so far. Only safe
+    once the domains using [t] have finished. *)
+val fold : 'a t -> init:'b -> f:('b -> 'a -> 'b) -> 'b

@@ -1,0 +1,48 @@
+type 'a t = { lock : Mutex.t; mutable items : 'a list; mutable count : int }
+(* [items] holds the deque bottom-first: the head is the owner end. Steals
+   take from the tail; O(n) there is acceptable because steals are rare and
+   deques stay short (tasks are coarse: one function parse each). *)
+
+let create () = { lock = Mutex.create (); items = []; count = 0 }
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  match f () with
+  | v ->
+    Mutex.unlock t.lock;
+    v
+  | exception e ->
+    Mutex.unlock t.lock;
+    raise e
+
+let push t x =
+  with_lock t (fun () ->
+      t.items <- x :: t.items;
+      t.count <- t.count + 1)
+
+let pop t =
+  with_lock t (fun () ->
+      match t.items with
+      | [] -> None
+      | x :: rest ->
+        t.items <- rest;
+        t.count <- t.count - 1;
+        Some x)
+
+let steal t =
+  with_lock t (fun () ->
+      match t.items with
+      | [] -> None
+      | items ->
+        let rec split_last acc = function
+          | [ last ] -> (List.rev acc, last)
+          | x :: rest -> split_last (x :: acc) rest
+          | [] -> assert false
+        in
+        let front, last = split_last [] items in
+        t.items <- front;
+        t.count <- t.count - 1;
+        Some last)
+
+let length t = with_lock t (fun () -> t.count)
+let is_empty t = length t = 0

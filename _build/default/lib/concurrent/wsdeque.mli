@@ -1,0 +1,22 @@
+(** Work-stealing deque.
+
+    The owner pushes and pops at the bottom (LIFO, for locality); thieves
+    steal from the top (FIFO, taking the oldest and typically largest task).
+    A single mutex per deque keeps the implementation simple; contention is
+    low because thieves only touch a deque when their own is empty. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** Owner end. *)
+
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+
+(** Thief end. *)
+
+val steal : 'a t -> 'a option
+
+val length : 'a t -> int
+val is_empty : 'a t -> bool

@@ -1,0 +1,1 @@
+lib/core/addr_map.ml: Int Pbca_concurrent

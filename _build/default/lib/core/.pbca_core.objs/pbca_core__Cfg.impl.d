@@ -1,0 +1,1 @@
+lib/core/cfg.ml: Addr_map Atomic Config Format Hashtbl List Mutex Pbca_binfmt Pbca_concurrent Pbca_isa Pbca_simsched

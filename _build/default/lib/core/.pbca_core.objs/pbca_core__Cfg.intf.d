@@ -1,0 +1,1 @@
+lib/core/cfg.mli: Addr_map Atomic Config Format Hashtbl Mutex Pbca_binfmt Pbca_concurrent Pbca_isa Pbca_simsched

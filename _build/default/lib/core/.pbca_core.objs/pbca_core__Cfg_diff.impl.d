@@ -1,0 +1,1 @@
+lib/core/cfg_diff.ml: Atomic Cfg Disasm Format Hashtbl List Option Pbca_isa Printf

@@ -1,0 +1,1 @@
+lib/core/cfg_diff.mli: Cfg Format

@@ -1,0 +1,1 @@
+lib/core/disasm.ml: Cfg List Pbca_binfmt Pbca_isa

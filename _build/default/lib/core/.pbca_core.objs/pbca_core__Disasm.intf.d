@@ -1,0 +1,1 @@
+lib/core/disasm.mli: Cfg Pbca_binfmt Pbca_isa

@@ -1,0 +1,1 @@
+lib/core/dot.ml: Addr_map Buffer Cfg Disasm Fun Hashtbl List Pbca_isa Printf String

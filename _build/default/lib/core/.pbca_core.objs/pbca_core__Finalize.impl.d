@@ -1,0 +1,1 @@
+lib/core/finalize.ml: Addr_map Array Atomic Cfg Disasm Hashtbl List Option Pbca_binfmt Pbca_concurrent Pbca_isa Pbca_simsched

@@ -1,0 +1,1 @@
+lib/core/finalize.mli: Cfg Pbca_concurrent

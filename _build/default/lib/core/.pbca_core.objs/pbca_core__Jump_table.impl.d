@@ -1,0 +1,1 @@
+lib/core/jump_table.ml: Addr_map Atomic Cfg Config Disasm List Option Pbca_binfmt Pbca_isa Pbca_simsched

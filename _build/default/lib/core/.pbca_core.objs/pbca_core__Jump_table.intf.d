@@ -1,0 +1,1 @@
+lib/core/jump_table.mli: Cfg Pbca_isa

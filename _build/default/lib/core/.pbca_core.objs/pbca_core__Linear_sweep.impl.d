@@ -1,0 +1,1 @@
+lib/core/linear_sweep.ml: Array Cfg Hashtbl List Option Pbca_binfmt Pbca_concurrent Pbca_isa

@@ -1,0 +1,1 @@
+lib/core/linear_sweep.mli: Cfg Pbca_binfmt Pbca_concurrent Pbca_isa

@@ -1,0 +1,1 @@
+lib/core/noreturn.ml: Addr_map Atomic Cfg Config List Pbca_simsched String

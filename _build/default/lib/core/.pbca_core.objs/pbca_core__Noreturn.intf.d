@@ -1,0 +1,1 @@
+lib/core/noreturn.mli: Cfg Pbca_simsched

@@ -1,0 +1,1 @@
+lib/core/ops.ml: Format Hashtbl List Pbca_binfmt Pbca_isa

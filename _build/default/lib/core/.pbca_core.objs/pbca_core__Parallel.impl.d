@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Addr_map Array Atomic Cfg Config Disasm Finalize Hashtbl Jump_table List Mutex Noreturn Option Pbca_binfmt Pbca_concurrent Pbca_isa Pbca_simsched Printf

@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Cfg Config Pbca_binfmt Pbca_concurrent Pbca_simsched

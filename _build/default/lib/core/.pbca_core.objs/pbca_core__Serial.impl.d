@@ -1,0 +1,1 @@
+lib/core/serial.ml: Parallel Pbca_concurrent

@@ -1,0 +1,1 @@
+lib/core/serial.mli: Cfg Config Pbca_binfmt Pbca_simsched

@@ -1,0 +1,1 @@
+lib/core/summary.ml: Addr_map Atomic Cfg Digest Format List Marshal Printf Set String

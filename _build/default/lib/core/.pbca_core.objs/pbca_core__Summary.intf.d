@@ -1,0 +1,1 @@
+lib/core/summary.mli: Cfg Format

@@ -1,0 +1,10 @@
+(* Concurrent map keyed by virtual address. *)
+include Pbca_concurrent.Conc_hash.Make (struct
+  type t = int
+
+  let equal = Int.equal
+
+  (* Addresses are 16-byte-aligned-ish; fold the high bits in so shard
+     selection stays uniform. *)
+  let hash a = (a * 0x9E3779B1) lxor (a lsr 16)
+end)

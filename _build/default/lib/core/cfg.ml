@@ -1,0 +1,265 @@
+type edge_kind =
+  | Fallthrough
+  | Jump
+  | Cond_taken
+  | Cond_fall
+  | Call
+  | Call_fallthrough
+  | Indirect
+  | Tail_call
+
+type block = {
+  b_start : int;
+  b_end : int Atomic.t;
+  b_term : Pbca_isa.Insn.t option Atomic.t;
+  b_ninsns : int Atomic.t;
+  b_out : edge list Atomic.t;
+  b_in : edge list Atomic.t;
+  b_watchers : func list Atomic.t;
+}
+
+and edge = {
+  mutable e_src : block;
+  e_dst : block;
+  mutable e_kind : edge_kind;
+  mutable e_flipped : bool;
+  e_dead : bool Atomic.t;
+  e_jt : (int * int) option;
+}
+
+and ret_status = Unset | Returns | Noreturn
+and waiter = W_fallthrough of int | W_status of func
+
+and func = {
+  f_entry_addr : int;
+  f_entry : block;
+  f_name : string;
+  f_from_symtab : bool;
+  f_ret : ret_status Atomic.t;
+  f_ret_dep : Pbca_simsched.Trace.dep option Atomic.t;
+  f_waiters : waiter list Atomic.t;
+  f_visited : (int, unit) Hashtbl.t;
+  f_vlock : Mutex.t;
+  mutable f_blocks : block list;
+}
+
+type jt_record = {
+  jt_id : int;
+  jt_block : block;
+  jt_jump_addr : int;
+  jt_base : int;
+  jt_bounded : bool;
+  jt_count : int;
+}
+
+type stats = {
+  insns_decoded : int Atomic.t;
+  blocks_created : int Atomic.t;
+  splits : int Atomic.t;
+  edges_created : int Atomic.t;
+  jt_analyses : int Atomic.t;
+  jt_unresolved : int Atomic.t;
+}
+
+type t = {
+  image : Pbca_binfmt.Image.t;
+  config : Config.t;
+  blocks : block Addr_map.t;
+  ends : block Addr_map.t;
+  funcs : func Addr_map.t;
+  tables : jt_record Pbca_concurrent.Conc_bag.t;
+  next_table_id : int Atomic.t;
+  static_entries : unit Addr_map.t;
+  ft_guard : unit Addr_map.t;
+  stats : stats;
+  trace : Pbca_simsched.Trace.t;
+}
+
+let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
+    image =
+  let static_entries = Addr_map.create ~shards:config.Config.shards () in
+  List.iter
+    (fun (s : Pbca_binfmt.Symbol.t) ->
+      ignore (Addr_map.insert_if_absent static_entries s.offset ()))
+    (Pbca_binfmt.Symtab.functions image.Pbca_binfmt.Image.symtab);
+  {
+    image;
+    config;
+    blocks = Addr_map.create ~shards:config.Config.shards ();
+    ends = Addr_map.create ~shards:config.Config.shards ();
+    funcs = Addr_map.create ~shards:config.Config.shards ();
+    tables = Pbca_concurrent.Conc_bag.create ();
+    next_table_id = Atomic.make 0;
+    static_entries;
+    ft_guard = Addr_map.create ~shards:config.Config.shards ();
+    stats =
+      {
+        insns_decoded = Atomic.make 0;
+        blocks_created = Atomic.make 0;
+        splits = Atomic.make 0;
+        edges_created = Atomic.make 0;
+        jt_analyses = Atomic.make 0;
+        jt_unresolved = Atomic.make 0;
+      };
+    trace;
+  }
+
+let is_candidate b = Atomic.get b.b_end < 0
+let block_end b = Atomic.get b.b_end
+
+let out_edges b =
+  List.filter (fun e -> not (Atomic.get e.e_dead)) (Atomic.get b.b_out)
+
+let in_edges b =
+  List.filter (fun e -> not (Atomic.get e.e_dead)) (Atomic.get b.b_in)
+
+let is_intra = function
+  | Fallthrough | Jump | Cond_taken | Cond_fall | Call_fallthrough | Indirect
+    ->
+    true
+  | Call | Tail_call -> false
+
+let rec push_atomic cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (x :: cur)) then push_atomic cell x
+
+let new_block start =
+  {
+    b_start = start;
+    b_end = Atomic.make (-1);
+    b_term = Atomic.make None;
+    b_ninsns = Atomic.make 0;
+    b_out = Atomic.make [];
+    b_in = Atomic.make [];
+    b_watchers = Atomic.make [];
+  }
+
+let find_or_create_block t addr =
+  let b, created = Addr_map.find_or_insert t.blocks addr (fun () -> new_block addr) in
+  if created then Atomic.incr t.stats.blocks_created;
+  (b, created)
+
+let find_or_create_func t ~name ~from_symtab addr =
+  let entry, _ = find_or_create_block t addr in
+  Addr_map.find_or_insert t.funcs addr (fun () ->
+      {
+        f_entry_addr = addr;
+        f_entry = entry;
+        f_name = name;
+        f_from_symtab = from_symtab;
+        f_ret = Atomic.make Unset;
+        f_ret_dep = Atomic.make None;
+        f_waiters = Atomic.make [];
+        f_visited = Hashtbl.create 16;
+        f_vlock = Mutex.create ();
+        f_blocks = [];
+      })
+
+let add_edge t ?jt src dst kind =
+  let e =
+    {
+      e_src = src;
+      e_dst = dst;
+      e_kind = kind;
+      e_flipped = false;
+      e_dead = Atomic.make false;
+      e_jt = jt;
+    }
+  in
+  push_atomic src.b_out e;
+  push_atomic dst.b_in e;
+  Atomic.incr t.stats.edges_created;
+  e
+
+let watch b f = push_atomic b.b_watchers f
+
+(* Invariants 2-4: see the interface. The entry callback never touches the
+   [ends] map again, so the per-shard lock cannot deadlock; it may touch
+   [blocks] and [funcs] (different maps). *)
+let register_end t block0 ~end_:end0 ~on_win ~on_done =
+  let changed = ref [] in
+  let rec go block end_ ~first =
+    let continue_with =
+      Addr_map.update t.ends end_ (fun cur ->
+          match cur with
+          | None ->
+            Atomic.set block.b_end end_;
+            if first then on_win block;
+            changed := block :: !changed;
+            (Some block, None)
+          | Some other when other == block -> (Some other, None)
+          | Some other ->
+            Atomic.incr t.stats.splits;
+            if other.b_start > block.b_start then begin
+              (* we start earlier: shrink ourselves to [start, other.start)
+                 and re-register at the smaller end; [other] keeps the
+                 terminator. Out-edges we carried from an earlier split
+                 iteration emanated from [end_] and are owned by [other],
+                 which already holds the canonical copies — drop ours
+                 (O_BER: outgoing edges go with the upper fragment). *)
+              List.iter
+                (fun e -> Atomic.set e.e_dead true)
+                (Atomic.exchange block.b_out []);
+              Atomic.set block.b_end other.b_start;
+              Atomic.set block.b_term None;
+              ignore (add_edge t block other Fallthrough);
+              changed := block :: !changed;
+              (Some other, Some (block, other.b_start))
+            end
+            else begin
+              (* [other] starts earlier: it shrinks to [other.start, start);
+                 we take over the terminator and its out-edges. If we
+                 already carry canonical edges for [end_] from an earlier
+                 split iteration, [other]'s copies are duplicates. *)
+              let moved = Atomic.exchange other.b_out [] in
+              if Atomic.get block.b_out = [] then
+                List.iter
+                  (fun e ->
+                    e.e_src <- block;
+                    push_atomic block.b_out e)
+                  moved
+              else List.iter (fun e -> Atomic.set e.e_dead true) moved;
+              Atomic.set block.b_term (Atomic.get other.b_term);
+              Atomic.set other.b_term None;
+              Atomic.set other.b_end block.b_start;
+              Atomic.set block.b_end end_;
+              ignore (add_edge t other block Fallthrough);
+              changed := other :: block :: !changed;
+              (Some block, Some (other, block.b_start))
+            end)
+    in
+    match continue_with with
+    | None -> ()
+    | Some (blk, e) -> go blk e ~first:false
+  in
+  go block0 end0 ~first:true;
+  List.iter on_done !changed
+
+let add_edge_at_end t ~end_ ~dst_addr kind =
+  Addr_map.update t.ends end_ (fun cur ->
+      match cur with
+      | None -> (None, None)
+      | Some owner ->
+        let dst, created = find_or_create_block t dst_addr in
+        ignore (add_edge t owner dst kind);
+        (Some owner, Some (owner, dst, created)))
+
+let blocks_list t =
+  Addr_map.fold (fun _ b acc -> b :: acc) t.blocks []
+  |> List.sort (fun a b -> compare a.b_start b.b_start)
+
+let funcs_list t =
+  Addr_map.fold (fun _ f acc -> f :: acc) t.funcs []
+  |> List.sort (fun a b -> compare a.f_entry_addr b.f_entry_addr)
+
+let pp_edge_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with
+    | Fallthrough -> "fallthrough"
+    | Jump -> "jump"
+    | Cond_taken -> "cond-taken"
+    | Cond_fall -> "cond-fall"
+    | Call -> "call"
+    | Call_fallthrough -> "call-ft"
+    | Indirect -> "indirect"
+    | Tail_call -> "tailcall")

@@ -1,0 +1,180 @@
+(** Concurrent control-flow-graph structures.
+
+    The containers and primitives realizing the paper's five invariants
+    (Section 5.2):
+
+    - Invariant 1 / 5 (unique block / function creation): {!find_or_create_block}
+      and {!find_or_create_func} are backed by concurrent hash maps keyed by
+      start address; the first inserter wins (Listing 4).
+    - Invariant 2 (unique block end) / 3 (the end registrant creates the
+      out-edges) / 4 (eager block split): {!register_end} holds the
+      [ends]-map entry lock for the end address while either running the
+      caller's edge-creation callback (winner) or performing one iteration
+      of the eager split loop (Listing 5). Each split iteration re-registers
+      a strictly smaller end address, so the loop converges.
+
+    Blocks, edges and functions are mutable records whose cross-thread
+    fields are [Atomic]; quiescent phases (finalization, client analyses)
+    may read everything freely. *)
+
+type edge_kind =
+  | Fallthrough  (** linear flow after a split or early block end *)
+  | Jump
+  | Cond_taken
+  | Cond_fall
+  | Call
+  | Call_fallthrough
+  | Indirect  (** resolved jump-table edge *)
+  | Tail_call
+
+type block = {
+  b_start : int;
+  b_end : int Atomic.t;  (** exclusive; -1 while still a candidate *)
+  b_term : Pbca_isa.Insn.t option Atomic.t;
+      (** terminating control-flow instruction, once the end is resolved and
+          this block owns it *)
+  b_ninsns : int Atomic.t;
+  b_out : edge list Atomic.t;
+  b_in : edge list Atomic.t;
+  b_watchers : func list Atomic.t;
+      (** functions whose traversal passed through and must be re-run when
+          this block gains edges or resolves *)
+}
+
+and edge = {
+  mutable e_src : block;  (** mutated only under the split lock *)
+  e_dst : block;
+  mutable e_kind : edge_kind;  (** flipped only during finalization *)
+  mutable e_flipped : bool;
+      (** finalization flips each edge's tail-call classification at most
+          once, guaranteeing convergence (Section 5.4) *)
+  e_dead : bool Atomic.t;
+  e_jt : (int * int) option;  (** (table id, entry index) for [Indirect] *)
+}
+
+and ret_status = Unset | Returns | Noreturn
+
+and waiter =
+  | W_fallthrough of int  (** call-site end address: create its call-fall-through *)
+  | W_status of func  (** tail-calling caller inherits [Returns] *)
+
+and func = {
+  f_entry_addr : int;
+  f_entry : block;
+  f_name : string;
+  f_from_symtab : bool;
+  f_ret : ret_status Atomic.t;
+  f_ret_dep : Pbca_simsched.Trace.dep option Atomic.t;
+      (** trace progress point at which the status became [Returns]; tasks
+          enabled by that status (call-fall-through parses) record it as a
+          dependency so the replay model sees the noreturn serialization
+          even when the status race was already won *)
+  f_waiters : waiter list Atomic.t;
+  f_visited : (int, unit) Hashtbl.t;  (** guarded by [f_vlock] *)
+  f_vlock : Mutex.t;
+  mutable f_blocks : block list;  (** set by finalization *)
+}
+
+type jt_record = {
+  jt_id : int;
+  jt_block : block;  (** the block ending with the indirect jump *)
+  jt_jump_addr : int;
+  jt_base : int;
+  jt_bounded : bool;
+  jt_count : int;  (** entries materialized as edges *)
+}
+
+type stats = {
+  insns_decoded : int Atomic.t;
+  blocks_created : int Atomic.t;
+  splits : int Atomic.t;
+  edges_created : int Atomic.t;
+  jt_analyses : int Atomic.t;
+  jt_unresolved : int Atomic.t;
+}
+
+type t = {
+  image : Pbca_binfmt.Image.t;
+  config : Config.t;
+  blocks : block Addr_map.t;
+  ends : block Addr_map.t;
+  funcs : func Addr_map.t;
+  tables : jt_record Pbca_concurrent.Conc_bag.t;
+  next_table_id : int Atomic.t;
+  static_entries : unit Addr_map.t;
+      (** function entries known from the symbol table before traversal
+          starts. Tail-call and jump-table heuristics consult this static
+          set rather than the evolving [funcs] map, so their answers do not
+          depend on thread timing — the finalization rules then converge on
+          the canonical classification (Section 5.4). *)
+  ft_guard : unit Addr_map.t;
+      (** once-guard per call site: the call-fall-through edge of a given
+          call end address is created exactly once even when the waiter
+          registration races with the callee's status transition *)
+  stats : stats;
+  trace : Pbca_simsched.Trace.t;
+}
+
+val create :
+  ?config:Config.t ->
+  ?trace:Pbca_simsched.Trace.t ->
+  Pbca_binfmt.Image.t ->
+  t
+
+val is_candidate : block -> bool
+val block_end : block -> int
+val out_edges : block -> edge list
+(** Live (non-dead) out-edges. *)
+
+val in_edges : block -> edge list
+val is_intra : edge_kind -> bool
+(** Edges followed when computing function boundaries. *)
+
+val find_or_create_block : t -> int -> block * bool
+(** Invariant 1: at most one block per start address. *)
+
+val find_or_create_func : t -> name:string -> from_symtab:bool -> int -> func * bool
+(** Invariant 5: at most one function per entry address. The entry block is
+    created (Invariant 1) as a side effect. *)
+
+val add_edge : t -> ?jt:int * int -> block -> block -> edge_kind -> edge
+(** Append an edge; both endpoint lists are updated. *)
+
+val register_end :
+  t ->
+  block ->
+  end_:int ->
+  on_win:(block -> unit) ->
+  on_done:(block -> unit) ->
+  unit
+(** Invariants 2-4. [on_win b] runs while holding the entry lock if [b] is
+    the unique registrant for [end_] — it must create the block's
+    terminator out-edges (Invariant 3) and set [b_term]. Otherwise the
+    eager split algorithm runs, possibly over several strictly decreasing
+    end addresses. [on_done b] is called (outside the lock) for every block
+    whose shape changed, so traversal watchers can be notified.
+
+    Locking discipline: a resolved block's out-edge list is only ever
+    mutated while holding the [ends] entry lock of the block's current end
+    address — by the winner's [on_win], by the split loop when it moves
+    edges between blocks, and by {!add_edge_at_end} for deferred
+    call-fall-through edges. This is what makes "edges are never created
+    while being moved" hold (paper Listing 5). *)
+
+val add_edge_at_end :
+  t -> end_:int -> dst_addr:int -> edge_kind -> (block * block * bool) option
+(** Add an out-edge (typically [Call_fallthrough]) to whichever block
+    currently owns [end_], atomically with respect to splits. Returns
+    [(owner, dst, dst_created)], or [None] when no block owns [end_] (the
+    call site itself was unreachable and never resolved). *)
+
+val watch : block -> func -> unit
+(** Subscribe a function to a block's shape changes. *)
+
+val blocks_list : t -> block list
+(** All blocks, sorted by start address. Quiescent use only. *)
+
+val funcs_list : t -> func list
+(** All functions, sorted by entry address. Quiescent use only. *)
+
+val pp_edge_kind : Format.formatter -> edge_kind -> unit

@@ -1,0 +1,99 @@
+type func_sig = {
+  fsig_blocks : int;
+  fsig_insns : string list;
+  fsig_edges : (Cfg.edge_kind * int) list;
+  fsig_returns : bool;
+}
+
+type change = { ch_name : string; ch_detail : string }
+
+type t = {
+  unchanged : int;
+  added : string list;
+  removed : string list;
+  changed : change list;
+}
+
+let signature_of g (f : Cfg.func) =
+  let insns =
+    List.concat_map
+      (fun (b : Cfg.block) ->
+        List.map
+          (fun (_, insn, _) -> Pbca_isa.Insn.mnemonic insn)
+          (Disasm.block_insns g b))
+      f.Cfg.f_blocks
+  in
+  let kinds = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun (e : Cfg.edge) ->
+          Hashtbl.replace kinds e.e_kind
+            (1 + Option.value (Hashtbl.find_opt kinds e.e_kind) ~default:0))
+        (Cfg.out_edges b))
+    f.Cfg.f_blocks;
+  {
+    fsig_blocks = List.length f.Cfg.f_blocks;
+    fsig_insns = insns;
+    fsig_edges =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) kinds [] |> List.sort compare;
+    fsig_returns = Atomic.get f.Cfg.f_ret = Cfg.Returns;
+  }
+
+let describe_change old_sig new_sig =
+  if old_sig.fsig_returns <> new_sig.fsig_returns then
+    Printf.sprintf "return status flipped (%b -> %b)" old_sig.fsig_returns
+      new_sig.fsig_returns
+  else if old_sig.fsig_blocks <> new_sig.fsig_blocks then
+    Printf.sprintf "blocks %d -> %d" old_sig.fsig_blocks new_sig.fsig_blocks
+  else if List.length old_sig.fsig_insns <> List.length new_sig.fsig_insns then
+    Printf.sprintf "instructions %d -> %d"
+      (List.length old_sig.fsig_insns)
+      (List.length new_sig.fsig_insns)
+  else if old_sig.fsig_edges <> new_sig.fsig_edges then "edge kinds changed"
+  else "instruction bodies changed"
+
+let named_sigs g =
+  List.map (fun (f : Cfg.func) -> (f.Cfg.f_name, signature_of g f))
+    (Cfg.funcs_list g)
+
+let diff old_g new_g =
+  let olds = named_sigs old_g in
+  let news = named_sigs new_g in
+  let old_tbl = Hashtbl.create 64 and new_tbl = Hashtbl.create 64 in
+  List.iter (fun (n, s) -> Hashtbl.replace old_tbl n s) olds;
+  List.iter (fun (n, s) -> Hashtbl.replace new_tbl n s) news;
+  let unchanged = ref 0 in
+  let changed = ref [] in
+  let removed = ref [] in
+  List.iter
+    (fun (n, os) ->
+      match Hashtbl.find_opt new_tbl n with
+      | Some ns ->
+        if os = ns then incr unchanged
+        else changed := { ch_name = n; ch_detail = describe_change os ns } :: !changed
+      | None -> removed := n :: !removed)
+    olds;
+  let added =
+    List.filter_map
+      (fun (n, _) -> if Hashtbl.mem old_tbl n then None else Some n)
+      news
+  in
+  {
+    unchanged = !unchanged;
+    added = List.sort compare added;
+    removed = List.sort compare !removed;
+    changed =
+      List.sort (fun a b -> compare a.ch_name b.ch_name) !changed;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%d unchanged, %d changed, %d added, %d removed"
+    t.unchanged (List.length t.changed) (List.length t.added)
+    (List.length t.removed);
+  List.iter
+    (fun c -> Format.fprintf fmt "@   ~ %s: %s" c.ch_name c.ch_detail)
+    t.changed;
+  List.iter (fun n -> Format.fprintf fmt "@   + %s" n) t.added;
+  List.iter (fun n -> Format.fprintf fmt "@   - %s" n) t.removed;
+  Format.fprintf fmt "@]"

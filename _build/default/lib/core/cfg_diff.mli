@@ -1,0 +1,36 @@
+(** Structural diff of two parsed binaries.
+
+    The paper's motivating workflow recompiles and re-analyzes after every
+    source change (Section 1), and notes that "even small code changes can
+    lead to dramatically different binaries". This module quantifies that:
+    functions are matched by name (entry addresses shift between builds)
+    and compared by a layout-independent shape signature — block count,
+    instruction mnemonics, and the multiset of edge kinds — so unchanged
+    functions are recognized even after relocation. *)
+
+type func_sig = {
+  fsig_blocks : int;
+  fsig_insns : string list;  (** mnemonics in address order *)
+  fsig_edges : (Cfg.edge_kind * int) list;  (** kind histogram, sorted *)
+  fsig_returns : bool;
+}
+
+val signature_of : Cfg.t -> Cfg.func -> func_sig
+
+type change = {
+  ch_name : string;
+  ch_detail : string;
+}
+
+type t = {
+  unchanged : int;
+  added : string list;
+  removed : string list;
+  changed : change list;
+}
+
+val diff : Cfg.t -> Cfg.t -> t
+(** [diff old_cfg new_cfg]. Functions without symbols are matched by their
+    position among the unnamed. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,16 @@
+type t = {
+  eager_noreturn : bool;
+  decode_cache : bool;
+  jt_union : bool;
+  jt_max_scan : int;
+  shards : int;
+}
+
+let default =
+  {
+    eager_noreturn = true;
+    decode_cache = true;
+    jt_union = true;
+    jt_max_scan = 128;
+    shards = 128;
+  }

@@ -1,0 +1,23 @@
+(** Parser configuration knobs.
+
+    The defaults reproduce the paper's final design; the switches exist for
+    the ablation benchmarks (which design decision buys what). *)
+
+type t = {
+  eager_noreturn : bool;
+      (** notify callers the moment a return instruction is found in the
+          callee, instead of waiting for the callee's analysis to finish
+          (paper Section 5.3) *)
+  decode_cache : bool;
+      (** per-thread cache of block starts to cut redundant decoding
+          (paper Section 6.3) *)
+  jt_union : bool;
+      (** take the union of jump-table targets over analyzable paths instead
+          of failing the whole table when one path resists analysis
+          (paper Section 5.3) *)
+  jt_max_scan : int;
+      (** over-approximation cap when no bound is recoverable *)
+  shards : int;  (** shard count for the concurrent maps *)
+}
+
+val default : t

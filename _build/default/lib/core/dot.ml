@@ -1,0 +1,127 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '"' -> "\\\""
+         | '\\' -> "\\\\"
+         | '\n' -> "\\l"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let block_label g (b : Cfg.block) =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "[0x%x, 0x%x)\n" b.Cfg.b_start (Cfg.block_end b));
+  List.iter
+    (fun (a, insn, _) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%x: %s\n" a (Pbca_isa.Insn.to_string insn)))
+    (Disasm.block_insns g b);
+  escape (Buffer.contents buf)
+
+let edge_attrs (e : Cfg.edge) =
+  match e.e_kind with
+  | Cfg.Fallthrough -> "style=dashed"
+  | Cfg.Cond_fall -> "style=dashed,label=\"F\""
+  | Cfg.Cond_taken -> "label=\"T\""
+  | Cfg.Jump -> ""
+  | Cfg.Call -> "style=bold,color=darkgreen"
+  | Cfg.Call_fallthrough -> "style=dotted,label=\"ret\""
+  | Cfg.Indirect -> "color=blue"
+  | Cfg.Tail_call -> "color=red,style=bold"
+
+let node_name (b : Cfg.block) = Printf.sprintf "b0x%x" b.Cfg.b_start
+
+let emit_block buf g (b : Cfg.block) =
+  Buffer.add_string buf
+    (Printf.sprintf "  %s [shape=box,fontname=monospace,label=\"%s\"];\n"
+       (node_name b) (block_label g b))
+
+let emit_edges buf (b : Cfg.block) =
+  List.iter
+    (fun (e : Cfg.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  %s -> %s [%s];\n" (node_name e.e_src)
+           (node_name e.e_dst) (edge_attrs e)))
+    (Cfg.out_edges b)
+
+let func_to_dot g (f : Cfg.func) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "digraph \"%s\" {\n  label=\"%s @0x%x\";\n" f.Cfg.f_name
+       f.Cfg.f_name f.Cfg.f_entry_addr);
+  List.iter (emit_block buf g) f.Cfg.f_blocks;
+  List.iter (emit_edges buf) f.Cfg.f_blocks;
+  (* out-of-boundary targets (callees, tail-call targets) as plain ovals *)
+  let members =
+    List.map (fun (b : Cfg.block) -> b.Cfg.b_start) f.Cfg.f_blocks
+  in
+  let externals = Hashtbl.create 8 in
+  List.iter
+    (fun (b : Cfg.block) ->
+      List.iter
+        (fun (e : Cfg.edge) ->
+          let d = e.e_dst.Cfg.b_start in
+          if not (List.mem d members) then Hashtbl.replace externals d ())
+        (Cfg.out_edges b))
+    f.Cfg.f_blocks;
+  Hashtbl.iter
+    (fun d () ->
+      let name =
+        match Addr_map.find g.Cfg.funcs d with
+        | Some callee -> callee.Cfg.f_name
+        | None -> Printf.sprintf "0x%x" d
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  b0x%x [shape=oval,label=\"%s\"];\n" d (escape name)))
+    externals;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let graph_to_dot ?(max_funcs = 50) g =
+  let buf = Buffer.create 16384 in
+  Buffer.add_string buf "digraph program {\n  compound=true;\n";
+  let emitted = Hashtbl.create 256 in
+  let funcs = Cfg.funcs_list g in
+  List.iteri
+    (fun i (f : Cfg.func) ->
+      if i < max_funcs then begin
+        Buffer.add_string buf
+          (Printf.sprintf "  subgraph \"cluster_%s\" {\n    label=\"%s\";\n"
+             f.Cfg.f_name f.Cfg.f_name);
+        List.iter
+          (fun (b : Cfg.block) ->
+            if not (Hashtbl.mem emitted b.Cfg.b_start) then begin
+              Hashtbl.replace emitted b.Cfg.b_start ();
+              Buffer.add_string buf "  ";
+              emit_block buf g b
+            end)
+          f.Cfg.f_blocks;
+        Buffer.add_string buf "  }\n"
+      end)
+    funcs;
+  List.iteri
+    (fun i (f : Cfg.func) ->
+      if i < max_funcs then
+        List.iter
+          (fun (b : Cfg.block) ->
+            List.iter
+              (fun (e : Cfg.edge) ->
+                if Hashtbl.mem emitted e.Cfg.e_dst.Cfg.b_start then begin
+                  Buffer.add_string buf "  ";
+                  Buffer.add_string buf
+                    (Printf.sprintf "%s -> %s [%s];\n" (node_name e.e_src)
+                       (node_name e.e_dst) (edge_attrs e))
+                end)
+              (Cfg.out_edges b))
+          f.Cfg.f_blocks)
+    funcs;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_func g f path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (func_to_dot g f))

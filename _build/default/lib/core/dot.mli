@@ -1,0 +1,15 @@
+(** Graphviz export of finalized CFGs — the visual counterpart of the
+    paper's Figure 1 diagrams. *)
+
+val func_to_dot : Cfg.t -> Cfg.func -> string
+(** One function's CFG as a [digraph]: blocks become nodes labelled with
+    their address range and disassembly, edges are styled by kind
+    (fall-through dashed, calls bold, tail calls red, indirect blue). *)
+
+val graph_to_dot : ?max_funcs:int -> Cfg.t -> string
+(** The whole program as one digraph with one cluster per function
+    (blocks shared between functions appear in the first owner's cluster).
+    [max_funcs] caps the output (default 50). *)
+
+val write_func : Cfg.t -> Cfg.func -> string -> unit
+(** Write {!func_to_dot} to a file. *)

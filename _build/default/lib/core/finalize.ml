@@ -1,0 +1,270 @@
+module Image = Pbca_binfmt.Image
+module Section = Pbca_binfmt.Section
+module Task_pool = Pbca_concurrent.Task_pool
+module Trace = Pbca_simsched.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Step 1: jump-table over-approximation cleanup.                      *)
+
+let table_limit g sorted_bases base =
+  (* entries may extend to the next discovered table or the end of the
+     enclosing section *)
+  let next =
+    List.find_opt (fun b -> b > base) sorted_bases
+  in
+  let section_end =
+    match Image.find_section_at g.Cfg.image base with
+    | Some s -> s.Section.addr + Section.size s
+    | None -> base
+  in
+  match next with Some n -> min n section_end | None -> section_end
+
+let clean_jump_tables ~pool g =
+  let tables = Pbca_concurrent.Conc_bag.to_list g.Cfg.tables in
+  let bases = List.sort compare (List.map (fun t -> t.Cfg.jt_base) tables) in
+  let tarr = Array.of_list tables in
+  Task_pool.parallel_for pool 0 (Array.length tarr) (fun i ->
+      let t = tarr.(i) in
+      Trace.tick g.Cfg.trace 8;
+      let limit = table_limit g bases t.Cfg.jt_base in
+      let max_entries = max 0 ((limit - t.Cfg.jt_base) / 4) in
+      (* valid targets: the table's words up to the clamp *)
+      let valid = Hashtbl.create 16 in
+      for k = 0 to max_entries - 1 do
+        match Image.u32 g.Cfg.image (t.Cfg.jt_base + (4 * k)) with
+        | Some w -> Hashtbl.replace valid w ()
+        | None -> ()
+      done;
+      List.iter
+        (fun (e : Cfg.edge) ->
+          if e.e_kind = Cfg.Indirect && not (Hashtbl.mem valid e.e_dst.Cfg.b_start)
+          then Atomic.set e.e_dead true)
+        (Cfg.out_edges t.Cfg.jt_block))
+    ;
+  ()
+
+(* ------------------------------------------------------------------ *)
+(* Step 2: remove blocks unreachable from any function entry.          *)
+
+let reachable_blocks g =
+  let seen = Hashtbl.create 4096 in
+  let stack = ref [] in
+  Addr_map.iter
+    (fun addr _ ->
+      if not (Hashtbl.mem seen addr) then begin
+        Hashtbl.replace seen addr ();
+        stack := addr :: !stack
+      end)
+    g.Cfg.funcs;
+  let rec drain () =
+    match !stack with
+    | [] -> ()
+    | addr :: rest ->
+      stack := rest;
+      (match Addr_map.find g.Cfg.blocks addr with
+      | None -> ()
+      | Some b ->
+        List.iter
+          (fun (e : Cfg.edge) ->
+            let d = e.e_dst.Cfg.b_start in
+            if not (Hashtbl.mem seen d) then begin
+              Hashtbl.replace seen d ();
+              stack := d :: !stack
+            end)
+          (Cfg.out_edges b));
+      drain ()
+  in
+  drain ();
+  seen
+
+let prune_unreachable g =
+  let seen = reachable_blocks g in
+  let dead = ref [] in
+  Addr_map.iter
+    (fun addr b -> if not (Hashtbl.mem seen addr) then dead := (addr, b) :: !dead)
+    g.Cfg.blocks;
+  List.iter
+    (fun (addr, (b : Cfg.block)) ->
+      List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_out);
+      List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_in);
+      ignore (Addr_map.remove g.Cfg.blocks addr);
+      let e = Cfg.block_end b in
+      (match Addr_map.find g.Cfg.ends e with
+      | Some owner when owner == b -> ignore (Addr_map.remove g.Cfg.ends e)
+      | _ -> ()))
+    !dead;
+  !dead <> []
+
+(* ------------------------------------------------------------------ *)
+(* Step 3: function boundaries and tail-call correction.               *)
+
+let compute_boundaries ~pool g =
+  let funcs = Array.of_list (Cfg.funcs_list g) in
+  Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
+      let f = funcs.(i) in
+      let seen = Hashtbl.create 64 in
+      let rec visit (b : Cfg.block) =
+        if not (Hashtbl.mem seen b.Cfg.b_start) then begin
+          Hashtbl.replace seen b.Cfg.b_start b;
+          Trace.tick g.Cfg.trace 1;
+          List.iter
+            (fun (e : Cfg.edge) ->
+              if Cfg.is_intra e.e_kind then visit e.e_dst)
+            (Cfg.out_edges b)
+        end
+      in
+      (match Addr_map.find g.Cfg.blocks f.Cfg.f_entry_addr with
+      | Some entry -> visit entry
+      | None -> ());
+      f.Cfg.f_blocks <-
+        Hashtbl.fold (fun _ b acc -> b :: acc) seen []
+        |> List.sort (fun (a : Cfg.block) b -> compare a.Cfg.b_start b.Cfg.b_start))
+
+(* Membership map: block start -> functions containing it. *)
+let membership g =
+  let tbl = Hashtbl.create 4096 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      List.iter
+        (fun (b : Cfg.block) ->
+          Hashtbl.replace tbl b.Cfg.b_start
+            (f :: (Option.value (Hashtbl.find_opt tbl b.Cfg.b_start) ~default:[])))
+        f.Cfg.f_blocks)
+    (Cfg.funcs_list g)
+
+  ;
+  tbl
+
+let live_in_edges (b : Cfg.block) = Cfg.in_edges b
+
+let correct_tail_calls g =
+  let members = membership g in
+  let funcs_of addr = Option.value (Hashtbl.find_opt members addr) ~default:[] in
+  let flips = ref 0 in
+  let all_edges =
+    List.concat_map
+      (fun (b : Cfg.block) -> Cfg.out_edges b)
+      (Cfg.blocks_list g)
+  in
+  let edges =
+    List.sort
+      (fun (a : Cfg.edge) b ->
+        compare
+          (a.e_src.Cfg.b_start, a.e_dst.Cfg.b_start)
+          (b.e_src.Cfg.b_start, b.e_dst.Cfg.b_start))
+      all_edges
+  in
+  List.iter
+    (fun (e : Cfg.edge) ->
+      if not e.e_flipped then begin
+        let dst = e.e_dst.Cfg.b_start in
+        match e.e_kind with
+        | Cfg.Jump | Cfg.Cond_taken ->
+          (* rule 1: a branch marked not-a-tail-call whose target is a
+             function entry (or has an incoming CALL edge), and is not a
+             self-loop to the containing function's entry *)
+          let target_is_entry =
+            Addr_map.mem g.Cfg.funcs dst
+            || List.exists
+                 (fun (ie : Cfg.edge) -> ie.e_kind = Cfg.Call)
+                 (live_in_edges e.e_dst)
+          in
+          let self_loop =
+            List.exists
+              (fun (f : Cfg.func) -> f.Cfg.f_entry_addr = dst)
+              (funcs_of e.e_src.Cfg.b_start)
+          in
+          if target_is_entry && not self_loop then begin
+            e.e_kind <- Cfg.Tail_call;
+            e.e_flipped <- true;
+            incr flips
+          end
+        | Cfg.Tail_call ->
+          (* rule 2: target lies within the boundary of a function that
+             also contains the source *)
+          let src_funcs = funcs_of e.e_src.Cfg.b_start in
+          let within =
+            List.exists
+              (fun (f : Cfg.func) ->
+                f.Cfg.f_entry_addr <> dst
+                && List.exists
+                     (fun (b : Cfg.block) -> b.Cfg.b_start = dst)
+                     f.Cfg.f_blocks)
+              src_funcs
+          in
+          (* rule 3: the target's only incoming edge is this one (outlined
+             code) *)
+          let sole_in =
+            match live_in_edges e.e_dst with [ only ] -> only == e | _ -> false
+          in
+          if
+            (within || sole_in)
+            && not (Addr_map.mem g.Cfg.static_entries dst)
+          then begin
+            e.e_kind <-
+              (match Atomic.get e.e_src.Cfg.b_term with
+              | Some (Pbca_isa.Insn.Jcc _) -> Cfg.Cond_taken
+              | _ -> Cfg.Jump);
+            e.e_flipped <- true;
+            incr flips
+          end
+        | Cfg.Fallthrough | Cfg.Cond_fall | Cfg.Call | Cfg.Call_fallthrough
+        | Cfg.Indirect ->
+          ()
+      end)
+    edges;
+  !flips > 0
+
+(* ------------------------------------------------------------------ *)
+(* Step 4: prune functions without incoming inter-procedural edges.    *)
+
+let prune_functions g =
+  let doomed = ref [] in
+  Addr_map.iter
+    (fun addr (f : Cfg.func) ->
+      if (not f.Cfg.f_from_symtab) && addr <> g.Cfg.image.Image.entry then begin
+        let has_interproc_in =
+          match Addr_map.find g.Cfg.blocks addr with
+          | None -> false
+          | Some b ->
+            List.exists
+              (fun (e : Cfg.edge) ->
+                match e.e_kind with
+                | Cfg.Call | Cfg.Tail_call -> true
+                | _ -> false)
+              (live_in_edges b)
+        in
+        if not has_interproc_in then doomed := addr :: !doomed
+      end)
+    g.Cfg.funcs;
+  List.iter (fun addr -> ignore (Addr_map.remove g.Cfg.funcs addr)) !doomed;
+  !doomed <> []
+
+(* ------------------------------------------------------------------ *)
+
+let run ~pool g =
+  clean_jump_tables ~pool g;
+  ignore (prune_unreachable g);
+  (* tail-call correction: boundaries and rules alternate; each edge flips
+     at most once so this converges quickly *)
+  let rec fix n =
+    compute_boundaries ~pool g;
+    let flipped = correct_tail_calls g in
+    if flipped && n < 8 then fix (n + 1)
+  in
+  fix 0;
+  (* removing functions can strand their blocks; removing blocks can strip
+     a function's last incoming call — iterate to a (small) fixed point *)
+  let rec prune n =
+    let a = prune_functions g in
+    let b = if a then prune_unreachable g else false in
+    if (a || b) && n < 8 then prune (n + 1)
+  in
+  prune 0;
+  compute_boundaries ~pool g;
+  (* instruction counts are approximate during parsing (splits shrink blocks
+     concurrently); recompute them from the final block extents *)
+  let blocks = Array.of_list (Cfg.blocks_list g) in
+  Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
+      let b = blocks.(i) in
+      Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b)))

@@ -1,0 +1,24 @@
+(** CFG finalization — the correction phase (paper Section 5.4).
+
+    Four parallel steps, each deterministic given the expansion-phase graph:
+
+    1. Jump-table cleanup: tables are sorted by base address; using the
+       observation that compilers do not emit overlapping jump tables, a
+       table's entries are clamped at the next table's base (or the end of
+       its section), and indirect edges pointing outside the clamped entry
+       set are removed (O_ER).
+    2. Unreachable-code removal: blocks no longer reachable from any
+       function entry are dropped along with their edges.
+    3. Tail-call correction and function boundaries: function bodies are
+       recomputed by traversing intra-procedural edges from each entry,
+       then the three correction rules run; each edge's classification
+       flips at most once, guaranteeing convergence.
+    4. Function pruning: functions discovered during traversal that ended
+       up with no incoming inter-procedural edges (and are not in the
+       symbol table) are removed.
+
+    Afterwards, [f_blocks] holds each function's body, every dead edge and
+    block is gone from the maps, and the CFG is read-only for clients
+    (paper Section 7.2). *)
+
+val run : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> unit

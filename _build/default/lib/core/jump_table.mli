@@ -1,0 +1,35 @@
+(** Jump-table analysis (the O_IEC operation).
+
+    Backward slicing from an indirect jump, as in Dyninst (paper Section
+    2.1): chase the jump register's definition to the scaled table-load
+    idiom, the table base to a pc-relative address computation, and the
+    bound to a dominating compare in a predecessor block. The table's words
+    are then read from [.rodata].
+
+    Two behaviours from the paper are reproduced:
+    - union strategy (Section 5.3): when one definition path resists
+      analysis, targets found along the other paths are still used. Failed
+      bounds fall back to scanning entries while they look like code
+      addresses, which can over-approximate — cleaned up during
+      finalization via the "compilers do not emit overlapping jump tables"
+      observation (Section 5.4).
+    - the analysis is a pure function of the image and the *static* symbol
+      set, never of the evolving parallel state, so its result for a given
+      block is deterministic under any schedule. Re-running it when new
+      paths appear (the paper's fixed point) can only add targets
+      (monotonic ordering property, Section 4.1).
+
+    The analysis cost is charged to the caller's trace task. *)
+
+type outcome = {
+  targets : int list;  (** entry addresses in table order (may repeat) *)
+  base : int option;
+  bounded : bool;
+  entries : int;  (** number of table words read *)
+}
+
+val analyze : Cfg.t -> Cfg.block -> Pbca_isa.Reg.t -> outcome
+(** [analyze g block r] resolves the table feeding [Jmp_ind r] at the end
+    of [block]. *)
+
+val empty_outcome : outcome

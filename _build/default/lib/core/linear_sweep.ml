@@ -1,0 +1,157 @@
+module Image = Pbca_binfmt.Image
+module Semantics = Pbca_isa.Semantics
+
+type block = { s : int; e : int; term : Pbca_isa.Insn.t option }
+type t = { blocks : block list; insns : int; undecodable : int }
+
+(* Sweep [lo, cap): blocks plus every decode position, so chunks can be
+   spliced where their instruction streams resynchronize. *)
+type range_sweep = {
+  rs_blocks : block list; (* reverse order *)
+  rs_positions : (int, unit) Hashtbl.t;
+  rs_insns : int;
+  rs_skipped : int;
+  rs_end : int;  (* actual end of the stream: the final instruction may
+                    overshoot the cap *)
+}
+
+let sweep_range image lo cap =
+  let blocks = ref [] in
+  let positions = Hashtbl.create 256 in
+  let insns = ref 0 in
+  let skipped = ref 0 in
+  let fin = ref lo in
+  let rec go block_start a =
+    fin := max !fin a;
+    if a >= cap then begin
+      if a > block_start then
+        blocks := { s = block_start; e = a; term = None } :: !blocks
+    end
+    else
+      match Image.decode_at image a with
+      | Some (insn, len) ->
+        Hashtbl.replace positions a ();
+        incr insns;
+        if Semantics.is_control_flow insn then begin
+          blocks := { s = block_start; e = a + len; term = Some insn } :: !blocks;
+          go (a + len) (a + len)
+        end
+        else go block_start (a + len)
+      | None ->
+        if a > block_start then
+          blocks := { s = block_start; e = a; term = None } :: !blocks;
+        incr skipped;
+        go (a + 1) (a + 1)
+  in
+  go lo lo;
+  {
+    rs_blocks = !blocks;
+    rs_positions = positions;
+    rs_insns = !insns;
+    rs_skipped = !skipped;
+    rs_end = !fin;
+  }
+
+let finish blocks insns undecodable =
+  { blocks = List.sort compare blocks; insns; undecodable }
+
+let serial_sweep image lo hi =
+  let rs = sweep_range image lo hi in
+  finish rs.rs_blocks rs.rs_insns rs.rs_skipped
+
+(* Parallel sweep: chunks are swept independently (each may start mid-
+   instruction), then spliced serially. The splice point into chunk i+1 is
+   wherever chunk i's stream ends; if chunk i+1's stream never passes
+   through that address — the streams failed to resynchronize — the seam
+   region is re-swept serially. Variable-length encodings self-synchronize
+   quickly in practice, so re-sweeps are rare. *)
+let parallel_sweep pool image lo hi =
+  let chunks = max 1 (Pbca_concurrent.Task_pool.threads pool * 4) in
+  let step = max 256 ((hi - lo + chunks - 1) / chunks) in
+  let bounds =
+    List.init chunks (fun i -> lo + (i * step))
+    |> List.filter (fun a -> a < hi)
+  in
+  let bounds = Array.of_list bounds in
+  let n = Array.length bounds in
+  let sweeps = Array.make n None in
+  Pbca_concurrent.Task_pool.parallel_for pool 0 n (fun i ->
+      let cap = if i = n - 1 then hi else bounds.(i + 1) in
+      sweeps.(i) <- Some (sweep_range image bounds.(i) cap));
+  (* splice *)
+  let blocks = ref [] in
+  let insns = ref 0 in
+  let skipped = ref 0 in
+  (* take chunk [i]'s results from position [from]; returns the stream's
+     end position (start of the next chunk's splice) *)
+  let take i from =
+    let rs = Option.get sweeps.(i) in
+    let cap = if i = n - 1 then hi else bounds.(i + 1) in
+    if from = bounds.(i) then begin
+      (* aligned: accept wholesale *)
+      List.iter (fun b -> blocks := b :: !blocks) rs.rs_blocks;
+      insns := !insns + rs.rs_insns;
+      skipped := !skipped + rs.rs_skipped;
+      rs.rs_end
+    end
+    else if from >= cap then from (* the previous chunk overran this one *)
+    else begin
+      (* desynchronized start (the previous chunk's last instruction ran
+         past the boundary): re-sweep the seam from the true position.
+         When [from] appears in this chunk's decode positions the streams
+         have resynchronized and the re-sweep just rebuilds exact block
+         boundaries; otherwise it is the serial fallback. *)
+      let seam = sweep_range image from cap in
+      List.iter (fun b -> blocks := b :: !blocks) seam.rs_blocks;
+      insns := !insns + seam.rs_insns;
+      skipped := !skipped + seam.rs_skipped;
+      seam.rs_end
+    end
+  in
+  let pos = ref lo in
+  for i = 0 to n - 1 do
+    pos := take i !pos
+  done;
+  (* chunk sweeps end exactly at their cap (blocks are cut there), so the
+     splice produces contiguous coverage; adjacent cut blocks merge in the
+     final normalization below *)
+  let sorted = List.sort compare !blocks in
+  let rec merge = function
+    | a :: b :: rest when a.e = b.s && a.term = None ->
+      merge ({ s = a.s; e = b.e; term = b.term } :: rest)
+    | a :: rest -> a :: merge rest
+    | [] -> []
+  in
+  finish (merge sorted) !insns !skipped
+
+let sweep ?pool image =
+  let text = Image.text image in
+  let lo = text.Pbca_binfmt.Section.addr in
+  let hi = lo + Pbca_binfmt.Section.size text in
+  match pool with
+  | None -> serial_sweep image lo hi
+  | Some pool -> parallel_sweep pool image lo hi
+
+let coverage t = List.fold_left (fun acc b -> acc + (b.e - b.s)) 0 t.blocks
+
+let compare_with_traversal t (g : Cfg.t) =
+  let mark tbl lo hi =
+    for a = lo to hi - 1 do
+      Hashtbl.replace tbl a ()
+    done
+  in
+  let sweep_bytes = Hashtbl.create 4096 in
+  List.iter (fun b -> mark sweep_bytes b.s b.e) t.blocks;
+  let trav_bytes = Hashtbl.create 4096 in
+  List.iter
+    (fun (b : Cfg.block) -> mark trav_bytes b.Cfg.b_start (Cfg.block_end b))
+    (Cfg.blocks_list g);
+  let both = ref 0 and sweep_only = ref 0 and trav_only = ref 0 in
+  Hashtbl.iter
+    (fun a () ->
+      if Hashtbl.mem trav_bytes a then incr both else incr sweep_only)
+    sweep_bytes;
+  Hashtbl.iter
+    (fun a () -> if not (Hashtbl.mem sweep_bytes a) then incr trav_only)
+    trav_bytes;
+  (!both, !sweep_only, !trav_only)

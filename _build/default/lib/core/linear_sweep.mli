@@ -1,0 +1,29 @@
+(** Linear-sweep disassembly — the classic alternative to control-flow
+    traversal (Schwarz et al., cited in paper Section 2).
+
+    Decodes [.text] from its first byte to its last, starting a new block
+    after every control-flow instruction. No reachability reasoning: fast
+    and embarrassingly parallel (the section is chunked across the pool),
+    but it decodes padding and data as if they were code and cannot
+    attribute blocks to functions. Provided as a baseline comparator: the
+    tests and ablations quantify its over-approximation against the
+    traversal parser on the same binaries. *)
+
+type block = { s : int; e : int; term : Pbca_isa.Insn.t option }
+
+type t = {
+  blocks : block list;  (** sorted by start *)
+  insns : int;
+  undecodable : int;  (** bytes skipped because no instruction fit *)
+}
+
+val sweep :
+  ?pool:Pbca_concurrent.Task_pool.t -> Pbca_binfmt.Image.t -> t
+
+val coverage : t -> int
+(** Total bytes covered by decoded blocks. *)
+
+val compare_with_traversal : t -> Cfg.t -> int * int * int
+(** [(both, sweep_only, traversal_only)] — code bytes found by both
+    strategies, by the sweep alone (padding/data decoded as code), and by
+    traversal alone (bytes the sweep lost to desynchronization). *)

@@ -1,0 +1,289 @@
+module Image = Pbca_binfmt.Image
+module Semantics = Pbca_isa.Semantics
+
+type block = { s : int; e : int }
+type ekind = Jump | Cond_taken | Cond_fall | Call | Fallthrough | Indirect
+type edge = { src : int; dst : int; kind : ekind }
+
+type g = {
+  blocks : block list;
+  cands : int list;
+  edges : edge list;
+  fents : int list;
+}
+
+let norm g =
+  {
+    blocks = List.sort_uniq compare g.blocks;
+    cands = List.sort_uniq compare g.cands;
+    edges = List.sort_uniq compare g.edges;
+    fents = List.sort_uniq compare g.fents;
+  }
+
+let empty = { blocks = []; cands = []; edges = []; fents = [] }
+let init entries = norm { empty with cands = entries; fents = entries }
+let equal a b = norm a = norm b
+
+let pp fmt g =
+  let g = norm g in
+  Format.fprintf fmt "@[<v>blocks:";
+  List.iter (fun b -> Format.fprintf fmt " [0x%x,0x%x)" b.s b.e) g.blocks;
+  Format.fprintf fmt "@ cands:";
+  List.iter (Format.fprintf fmt " 0x%x") g.cands;
+  Format.fprintf fmt "@ edges:";
+  List.iter (fun e -> Format.fprintf fmt " 0x%x->0x%x" e.src e.dst) g.edges;
+  Format.fprintf fmt "@]"
+
+let find_block_covering g a =
+  List.find_opt (fun b -> a >= b.s && a < b.e) g.blocks
+
+let is_block_start g a = List.exists (fun b -> b.s = a) g.blocks
+let block_at g a = List.find_opt (fun b -> b.s = a) g.blocks
+
+(* Linear scan from [t]: the address just past the first control-flow
+   instruction, or the first undecodable address. *)
+let scan_end image t =
+  let rec go a =
+    match Image.decode_at image a with
+    | None -> a
+    | Some (insn, len) ->
+      if Semantics.is_control_flow insn then a + len else go (a + len)
+  in
+  go t
+
+(* Does [t, s) contain a control-flow instruction (decoding from t)? Also
+   true when decoding runs past [s] without landing on it. *)
+let cf_free_until image t s =
+  let rec go a =
+    if a = s then true
+    else if a > s then false
+    else
+      match Image.decode_at image a with
+      | None -> false
+      | Some (insn, len) ->
+        if Semantics.is_control_flow insn then false else go (a + len)
+  in
+  go t
+
+let o_ber image g t =
+  if not (List.mem t g.cands) then g
+  else
+    let cands = List.filter (fun c -> c <> t) g.cands in
+    match find_block_covering g t with
+    | Some b when b.s < t ->
+      (* block splitting: incoming edges stay on [s,t); outgoing move *)
+      let blocks =
+        { s = b.s; e = t } :: { s = t; e = b.e }
+        :: List.filter (fun x -> x <> b) g.blocks
+      in
+      let edges =
+        List.map (fun e -> if e.src = b.s then { e with src = t } else e) g.edges
+      in
+      let edges = { src = b.s; dst = t; kind = Fallthrough } :: edges in
+      norm { g with blocks; cands; edges }
+    | Some _ ->
+      (* a block already starts at t: resolving the candidate is absorbed *)
+      norm { g with cands }
+    | None -> (
+      (* early block ending: the nearest block start above t, if reachable
+         without control flow *)
+      let above =
+        List.filter (fun b -> b.s > t) g.blocks
+        |> List.sort (fun a b -> compare a.s b.s)
+      in
+      match above with
+      | b :: _ when cf_free_until image t b.s ->
+        norm
+          {
+            g with
+            blocks = { s = t; e = b.s } :: g.blocks;
+            cands;
+            edges = { src = t; dst = b.s; kind = Fallthrough } :: g.edges;
+          }
+      | _ ->
+        let e = scan_end image t in
+        norm { g with blocks = { s = t; e } :: g.blocks; cands })
+
+let add_target g acc t =
+  if is_block_start g t || List.mem t g.cands || List.mem t acc then acc
+  else t :: acc
+
+let o_dec image g s =
+  match block_at g s with
+  | None -> g
+  | Some b ->
+    if List.exists (fun e -> e.src = s && e.kind <> Fallthrough) g.edges then g
+    else begin
+      (* find the terminating instruction *)
+      let rec last a =
+        match Image.decode_at image a with
+        | Some (insn, len) when a + len >= b.e -> Some (a, insn, len)
+        | Some (_, len) -> last (a + len)
+        | None -> None
+      in
+      match last b.s with
+      | None -> g
+      | Some (a, insn, len) -> (
+        match Semantics.flow ~addr:a ~len insn with
+        | Semantics.Jump t ->
+          let cands = add_target g g.cands t in
+          norm
+            { g with cands; edges = { src = s; dst = t; kind = Jump } :: g.edges }
+        | Semantics.Cond_jump t ->
+          let cands = add_target g g.cands t in
+          let cands = add_target g cands (a + len) in
+          norm
+            {
+              g with
+              cands;
+              edges =
+                { src = s; dst = t; kind = Cond_taken }
+                :: { src = s; dst = a + len; kind = Cond_fall }
+                :: g.edges;
+            }
+        | Semantics.Call_direct t ->
+          let cands = add_target g g.cands t in
+          norm
+            { g with cands; edges = { src = s; dst = t; kind = Call } :: g.edges }
+        | Semantics.Jump_indirect | Semantics.Call_indirect
+        | Semantics.Return | Semantics.Stop | Semantics.Fallthrough ->
+          g)
+    end
+
+let o_iec g s targets =
+  match block_at g s with
+  | None -> g
+  | Some _ ->
+    List.fold_left
+      (fun g t ->
+        if List.exists (fun e -> e.src = s && e.dst = t && e.kind = Indirect) g.edges
+        then g
+        else
+          let cands = add_target g g.cands t in
+          norm
+            {
+              g with
+              cands;
+              edges = { src = s; dst = t; kind = Indirect } :: g.edges;
+            })
+      g targets
+
+let o_er g victim =
+  let edges = List.filter (fun e -> e <> victim) g.edges in
+  (* reachability from function entries over remaining edges *)
+  let reachable = Hashtbl.create 16 in
+  let rec visit a =
+    if not (Hashtbl.mem reachable a) then begin
+      Hashtbl.replace reachable a ();
+      List.iter (fun e -> if e.src = a then visit e.dst) edges
+    end
+  in
+  List.iter visit g.fents;
+  let keep a = Hashtbl.mem reachable a in
+  norm
+    {
+      blocks = List.filter (fun b -> keep b.s) g.blocks;
+      cands = List.filter keep g.cands;
+      edges = List.filter (fun e -> keep e.src && keep e.dst) edges;
+      fents = g.fents;
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Partial order (Section 3).                                          *)
+
+let addresses g =
+  List.concat_map
+    (fun b -> List.init (max 0 (b.e - b.s)) (fun i -> b.s + i))
+    g.blocks
+
+let block_end_of g a =
+  match find_block_covering g a with Some b -> Some b.e | None -> None
+
+let preceq g1 g2 =
+  let a1 = addresses g1 and a2 = addresses g2 in
+  let covered = Hashtbl.create 64 in
+  List.iter (fun a -> Hashtbl.replace covered a ()) a2;
+  let addr_ok = List.for_all (Hashtbl.mem covered) a1 in
+  (* explicit control flow: an edge (a -> b) survives as an edge whose
+     source block ends at end(a) and whose target starts at b *)
+  let edge_ok (e : edge) =
+    if e.kind = Fallthrough then true
+    else
+      match block_end_of g1 e.src with
+      | None -> true (* source was a candidate-side artifact *)
+      | Some ea ->
+        List.exists
+          (fun (e2 : edge) ->
+            e2.dst = e.dst
+            && e2.kind = e.kind
+            &&
+            match block_end_of g2 e2.src with
+            | Some ea2 -> ea2 = ea || block_end_of g2 (ea - 1) = Some ea
+            | None -> false)
+          g2.edges
+  in
+  let edges_ok = List.for_all edge_ok g1.edges in
+  (* implicit flow: each block of g1 is a fall-through chain in g2 *)
+  let chain_ok (b : block) =
+    let rec walk s =
+      match block_at g2 s with
+      | None -> false
+      | Some b2 ->
+        if b2.e = b.e then true
+        else if b2.e > b.e then false
+        else
+          List.exists
+            (fun e -> e.src = s && e.dst = b2.e && e.kind = Fallthrough)
+            g2.edges
+          && walk b2.e
+    in
+    walk b.s
+  in
+  let chains_ok = List.for_all chain_ok g1.blocks in
+  let fents_ok =
+    List.for_all
+      (fun f -> is_block_start g2 f || List.mem f g2.cands)
+      g1.fents
+  in
+  addr_ok && edges_ok && chains_ok && fents_ok
+
+(* ------------------------------------------------------------------ *)
+
+(* Does the block end with a direct-control-flow terminator whose edges
+   O_DEC would create? *)
+let has_direct_terminator image (b : block) =
+  let rec last a =
+    match Image.decode_at image a with
+    | Some (insn, len) when a + len >= b.e -> Some (insn, a, len)
+    | Some (_, len) -> last (a + len)
+    | None -> None
+  in
+  match last b.s with
+  | Some (insn, a, len) -> (
+    match Semantics.flow ~addr:a ~len insn with
+    | Semantics.Jump _ | Semantics.Cond_jump _ | Semantics.Call_direct _ ->
+      true
+    | Semantics.Jump_indirect | Semantics.Call_indirect | Semantics.Return
+    | Semantics.Stop | Semantics.Fallthrough ->
+      false)
+  | None -> false
+
+let construct image g0 =
+  let rec go g =
+    match g.cands with
+    | t :: _ -> go (o_ber image g t)
+    | [] -> (
+      (* apply O_DEC to any block whose terminator edges are missing *)
+      let pending =
+        List.find_opt
+          (fun b ->
+            (not
+               (List.exists
+                  (fun e -> e.src = b.s && e.kind <> Fallthrough)
+                  g.edges))
+            && has_direct_terminator image b)
+          g.blocks
+      in
+      match pending with Some b -> go (o_dec image g b.s) | None -> g)
+  in
+  go g0

@@ -1,0 +1,77 @@
+(** The CFG operation algebra (paper Sections 3 and 4).
+
+    A pure, immutable model of CFG construction: a graph is a set of
+    resolved blocks, candidate blocks, edges and function entries, and
+    construction is the repeated application of the core operations
+    O_BER (block end resolution), O_DEC (direct edge creation),
+    O_IEC (indirect edge creation) and O_ER (edge removal) against a fixed
+    binary image.
+
+    This module exists to state — and let the property-based tests verify —
+    the paper's operation properties on real generated binaries:
+
+    - O_BER and O_DEC commute with themselves and each other (Section 4.1),
+      which is the foundation of the parallel algorithm;
+    - O_ER commutes with itself;
+    - delaying O_IEC can only grow the final graph (monotonic ordering, via
+      the partial order {!preceq}).
+
+    The production parser ({!Parallel}) uses optimized concurrent
+    structures; this model is its executable specification. *)
+
+type block = { s : int; e : int }
+(** Resolved basic block [s, e). *)
+
+type ekind = Jump | Cond_taken | Cond_fall | Call | Fallthrough | Indirect
+
+type edge = { src : int; dst : int; kind : ekind }
+(** [src] is the source block's start address; [dst] a start address of a
+    block or candidate. *)
+
+type g = {
+  blocks : block list;  (** sorted by start, disjoint *)
+  cands : int list;  (** sorted candidate starts *)
+  edges : edge list;  (** sorted *)
+  fents : int list;  (** function entry start addresses *)
+}
+
+val empty : g
+val init : int list -> g
+(** [init entries] is G0: every entry is a candidate block and a function
+    entry (paper Section 3). *)
+
+val equal : g -> g -> bool
+val pp : Format.formatter -> g -> unit
+
+val find_block_covering : g -> int -> block option
+val is_block_start : g -> int -> bool
+
+val o_ber : Pbca_binfmt.Image.t -> g -> int -> g
+(** Block end resolution of candidate [t]: block splitting, early block
+    ending, or linear parsing (paper Section 3). No-op if [t] is not a
+    candidate. *)
+
+val o_dec : Pbca_binfmt.Image.t -> g -> int -> g
+(** Direct edge creation from the block starting at the given address,
+    based on its terminating instruction. Targets not yet known become
+    candidates. No-op on candidates or blocks without a direct-control-flow
+    terminator. *)
+
+val o_iec : g -> int -> int list -> g
+(** [o_iec g s targets] adds indirect edges from block [s] to each target
+    (which become candidates when new) — the target list stands for the
+    result of a jump-table analysis. *)
+
+val o_er : g -> edge -> g
+(** Edge removal: delete the edge, then drop every block and candidate no
+    longer reachable from any function entry, along with their edges
+    (paper Section 3). *)
+
+val preceq : g -> g -> bool
+(** The partial order [g1 ≼ g2] of Section 3: address coverage, explicit
+    control flow (modulo block splits), implicit fall-through chains, and
+    function entries are all preserved in [g2]. *)
+
+val construct : Pbca_binfmt.Image.t -> g -> g
+(** Drive O_BER/O_DEC to a fixed point from the given graph — a reference
+    (slow, serial) constructor for small images, used as a test oracle. *)

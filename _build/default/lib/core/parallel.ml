@@ -1,0 +1,361 @@
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module Semantics = Pbca_isa.Semantics
+module Image = Pbca_binfmt.Image
+module Symtab = Pbca_binfmt.Symtab
+module Symbol = Pbca_binfmt.Symbol
+module Task_pool = Pbca_concurrent.Task_pool
+module Thread_local = Pbca_concurrent.Thread_local
+module Trace = Pbca_simsched.Trace
+
+type ctx = {
+  g : Cfg.t;
+  mutable spawn : (unit -> unit) -> unit;
+  decode_cache : (int, unit) Hashtbl.t Thread_local.t;
+  jt_pending : Reg.t Addr_map.t;
+      (* keyed by the indirect jump's end address, which is stable across
+         splits (Invariant 2); the owning block is looked up at analysis
+         time *)
+  jt_last : Jump_table.outcome Addr_map.t; (* latest outcome per end addr *)
+}
+
+let spawn_traced ctx label f =
+  let d = Trace.capture ctx.g.Cfg.trace in
+  ctx.spawn (fun () -> Trace.run ctx.g.Cfg.trace ~label ~deps:[ d ] f)
+
+(* ------------------------------------------------------------------ *)
+(* Function bookkeeping.                                               *)
+
+let func_name ctx addr =
+  match Symtab.by_offset ctx.g.Cfg.image.Image.symtab addr with
+  | s :: _ when Symbol.is_func s -> Symbol.pretty s
+  | _ -> Printf.sprintf "func_0x%x" addr
+
+let rec notify_watchers ctx (b : Cfg.block) =
+  List.iter
+    (fun f -> spawn_traced ctx "walk" (fun () -> process_block ctx f b))
+    (Atomic.get b.Cfg.b_watchers)
+
+and fire_fallthrough ctx ~dep ~call_end =
+  match
+    Cfg.add_edge_at_end ctx.g ~end_:call_end ~dst_addr:call_end
+      Cfg.Call_fallthrough
+  with
+  | None -> ()
+  | Some (owner, dst, created) ->
+    (* the spawned work semantically depends on the callee's return status
+       becoming known, not only on this call site's discovery *)
+    let spawn_dep label f =
+      let d = Trace.capture ctx.g.Cfg.trace in
+      ctx.spawn (fun () ->
+          Trace.run ctx.g.Cfg.trace ~label ~deps:[ d; dep ] f)
+    in
+    if created then spawn_dep "parse" (fun () -> parse_block ctx dst);
+    List.iter
+      (fun f -> spawn_dep "walk" (fun () -> process_block ctx f owner))
+      (Atomic.get owner.Cfg.b_watchers)
+
+and ensure_func ctx addr =
+  let b, bcreated = Cfg.find_or_create_block ctx.g addr in
+  if bcreated then spawn_traced ctx "parse" (fun () -> parse_block ctx b);
+  let f, created =
+    Cfg.find_or_create_func ctx.g ~name:(func_name ctx addr)
+      ~from_symtab:(Addr_map.mem ctx.g.Cfg.static_entries addr)
+      addr
+  in
+  if created then begin
+    Noreturn.seed_status ctx.g f;
+    let entry = f.Cfg.f_entry in
+    spawn_traced ctx "walk" (fun () -> process_block ctx f entry)
+  end;
+  f
+
+(* ------------------------------------------------------------------ *)
+(* Function traversal (Listing 3): walk the evolving graph from the
+   function's entry, subscribing to every visited block so new edges and
+   late block resolutions re-trigger the walk.                          *)
+
+and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
+  let g = ctx.g in
+  let stack = ref [ b0 ] in
+  let fire = fire_fallthrough ctx in
+  while !stack <> [] do
+    match !stack with
+    | [] -> ()
+    | b :: rest ->
+      stack := rest;
+      Trace.tick g.Cfg.trace 1;
+      let first =
+        Mutex.lock f.Cfg.f_vlock;
+        let seen = Hashtbl.mem f.Cfg.f_visited b.Cfg.b_start in
+        if not seen then Hashtbl.replace f.Cfg.f_visited b.Cfg.b_start ();
+        Mutex.unlock f.Cfg.f_vlock;
+        not seen
+      in
+      if first then Cfg.watch b f;
+      if not (Cfg.is_candidate b) then begin
+        (match Atomic.get b.Cfg.b_term with
+        | Some Insn.Ret -> Noreturn.set_returns g f ~fire
+        | _ -> ());
+        List.iter
+          (fun (e : Cfg.edge) ->
+            match e.e_kind with
+            | Cfg.Call -> () (* fall-through handled at the call site *)
+            | Cfg.Tail_call ->
+              (match Addr_map.find g.Cfg.funcs e.e_dst.Cfg.b_start with
+              | Some callee ->
+                Noreturn.subscribe_tail_status g ~caller:f ~callee ~fire
+              | None -> ())
+            | Cfg.Fallthrough | Cfg.Jump | Cfg.Cond_taken | Cfg.Cond_fall
+            | Cfg.Call_fallthrough | Cfg.Indirect ->
+              let dst = e.e_dst in
+              let seen =
+                Mutex.lock f.Cfg.f_vlock;
+                let s = Hashtbl.mem f.Cfg.f_visited dst.Cfg.b_start in
+                Mutex.unlock f.Cfg.f_vlock;
+                s
+              in
+              if not seen then stack := dst :: !stack)
+          (Cfg.out_edges b)
+      end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Linear parsing and block-end registration (Invariants 2-4).         *)
+
+and parse_block ctx (b : Cfg.block) =
+  let g = ctx.g in
+  if Cfg.is_candidate b then begin
+    let cache =
+      if g.Cfg.config.Config.decode_cache then
+        Some (Thread_local.get ctx.decode_cache)
+      else None
+    in
+    let post : (unit -> unit) list ref = ref [] in
+    let add_post a = post := a :: !post in
+    (* terminator-edge creation, run under the ends-entry lock when this
+       block wins the registration (Invariant 3) *)
+    let on_win_cf insn ~addr ~len ~prev (blk : Cfg.block) =
+      Atomic.set blk.Cfg.b_term (Some insn);
+      let target kind t =
+        let dst, created = Cfg.find_or_create_block g t in
+        ignore (Cfg.add_edge g blk dst kind);
+        if created then
+          add_post (fun () ->
+              spawn_traced ctx "parse" (fun () -> parse_block ctx dst))
+      in
+      let is_tail t =
+        Addr_map.mem g.Cfg.static_entries t
+        || (match prev with
+           | Some p -> Semantics.is_stack_teardown p
+           | None -> false)
+      in
+      match Semantics.flow ~addr ~len insn with
+      | Semantics.Jump t ->
+        if is_tail t then begin
+          target Cfg.Tail_call t;
+          add_post (fun () -> ignore (ensure_func ctx t))
+        end
+        else target Cfg.Jump t
+      | Semantics.Cond_jump t ->
+        if Addr_map.mem g.Cfg.static_entries t then begin
+          target Cfg.Tail_call t;
+          add_post (fun () -> ignore (ensure_func ctx t))
+        end
+        else target Cfg.Cond_taken t;
+        target Cfg.Cond_fall (addr + len)
+      | Semantics.Jump_indirect ->
+        let reg =
+          match insn with Insn.Jmp_ind r -> r | _ -> assert false
+        in
+        ignore (Addr_map.insert_if_absent ctx.jt_pending (addr + len) reg)
+      | Semantics.Call_direct t ->
+        target Cfg.Call t;
+        let call_end = addr + len in
+        add_post (fun () ->
+            let callee = ensure_func ctx t in
+            Noreturn.request_fallthrough g ~callee ~call_end
+              ~fire:(fire_fallthrough ctx))
+      | Semantics.Call_indirect ->
+        (* no static callee: assume it returns (standard practice) *)
+        target Cfg.Call_fallthrough (addr + len)
+      | Semantics.Return | Semantics.Stop -> ()
+      | Semantics.Fallthrough -> assert false
+    in
+    let rec scan a n prev =
+      match cache with
+      | Some c when a <> b.Cfg.b_start && Hashtbl.mem c a ->
+        (* early block ending at a start this thread already created *)
+        Atomic.set b.Cfg.b_ninsns n;
+        Cfg.register_end g b ~end_:a
+          ~on_win:(fun blk ->
+            match Addr_map.find g.Cfg.blocks a with
+            | Some dst -> ignore (Cfg.add_edge g blk dst Cfg.Fallthrough)
+            | None -> ())
+          ~on_done:(fun blk -> notify_watchers ctx blk)
+      | _ -> (
+        match Image.decode_at g.Cfg.image a with
+        | None ->
+          Atomic.set b.Cfg.b_ninsns n;
+          if a = b.Cfg.b_start then begin
+            (* nothing decodable here: degenerate empty block *)
+            Atomic.set b.Cfg.b_end b.Cfg.b_start;
+            notify_watchers ctx b
+          end
+          else
+            Cfg.register_end g b ~end_:a
+              ~on_win:(fun _ -> ())
+              ~on_done:(fun blk -> notify_watchers ctx blk)
+        | Some (insn, len) ->
+          Atomic.incr g.Cfg.stats.insns_decoded;
+          Trace.tick g.Cfg.trace 2;
+          if Semantics.is_control_flow insn then begin
+            Atomic.set b.Cfg.b_ninsns (n + 1);
+            Cfg.register_end g b ~end_:(a + len)
+              ~on_win:(on_win_cf insn ~addr:a ~len ~prev)
+              ~on_done:(fun blk -> notify_watchers ctx blk)
+          end
+          else scan (a + len) (n + 1) (Some insn))
+    in
+    scan b.Cfg.b_start 0 None;
+    (match cache with
+    | Some c -> Hashtbl.replace c b.Cfg.b_start ()
+    | None -> ());
+    List.iter (fun a -> a ()) (List.rev !post)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Deferred jump-table analysis rounds (the fixed point of Section 5.3,
+   run on quiescent graphs so every round's input is deterministic).    *)
+
+let run_jt_analysis ctx end_addr reg =
+  let g = ctx.g in
+  match Addr_map.find g.Cfg.ends end_addr with
+  | None -> ()
+  | Some blk ->
+    let outcome = Jump_table.analyze g blk reg in
+    Addr_map.update ctx.jt_last end_addr (fun _ -> (Some outcome, ()));
+    let have = Hashtbl.create 16 in
+    List.iter
+      (fun (e : Cfg.edge) ->
+        if e.e_kind = Cfg.Indirect then
+          Hashtbl.replace have e.e_dst.Cfg.b_start ())
+      (Cfg.out_edges blk);
+    List.iter
+      (fun t ->
+        if not (Hashtbl.mem have t) then begin
+          Hashtbl.replace have t ();
+          match Cfg.add_edge_at_end g ~end_:end_addr ~dst_addr:t Cfg.Indirect with
+          | None -> ()
+          | Some (owner, dst, created) ->
+            if created then
+              spawn_traced ctx "parse" (fun () -> parse_block ctx dst);
+            notify_watchers ctx owner
+        end)
+      outcome.Jump_table.targets
+
+let finish_tables ctx =
+  let g = ctx.g in
+  Addr_map.iter
+    (fun jump_end _reg ->
+      match (Addr_map.find g.Cfg.ends jump_end, Addr_map.find ctx.jt_last jump_end) with
+      | Some blk, Some o when o.Jump_table.base <> None ->
+        let count = o.Jump_table.entries in
+        Pbca_concurrent.Conc_bag.add g.Cfg.tables
+          {
+            Cfg.jt_id = Atomic.fetch_and_add g.Cfg.next_table_id 1;
+            jt_block = blk;
+            jt_jump_addr =
+              (match Disasm.terminator g blk with
+              | Some (a, _, _) -> a
+              | None -> jump_end);
+            jt_base = Option.get o.Jump_table.base;
+            jt_bounded = o.Jump_table.bounded;
+            jt_count = count;
+          }
+      | _ -> ())
+    ctx.jt_pending
+
+(* ------------------------------------------------------------------ *)
+
+let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
+    ~pool image =
+  let g = Cfg.create ~config ~trace image in
+  let ctx =
+    {
+      g;
+      spawn = (fun _ -> invalid_arg "Parallel: spawn outside region");
+      decode_cache = Thread_local.create (fun () -> Hashtbl.create 1024);
+      jt_pending = Addr_map.create ();
+      jt_last = Addr_map.create ();
+    }
+  in
+  let symbols =
+    let funcs = Symtab.functions image.Image.symtab in
+    let entries =
+      List.sort_uniq compare
+        ((if image.Image.entry <> 0 then [ image.Image.entry ] else [])
+        @ List.map (fun (s : Symbol.t) -> s.offset) funcs)
+    in
+    Array.of_list entries
+  in
+  (* Stage 1: initialize functions from the symbol table, in parallel
+     (Listing 2 line 1), then drain the traversal. *)
+  Task_pool.run pool (fun spawn ->
+      ctx.spawn <- spawn;
+      Trace.run trace ~label:"init" ~deps:[] (fun () ->
+          let chunk = 64 in
+          let n = Array.length symbols in
+          let rec spawn_chunks i =
+            if i < n then begin
+              let hi = min n (i + chunk) in
+              spawn_traced ctx "init" (fun () ->
+                  for k = i to hi - 1 do
+                    Trace.tick trace 4;
+                    ignore (ensure_func ctx symbols.(k))
+                  done);
+              spawn_chunks hi
+            end
+          in
+          spawn_chunks 0));
+  (* Stage 2: jump-table fixed point + deferred non-returning drains. Each
+     round is a full synchronization: record it for the replay model. *)
+  let rec rounds n =
+    let edges_before = Atomic.get g.Cfg.stats.edges_created in
+    Trace.barrier trace;
+    Task_pool.run pool (fun spawn ->
+        ctx.spawn <- spawn;
+        Trace.run trace ~label:"jt-round" ~deps:[] (fun () ->
+            Addr_map.iter
+              (fun end_addr reg ->
+                spawn_traced ctx "jt" (fun () ->
+                    run_jt_analysis ctx end_addr reg))
+              ctx.jt_pending));
+    let fired =
+      if not config.Config.eager_noreturn then begin
+        let fired = ref false in
+        Task_pool.run pool (fun spawn ->
+            ctx.spawn <- spawn;
+            fired := Noreturn.drain_pending g ~fire:(fire_fallthrough ctx));
+        !fired
+      end
+      else false
+    in
+    let progress =
+      Atomic.get g.Cfg.stats.edges_created <> edges_before || fired
+    in
+    if progress && n < 100_000 then rounds (n + 1)
+  in
+  rounds 0;
+  (* Stage 3: unresolved statuses are non-returning (cyclic rule); no new
+     fall-throughs can arise from that, so traversal is complete. *)
+  Noreturn.resolve_unset g;
+  finish_tables ctx;
+  Trace.barrier trace;
+  ctx.spawn <- (fun _ -> invalid_arg "Parallel: region closed");
+  g
+
+let parse_and_finalize ?config ?trace ~pool image =
+  let g = parse ?config ?trace ~pool image in
+  Finalize.run ~pool g;
+  g

@@ -1,0 +1,32 @@
+(** Parallel CFG construction (paper Section 5).
+
+    The expansion phase of the analysis: starting from the symbol table's
+    function entries (plus the program entry point), blocks are discovered,
+    linearly parsed and registered under the five invariants of
+    Section 5.2, functions traverse the evolving graph to learn their
+    return status, call-fall-through edges are released eagerly as return
+    instructions are found, and jump tables are resolved to a fixed point
+    in quiescent rounds (each round's input graph is deterministic, so the
+    final CFG is identical under any schedule — including the serial
+    one). The correction phase is {!Finalize.run}.
+
+    Work is scheduled on a work-stealing task pool; one task parses one
+    block, walks one function fragment, or analyzes one jump table. When a
+    trace is supplied, every task records its cost and dependencies for
+    {!Pbca_simsched.Replay}. *)
+
+val parse :
+  ?config:Config.t ->
+  ?trace:Pbca_simsched.Trace.t ->
+  pool:Pbca_concurrent.Task_pool.t ->
+  Pbca_binfmt.Image.t ->
+  Cfg.t
+(** Expansion phase only; call {!Finalize.run} afterwards for the full
+    pipeline (or use {!parse_and_finalize}). *)
+
+val parse_and_finalize :
+  ?config:Config.t ->
+  ?trace:Pbca_simsched.Trace.t ->
+  pool:Pbca_concurrent.Task_pool.t ->
+  Pbca_binfmt.Image.t ->
+  Cfg.t

@@ -1,0 +1,7 @@
+let parse ?config ?trace image =
+  let pool = Pbca_concurrent.Task_pool.create ~threads:1 in
+  Parallel.parse ?config ?trace ~pool image
+
+let parse_and_finalize ?config ?trace image =
+  let pool = Pbca_concurrent.Task_pool.create ~threads:1 in
+  Parallel.parse_and_finalize ?config ?trace ~pool image

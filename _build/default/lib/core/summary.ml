@@ -1,0 +1,126 @@
+type block_sum = { bs_start : int; bs_end : int; bs_insns : int }
+type edge_sum = { es_src : int; es_dst : int; es_kind : Cfg.edge_kind }
+
+type func_sum = {
+  fs_entry : int;
+  fs_name : string;
+  fs_returns : bool;
+  fs_blocks : int list;
+}
+
+type t = {
+  blocks : block_sum list;
+  edges : edge_sum list;
+  funcs : func_sum list;
+}
+
+let of_cfg g =
+  let blocks =
+    List.map
+      (fun (b : Cfg.block) ->
+        {
+          bs_start = b.b_start;
+          bs_end = Cfg.block_end b;
+          bs_insns = Atomic.get b.Cfg.b_ninsns;
+        })
+      (Cfg.blocks_list g)
+  in
+  let edges =
+    List.concat_map
+      (fun (b : Cfg.block) ->
+        List.map
+          (fun (e : Cfg.edge) ->
+            {
+              es_src = e.e_src.Cfg.b_start;
+              es_dst = e.e_dst.Cfg.b_start;
+              es_kind = e.e_kind;
+            })
+          (Cfg.out_edges b))
+      (Cfg.blocks_list g)
+    |> List.sort_uniq compare
+  in
+  let funcs =
+    List.map
+      (fun (f : Cfg.func) ->
+        {
+          fs_entry = f.f_entry_addr;
+          fs_name = f.f_name;
+          fs_returns = Atomic.get f.Cfg.f_ret = Cfg.Returns;
+          fs_blocks =
+            List.sort compare
+              (List.map (fun (b : Cfg.block) -> b.Cfg.b_start) f.Cfg.f_blocks);
+        })
+      (Cfg.funcs_list g)
+  in
+  { blocks; edges; funcs }
+
+let equal a b = a = b
+
+let fingerprint t =
+  Digest.to_hex (Digest.string (Marshal.to_string t []))
+
+let kind_str k = Format.asprintf "%a" Cfg.pp_edge_kind k
+
+let diff a b =
+  let out = ref [] in
+  let add fmt = Printf.ksprintf (fun s -> out := s :: !out) fmt in
+  let module S = Set.Make (String) in
+  let keyed name f xs = List.map (fun x -> name ^ " " ^ f x) xs in
+  let bset t =
+    S.of_list
+      (keyed "block"
+         (fun b -> Printf.sprintf "[0x%x,0x%x) n=%d" b.bs_start b.bs_end b.bs_insns)
+         t.blocks)
+  in
+  let eset t =
+    S.of_list
+      (keyed "edge"
+         (fun e -> Printf.sprintf "0x%x->0x%x %s" e.es_src e.es_dst (kind_str e.es_kind))
+         t.edges)
+  in
+  let fset t =
+    S.of_list
+      (keyed "func"
+         (fun f ->
+           Printf.sprintf "0x%x %s ret=%b blocks=%s" f.fs_entry f.fs_name
+             f.fs_returns
+             (String.concat "," (List.map (Printf.sprintf "0x%x") f.fs_blocks)))
+         t.funcs)
+  in
+  let report tag sa sb =
+    S.iter (fun x -> add "only in %s: %s" tag x) (S.diff sa sb)
+  in
+  report "A" (bset a) (bset b);
+  report "B" (bset b) (bset a);
+  report "A" (eset a) (eset b);
+  report "B" (eset b) (eset a);
+  report "A" (fset a) (fset b);
+  report "B" (fset b) (fset a);
+  let all = List.rev !out in
+  if List.length all > 50 then
+    List.filteri (fun i _ -> i < 50) all @ [ "... (truncated)" ]
+  else all
+
+let func_ranges _g (f : Cfg.func) =
+  let ranges =
+    List.map
+      (fun (b : Cfg.block) -> (b.Cfg.b_start, Cfg.block_end b))
+      f.Cfg.f_blocks
+  in
+  let sorted = List.sort compare ranges in
+  let rec merge = function
+    | (a1, b1) :: (a2, b2) :: rest when a2 <= b1 -> merge ((a1, max b1 b2) :: rest)
+    | r :: rest -> r :: merge rest
+    | [] -> []
+  in
+  merge sorted
+
+let pp_stats fmt (g : Cfg.t) =
+  let s = g.Cfg.stats in
+  Format.fprintf fmt
+    "blocks=%d funcs=%d insns=%d splits=%d edges=%d jt=%d jt_unresolved=%d"
+    (Addr_map.length g.Cfg.blocks)
+    (Addr_map.length g.Cfg.funcs)
+    (Atomic.get s.insns_decoded) (Atomic.get s.splits)
+    (Atomic.get s.edges_created) (Atomic.get s.jt_analyses)
+    (Atomic.get s.jt_unresolved)

@@ -1,0 +1,44 @@
+(** Canonical, order-independent summaries of a finished CFG.
+
+    The parallel algorithm's correctness claim is that "the relative speed
+    of threads will not impact the final results" (paper Section 5.2). The
+    summary normalizes a CFG into sorted value data so two runs — different
+    thread counts, different schedules, serial vs parallel — can be
+    compared for exact equality. *)
+
+type block_sum = { bs_start : int; bs_end : int; bs_insns : int }
+
+type edge_sum = {
+  es_src : int;  (** source block start *)
+  es_dst : int;
+  es_kind : Cfg.edge_kind;
+}
+
+type func_sum = {
+  fs_entry : int;
+  fs_name : string;
+  fs_returns : bool;
+  fs_blocks : int list;  (** starts of boundary blocks, sorted *)
+}
+
+type t = {
+  blocks : block_sum list;
+  edges : edge_sum list;
+  funcs : func_sum list;
+}
+
+val of_cfg : Cfg.t -> t
+(** Live blocks/edges/functions only, each list sorted. *)
+
+val equal : t -> t -> bool
+val fingerprint : t -> string
+(** Short hex digest, for quick test assertions. *)
+
+val diff : t -> t -> string list
+(** Human-readable differences (empty when equal); capped at 50 lines. *)
+
+val func_ranges : Cfg.t -> Cfg.func -> (int * int) list
+(** Coalesced address ranges of a function's boundary blocks — comparable
+    with ground-truth ranges. *)
+
+val pp_stats : Format.formatter -> Cfg.t -> unit

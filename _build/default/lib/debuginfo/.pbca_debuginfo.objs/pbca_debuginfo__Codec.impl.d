@@ -1,0 +1,1 @@
+lib/debuginfo/codec.ml: Array Bytes Char List Option Pbca_binfmt Pbca_concurrent Types

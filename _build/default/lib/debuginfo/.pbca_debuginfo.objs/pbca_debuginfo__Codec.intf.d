@@ -1,0 +1,1 @@
+lib/debuginfo/codec.mli: Bytes Pbca_concurrent Types

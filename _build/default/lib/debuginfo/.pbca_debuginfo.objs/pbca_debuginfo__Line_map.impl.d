@@ -1,0 +1,1 @@
+lib/debuginfo/line_map.ml: Array List Types

@@ -1,0 +1,1 @@
+lib/debuginfo/types.mli:

@@ -1,0 +1,133 @@
+module W = Pbca_binfmt.Bio.W
+module R = Pbca_binfmt.Bio.R
+
+let write_range w (r : Types.range) =
+  W.u64 w r.lo;
+  W.u64 w r.hi
+
+let read_range r : Types.range =
+  let lo = R.u64 r in
+  let hi = R.u64 r in
+  { lo; hi }
+
+let write_ranges w rs =
+  W.u16 w (List.length rs);
+  List.iter (write_range w) rs
+
+let read_ranges r = List.init (R.u16 r) (fun _ -> read_range r)
+
+let rec write_inline w (n : Types.inline_node) =
+  W.str w n.callee;
+  W.str w n.call_file;
+  W.u32 w n.call_line;
+  write_ranges w n.inl_ranges;
+  W.u16 w (List.length n.children);
+  List.iter (write_inline w) n.children
+
+let rec read_inline r : Types.inline_node =
+  let callee = R.str r in
+  let call_file = R.str r in
+  let call_line = R.u32 r in
+  let inl_ranges = read_ranges r in
+  let children = List.init (R.u16 r) (fun _ -> read_inline r) in
+  { callee; call_file; call_line; inl_ranges; children }
+
+let write_func w (f : Types.func_info) =
+  W.str w f.fi_name;
+  write_ranges w f.fi_ranges;
+  W.str w f.fi_decl_file;
+  W.u32 w f.fi_decl_line;
+  W.u16 w (List.length f.fi_inlines);
+  List.iter (write_inline w) f.fi_inlines
+
+let read_func r : Types.func_info =
+  let fi_name = R.str r in
+  let fi_ranges = read_ranges r in
+  let fi_decl_file = R.str r in
+  let fi_decl_line = R.u32 r in
+  let fi_inlines = List.init (R.u16 r) (fun _ -> read_inline r) in
+  { fi_name; fi_ranges; fi_decl_file; fi_decl_line; fi_inlines }
+
+let write_line w (l : Types.line_entry) =
+  write_range w l.range;
+  W.str w l.file;
+  W.u32 w l.line
+
+let read_line r : Types.line_entry =
+  let range = read_range r in
+  let file = R.str r in
+  let line = R.u32 r in
+  { range; file; line }
+
+(* Deterministic padding: the byte at index [i] of a CU's pad blob. Decoding
+   recomputes the checksum, so the bytes must be a pure function of the
+   index. Three mixing passes model the several walks real DWARF parsing
+   makes over type information (abbrevs, DIEs, attribute forms) — parsing
+   is several times slower per byte than reading. *)
+let pad_byte i = (i * 167) land 0xff
+
+let mix acc c pass = (acc * 33) + (c lxor (pass * 0x5f)) land 0xffffff
+
+let checksum_bytes get n =
+  let acc = ref 0 in
+  for pass = 1 to 3 do
+    for i = 0 to n - 1 do
+      acc := mix !acc (get i) pass land 0xffffff
+    done
+  done;
+  !acc land 0xffffff
+
+let pad_checksum n = checksum_bytes pad_byte n
+
+let encode_cu (cu : Types.cu) =
+  let w = W.create () in
+  W.str w cu.cu_name;
+  W.u32 w (List.length cu.cu_funcs);
+  List.iter (write_func w) cu.cu_funcs;
+  W.u32 w (List.length cu.cu_lines);
+  List.iter (write_line w) cu.cu_lines;
+  W.u32 w cu.cu_pad;
+  W.u32 w (pad_checksum cu.cu_pad);
+  let pad = Bytes.init cu.cu_pad (fun i -> Char.chr (pad_byte i)) in
+  W.raw w pad;
+  W.contents w
+
+let decode_cu blob : Types.cu =
+  let r = R.of_bytes blob in
+  try
+    let cu_name = R.str r in
+    let cu_funcs = List.init (R.u32 r) (fun _ -> read_func r) in
+    let cu_lines = List.init (R.u32 r) (fun _ -> read_line r) in
+    let cu_pad = R.u32 r in
+    let expect = R.u32 r in
+    let pad = R.raw r cu_pad in
+    (* Walking the padding models the cost of parsing type DIEs. *)
+    let sum = checksum_bytes (fun i -> Char.code (Bytes.get pad i)) cu_pad in
+    if sum <> expect then failwith "Debuginfo: CU checksum mismatch";
+    { cu_name; cu_funcs; cu_lines; cu_pad }
+  with R.Truncated -> failwith "Debuginfo: truncated CU"
+
+let encode (t : Types.t) =
+  let w = W.create () in
+  W.u32 w (Array.length t.cus);
+  Array.iter (fun cu -> W.bytes w (encode_cu cu)) t.cus;
+  W.contents w
+
+let cu_blobs data =
+  let r = R.of_bytes data in
+  try
+    let n = R.u32 r in
+    Array.init n (fun _ -> R.bytes r)
+  with R.Truncated -> failwith "Debuginfo: truncated section"
+
+let decode ?pool data : Types.t =
+  let blobs = cu_blobs data in
+  let out = Array.make (Array.length blobs) None in
+  let fill i = out.(i) <- Some (decode_cu blobs.(i)) in
+  (match pool with
+  | Some p -> Pbca_concurrent.Task_pool.parallel_for p 0 (Array.length blobs) fill
+  | None ->
+    for i = 0 to Array.length blobs - 1 do
+      fill i
+    done);
+  { cus = Array.map (fun o -> Option.get o) out }

@@ -1,0 +1,53 @@
+type t = Types.line_entry array
+
+let build (dbg : Types.t) =
+  let all =
+    Array.fold_left
+      (fun acc (cu : Types.cu) -> List.rev_append cu.cu_lines acc)
+      [] dbg.cus
+  in
+  let arr = Array.of_list all in
+  Array.sort
+    (fun (a : Types.line_entry) (b : Types.line_entry) ->
+      compare a.range.lo b.range.lo)
+    arr;
+  arr
+
+let lookup t addr =
+  let n = Array.length t in
+  (* rightmost entry with lo <= addr *)
+  let rec bsearch lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      if t.(mid).Types.range.lo <= addr then bsearch (mid + 1) hi (Some mid)
+      else bsearch lo (mid - 1) best
+  in
+  match bsearch 0 (n - 1) None with
+  | Some i when Types.range_contains t.(i).Types.range addr -> Some t.(i)
+  | _ -> None
+
+let length = Array.length
+
+let inline_context (dbg : Types.t) addr =
+  let rec walk (nodes : Types.inline_node list) acc =
+    match
+      List.find_opt
+        (fun (n : Types.inline_node) ->
+          List.exists (fun r -> Types.range_contains r addr) n.inl_ranges)
+        nodes
+    with
+    | Some n -> walk n.children (n.callee :: acc)
+    | None -> List.rev acc
+  in
+  let in_func (f : Types.func_info) =
+    List.exists (fun r -> Types.range_contains r addr) f.fi_ranges
+  in
+  let rec find_cu i =
+    if i >= Array.length dbg.cus then []
+    else
+      match List.find_opt in_func dbg.cus.(i).cu_funcs with
+      | Some f -> f.fi_name :: walk f.fi_inlines []
+      | None -> find_cu (i + 1)
+  in
+  find_cu 0

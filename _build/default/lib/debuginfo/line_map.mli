@@ -1,0 +1,17 @@
+(** Address-to-source lookup structure.
+
+    Built serially from parsed CUs into one sorted array queried by binary
+    search — the "serial structure optimized for accelerated lookup" of
+    hpcstruct phase 3 (paper Figure 2); the build is the part the paper
+    notes is difficult to parallelize. Queries are pure and thread-safe. *)
+
+type t
+
+val build : Types.t -> t
+val lookup : t -> int -> Types.line_entry option
+val length : t -> int
+
+val inline_context : Types.t -> int -> string list
+(** [inline_context dbg addr] is the inline call chain at [addr], outermost
+    first (analysis capability AC4). Linear in the number of functions; used
+    on demand, not in hot paths. *)

@@ -1,0 +1,36 @@
+type range = { lo : int; hi : int }
+type line_entry = { range : range; file : string; line : int }
+
+type inline_node = {
+  callee : string;
+  call_file : string;
+  call_line : int;
+  inl_ranges : range list;
+  children : inline_node list;
+}
+
+type func_info = {
+  fi_name : string;
+  fi_ranges : range list;
+  fi_decl_file : string;
+  fi_decl_line : int;
+  fi_inlines : inline_node list;
+}
+
+type cu = {
+  cu_name : string;
+  cu_funcs : func_info list;
+  cu_lines : line_entry list;
+  cu_pad : int;
+}
+
+type t = { cus : cu array }
+
+let range_contains r a = a >= r.lo && a < r.hi
+let range_size r = r.hi - r.lo
+
+let func_count t =
+  Array.fold_left (fun acc cu -> acc + List.length cu.cu_funcs) 0 t.cus
+
+let line_count t =
+  Array.fold_left (fun acc cu -> acc + List.length cu.cu_lines) 0 t.cus

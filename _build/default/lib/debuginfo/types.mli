@@ -1,0 +1,43 @@
+(** Debug-information model.
+
+    A simplified DWARF: one tree per compilation unit (CU) carrying function
+    address ranges (possibly several per function, possibly shared between
+    functions — which is how real DWARF encodes functions sharing code,
+    paper Section 8.1), a line table, and inline-call trees (the basis of
+    hpcstruct's inline attribution, analysis capability AC4). *)
+
+type range = { lo : int; hi : int }
+(** Half-open address interval [lo, hi). *)
+
+type line_entry = { range : range; file : string; line : int }
+
+type inline_node = {
+  callee : string;  (** name of the inlined function *)
+  call_file : string;
+  call_line : int;
+  inl_ranges : range list;
+  children : inline_node list;
+}
+
+type func_info = {
+  fi_name : string;
+  fi_ranges : range list;
+  fi_decl_file : string;
+  fi_decl_line : int;
+  fi_inlines : inline_node list;
+}
+
+type cu = {
+  cu_name : string;
+  cu_funcs : func_info list;
+  cu_lines : line_entry list;
+  cu_pad : int;  (** bytes of type-description padding (model of the bulk of
+                     [.debug_*]); parsing must traverse it *)
+}
+
+type t = { cus : cu array }
+
+val range_contains : range -> int -> bool
+val range_size : range -> int
+val func_count : t -> int
+val line_count : t -> int

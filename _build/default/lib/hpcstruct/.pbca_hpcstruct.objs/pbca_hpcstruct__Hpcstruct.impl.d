@@ -1,0 +1,1 @@
+lib/hpcstruct/hpcstruct.ml: Array Buffer Bytes List Option Pbca_analysis Pbca_binfmt Pbca_concurrent Pbca_core Pbca_debuginfo Pbca_simsched Printf String Unix

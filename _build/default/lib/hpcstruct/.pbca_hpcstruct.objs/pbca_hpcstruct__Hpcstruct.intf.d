@@ -1,0 +1,1 @@
+lib/hpcstruct/hpcstruct.mli: Bytes Pbca_binfmt Pbca_concurrent Pbca_core Pbca_simsched

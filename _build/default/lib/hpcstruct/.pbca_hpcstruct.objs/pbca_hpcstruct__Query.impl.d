@@ -1,0 +1,1 @@
+lib/hpcstruct/query.ml: Array Hashtbl List Option Pbca_analysis Pbca_core Pbca_debuginfo

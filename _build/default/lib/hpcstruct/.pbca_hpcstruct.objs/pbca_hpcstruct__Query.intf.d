@@ -1,0 +1,1 @@
+lib/hpcstruct/query.mli: Pbca_core Pbca_debuginfo

@@ -1,0 +1,119 @@
+module Cfg = Pbca_core.Cfg
+module Dbg = Pbca_debuginfo.Types
+module Line_map = Pbca_debuginfo.Line_map
+
+type context = {
+  cx_func : string;
+  cx_entry : int;
+  cx_file : string;
+  cx_line : int;
+  cx_loop_depth : int;
+  cx_inline : string list;
+}
+
+type interval = {
+  lo : int;
+  hi : int;
+  func : Cfg.func;
+  depth : int;
+}
+
+type t = {
+  intervals : interval array;  (* sorted by lo *)
+  line_map : Line_map.t;
+  dbg : Dbg.t;
+}
+
+let build (g : Cfg.t) dbg =
+  let items = ref [] in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let fv = Pbca_analysis.Func_view.make g f in
+      let dom = Pbca_analysis.Dominators.compute fv in
+      let loops = Pbca_analysis.Loops.compute fv dom in
+      Array.iteri
+        (fun i (b : Cfg.block) ->
+          items :=
+            {
+              lo = b.Cfg.b_start;
+              hi = Cfg.block_end b;
+              func = f;
+              depth = loops.Pbca_analysis.Loops.depth.(i);
+            }
+            :: !items)
+        fv.Pbca_analysis.Func_view.blocks)
+    (Cfg.funcs_list g);
+  let intervals = Array.of_list !items in
+  (* blocks shared between functions yield several intervals for the same
+     range; keep the lowest-entry owner first so lookups are deterministic *)
+  Array.sort
+    (fun a b ->
+      match compare a.lo b.lo with
+      | 0 -> compare a.func.Cfg.f_entry_addr b.func.Cfg.f_entry_addr
+      | c -> c)
+    intervals;
+  { intervals; line_map = Line_map.build dbg; dbg }
+
+let find_interval t addr =
+  let n = Array.length t.intervals in
+  let rec bsearch lo hi best =
+    if lo > hi then best
+    else
+      let mid = (lo + hi) / 2 in
+      if t.intervals.(mid).lo <= addr then bsearch (mid + 1) hi (Some mid)
+      else bsearch lo (mid - 1) best
+  in
+  match bsearch 0 (n - 1) None with
+  | Some i ->
+    (* several intervals can share a lo; scan the run around [i] *)
+    let rec back j = if j > 0 && t.intervals.(j - 1).lo = t.intervals.(i).lo then back (j - 1) else j in
+    let rec pick j =
+      if j >= n || t.intervals.(j).lo > addr then None
+      else if addr < t.intervals.(j).hi then Some t.intervals.(j)
+      else pick (j + 1)
+    in
+    (* walk forward from the first candidate at or before addr *)
+    let rec seek j best =
+      if j < 0 then best
+      else if t.intervals.(j).lo <= addr && addr < t.intervals.(j).hi then
+        Some t.intervals.(j)
+      else if t.intervals.(j).hi <= addr && best <> None then best
+      else seek (j - 1) best
+    in
+    (match pick (back i) with Some x -> Some x | None -> seek i None)
+  | None -> None
+
+let lookup t addr =
+  match find_interval t addr with
+  | None -> None
+  | Some iv ->
+    let file, line =
+      match Line_map.lookup t.line_map addr with
+      | Some le -> (le.Dbg.file, le.Dbg.line)
+      | None -> ("?", 0)
+    in
+    Some
+      {
+        cx_func = iv.func.Cfg.f_name;
+        cx_entry = iv.func.Cfg.f_entry_addr;
+        cx_file = file;
+        cx_line = line;
+        cx_loop_depth = iv.depth;
+        cx_inline = Line_map.inline_context t.dbg addr;
+      }
+
+let attribute t samples =
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun addr ->
+      match lookup t addr with
+      | Some cx ->
+        let key = (cx.cx_func, cx.cx_line) in
+        let cur, _ =
+          Option.value (Hashtbl.find_opt counts key) ~default:(0, cx)
+        in
+        Hashtbl.replace counts key (cur + 1, cx)
+      | None -> ())
+    samples;
+  Hashtbl.fold (fun _ (n, cx) acc -> (cx, n) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)

@@ -1,0 +1,30 @@
+(** Address-to-context queries over recovered structure.
+
+    The consumer side of hpcstruct: a profiler has instruction addresses
+    and wants static calling contexts (HPCToolkit's attribution step,
+    paper Section 7.1). Build once after structure recovery; queries are
+    pure and can run from any number of threads (the CFG is read-only
+    after finalization, paper Section 7.2). *)
+
+type context = {
+  cx_func : string;
+  cx_entry : int;
+  cx_file : string;
+  cx_line : int;
+  cx_loop_depth : int;
+  cx_inline : string list;  (** outermost first *)
+}
+
+type t
+
+val build :
+  Pbca_core.Cfg.t -> Pbca_debuginfo.Types.t -> t
+(** Precomputes a block-interval index and per-function loop nesting. *)
+
+val lookup : t -> int -> context option
+(** [None] when the address is padding or unreached code. *)
+
+val attribute :
+  t -> int list -> (context * int) list
+(** Histogram a batch of sample addresses by context (function + line),
+    sorted by count descending — the classic profile report. *)

@@ -1,0 +1,1 @@
+lib/isa/codec.ml: Buffer Bytes Char Insn Option Reg

@@ -1,0 +1,310 @@
+let max_length = 6
+
+(* Operand range checks: immediates are stored in fixed-width little-endian
+   fields; encoding an out-of-range operand is a generator bug we want to
+   fail loudly on. *)
+
+let check_i32 v =
+  if v < -0x8000_0000 || v > 0x7fff_ffff then
+    invalid_arg "Codec: imm32 out of range"
+
+let check_i16 v =
+  if v < -0x8000 || v > 0x7fff then invalid_arg "Codec: disp16 out of range"
+
+let check_u16 v =
+  if v < 0 || v > 0xffff then invalid_arg "Codec: imm16 out of range"
+
+let check_u8 v = if v < 0 || v > 0xff then invalid_arg "Codec: imm8 out of range"
+
+let add_u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+let add_i16 b v =
+  add_u8 b (v land 0xff);
+  add_u8 b ((v asr 8) land 0xff)
+
+let add_i32 b v =
+  add_u8 b (v land 0xff);
+  add_u8 b ((v asr 8) land 0xff);
+  add_u8 b ((v asr 16) land 0xff);
+  add_u8 b ((v asr 24) land 0xff)
+
+let reg r = Reg.to_int r
+
+let cond_code : Insn.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Ge -> 3
+  | Gt -> 4
+  | Le -> 5
+
+let cond_of_code = function
+  | 0 -> Some Insn.Eq
+  | 1 -> Some Insn.Ne
+  | 2 -> Some Insn.Lt
+  | 3 -> Some Insn.Ge
+  | 4 -> Some Insn.Gt
+  | 5 -> Some Insn.Le
+  | _ -> None
+
+let scale_code = function
+  | 1 -> 0
+  | 2 -> 1
+  | 4 -> 2
+  | 8 -> 3
+  | _ -> invalid_arg "Codec: scale must be 1, 2, 4 or 8"
+
+let scale_of_code = function
+  | 0 -> Some 1
+  | 1 -> Some 2
+  | 2 -> Some 4
+  | 3 -> Some 8
+  | _ -> None
+
+let encode b (i : Insn.t) =
+  match i with
+  | Nop -> add_u8 b 0x00
+  | Halt -> add_u8 b 0x01
+  | Mov_rr (d, s) ->
+    add_u8 b 0x10;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Mov_ri (d, v) ->
+    check_i32 v;
+    add_u8 b 0x11;
+    add_u8 b (reg d);
+    add_i32 b v
+  | Load (d, base, disp) ->
+    check_i16 disp;
+    add_u8 b 0x12;
+    add_u8 b (reg d);
+    add_u8 b (reg base);
+    add_i16 b disp
+  | Store (base, disp, s) ->
+    check_i16 disp;
+    add_u8 b 0x13;
+    add_u8 b (reg base);
+    add_i16 b disp;
+    add_u8 b (reg s)
+  | Lea (d, disp) ->
+    check_i32 disp;
+    add_u8 b 0x14;
+    add_u8 b (reg d);
+    add_i32 b disp
+  | Add (d, s) ->
+    add_u8 b 0x20;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Sub (d, s) ->
+    add_u8 b 0x21;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Mul (d, s) ->
+    add_u8 b 0x22;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | And_ (d, s) ->
+    add_u8 b 0x23;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Or_ (d, s) ->
+    add_u8 b 0x24;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Xor (d, s) ->
+    add_u8 b 0x25;
+    add_u8 b (reg d);
+    add_u8 b (reg s)
+  | Shl (d, n) ->
+    check_u8 n;
+    add_u8 b 0x26;
+    add_u8 b (reg d);
+    add_u8 b n
+  | Shr (d, n) ->
+    check_u8 n;
+    add_u8 b 0x27;
+    add_u8 b (reg d);
+    add_u8 b n
+  | Add_ri (d, v) ->
+    check_i32 v;
+    add_u8 b 0x28;
+    add_u8 b (reg d);
+    add_i32 b v
+  | Cmp_rr (x, y) ->
+    add_u8 b 0x30;
+    add_u8 b (reg x);
+    add_u8 b (reg y)
+  | Cmp_ri (x, v) ->
+    check_i32 v;
+    add_u8 b 0x31;
+    add_u8 b (reg x);
+    add_i32 b v
+  | Push s ->
+    add_u8 b 0x40;
+    add_u8 b (reg s)
+  | Pop d ->
+    add_u8 b 0x41;
+    add_u8 b (reg d)
+  | Enter n ->
+    check_u16 n;
+    add_u8 b 0x42;
+    add_i16 b n
+  | Leave -> add_u8 b 0x43
+  | Jmp rel ->
+    check_i32 rel;
+    add_u8 b 0x50;
+    add_i32 b rel
+  | Jcc (c, rel) ->
+    check_i32 rel;
+    add_u8 b 0x51;
+    add_u8 b (cond_code c);
+    add_i32 b rel
+  | Jmp_ind s ->
+    add_u8 b 0x52;
+    add_u8 b (reg s)
+  | Call rel ->
+    check_i32 rel;
+    add_u8 b 0x53;
+    add_i32 b rel
+  | Call_ind s ->
+    add_u8 b 0x54;
+    add_u8 b (reg s)
+  | Ret -> add_u8 b 0x55
+  | Load_idx (d, base, idx, sc) ->
+    add_u8 b 0x56;
+    add_u8 b (reg d);
+    add_u8 b (reg base);
+    add_u8 b (Reg.to_int idx lor (scale_code sc lsl 4))
+
+let encoded_length (i : Insn.t) =
+  match i with
+  | Nop | Halt | Leave | Ret -> 1
+  | Push _ | Pop _ | Jmp_ind _ | Call_ind _ -> 2
+  | Mov_rr _ | Add _ | Sub _ | Mul _ | And_ _ | Or_ _ | Xor _ | Shl _ | Shr _
+  | Cmp_rr _ | Enter _ ->
+    3
+  | Load_idx _ -> 4
+  | Load _ | Store _ | Jmp _ | Call _ -> 5
+  | Mov_ri _ | Lea _ | Add_ri _ | Cmp_ri _ | Jcc _ -> 6
+
+(* Decoding. Reads are bounds-checked; any failure yields None. *)
+
+let u8 buf pos =
+  if pos < Bytes.length buf then Some (Char.code (Bytes.get buf pos)) else None
+
+let i16 buf pos =
+  match (u8 buf pos, u8 buf (pos + 1)) with
+  | Some a, Some b ->
+    let v = a lor (b lsl 8) in
+    Some (if v land 0x8000 <> 0 then v - 0x10000 else v)
+  | _ -> None
+
+let i32 buf pos =
+  if pos + 3 < Bytes.length buf then begin
+    let g i = Char.code (Bytes.get buf (pos + i)) in
+    let v = g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24) in
+    Some (if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v)
+  end
+  else None
+
+let reg_at buf pos =
+  match u8 buf pos with
+  | Some v when v < Reg.count -> Some (Reg.of_int v)
+  | _ -> None
+
+let ( let* ) = Option.bind
+
+let decode buf ~pos : (Insn.t * int) option =
+  let* op = u8 buf pos in
+  match op with
+  | 0x00 -> Some (Insn.Nop, 1)
+  | 0x01 -> Some (Insn.Halt, 1)
+  | 0x10 ->
+    let* d = reg_at buf (pos + 1) in
+    let* s = reg_at buf (pos + 2) in
+    Some (Insn.Mov_rr (d, s), 3)
+  | 0x11 ->
+    let* d = reg_at buf (pos + 1) in
+    let* v = i32 buf (pos + 2) in
+    Some (Insn.Mov_ri (d, v), 6)
+  | 0x12 ->
+    let* d = reg_at buf (pos + 1) in
+    let* base = reg_at buf (pos + 2) in
+    let* disp = i16 buf (pos + 3) in
+    Some (Insn.Load (d, base, disp), 5)
+  | 0x13 ->
+    let* base = reg_at buf (pos + 1) in
+    let* disp = i16 buf (pos + 2) in
+    let* s = reg_at buf (pos + 4) in
+    Some (Insn.Store (base, disp, s), 5)
+  | 0x14 ->
+    let* d = reg_at buf (pos + 1) in
+    let* disp = i32 buf (pos + 2) in
+    Some (Insn.Lea (d, disp), 6)
+  | 0x20 | 0x21 | 0x22 | 0x23 | 0x24 | 0x25 ->
+    let* d = reg_at buf (pos + 1) in
+    let* s = reg_at buf (pos + 2) in
+    let mk : Reg.t -> Reg.t -> Insn.t =
+      match op with
+      | 0x20 -> fun a b -> Insn.Add (a, b)
+      | 0x21 -> fun a b -> Insn.Sub (a, b)
+      | 0x22 -> fun a b -> Insn.Mul (a, b)
+      | 0x23 -> fun a b -> Insn.And_ (a, b)
+      | 0x24 -> fun a b -> Insn.Or_ (a, b)
+      | _ -> fun a b -> Insn.Xor (a, b)
+    in
+    Some (mk d s, 3)
+  | 0x26 | 0x27 ->
+    let* d = reg_at buf (pos + 1) in
+    let* n = u8 buf (pos + 2) in
+    Some ((if op = 0x26 then Insn.Shl (d, n) else Insn.Shr (d, n)), 3)
+  | 0x28 ->
+    let* d = reg_at buf (pos + 1) in
+    let* v = i32 buf (pos + 2) in
+    Some (Insn.Add_ri (d, v), 6)
+  | 0x30 ->
+    let* x = reg_at buf (pos + 1) in
+    let* y = reg_at buf (pos + 2) in
+    Some (Insn.Cmp_rr (x, y), 3)
+  | 0x31 ->
+    let* x = reg_at buf (pos + 1) in
+    let* v = i32 buf (pos + 2) in
+    Some (Insn.Cmp_ri (x, v), 6)
+  | 0x40 ->
+    let* s = reg_at buf (pos + 1) in
+    Some (Insn.Push s, 2)
+  | 0x41 ->
+    let* d = reg_at buf (pos + 1) in
+    Some (Insn.Pop d, 2)
+  | 0x42 ->
+    let* v = i16 buf (pos + 1) in
+    let v = v land 0xffff in
+    Some (Insn.Enter v, 3)
+  | 0x43 -> Some (Insn.Leave, 1)
+  | 0x50 ->
+    let* rel = i32 buf (pos + 1) in
+    Some (Insn.Jmp rel, 5)
+  | 0x51 ->
+    let* c = u8 buf (pos + 1) in
+    let* c = cond_of_code c in
+    let* rel = i32 buf (pos + 2) in
+    Some (Insn.Jcc (c, rel), 6)
+  | 0x52 ->
+    let* s = reg_at buf (pos + 1) in
+    Some (Insn.Jmp_ind s, 2)
+  | 0x53 ->
+    let* rel = i32 buf (pos + 1) in
+    Some (Insn.Call rel, 5)
+  | 0x54 ->
+    let* s = reg_at buf (pos + 1) in
+    Some (Insn.Call_ind s, 2)
+  | 0x55 -> Some (Insn.Ret, 1)
+  | 0x56 ->
+    let* d = reg_at buf (pos + 1) in
+    let* base = reg_at buf (pos + 2) in
+    let* packed = u8 buf (pos + 3) in
+    let r = packed land 0x0f in
+    let* sc = scale_of_code (packed lsr 4) in
+    if r < Reg.count then Some (Insn.Load_idx (d, base, Reg.of_int r, sc), 4)
+    else None
+  | _ -> None

@@ -1,0 +1,22 @@
+(** Binary encoding and decoding of instructions.
+
+    Instructions occupy 1 to 6 bytes, little-endian operands. [decode] is a
+    pure function of the byte buffer, which is what makes the paper's
+    lock-free linear parsing possible: any number of threads can decode
+    overlapping address ranges with no synchronization (Section 5.2,
+    Invariant 2 discussion). *)
+
+val encode : Buffer.t -> Insn.t -> unit
+(** Append the encoding of an instruction. Raises [Invalid_argument] if an
+    operand is out of range (e.g. a displacement that does not fit). *)
+
+val encoded_length : Insn.t -> int
+(** Length in bytes of the encoding, without encoding. *)
+
+val decode : Bytes.t -> pos:int -> (Insn.t * int) option
+(** [decode buf ~pos] decodes the instruction starting at byte [pos],
+    returning it with its length, or [None] if the bytes do not form a valid
+    instruction (invalid opcode, bad register, truncated operand). *)
+
+val max_length : int
+(** Upper bound on instruction length (6). *)

@@ -1,0 +1,106 @@
+type cond = Eq | Ne | Lt | Ge | Gt | Le
+
+type t =
+  | Nop
+  | Halt
+  | Mov_rr of Reg.t * Reg.t
+  | Mov_ri of Reg.t * int
+  | Load of Reg.t * Reg.t * int
+  | Store of Reg.t * int * Reg.t
+  | Lea of Reg.t * int
+  | Add of Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t
+  | And_ of Reg.t * Reg.t
+  | Or_ of Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t
+  | Shl of Reg.t * int
+  | Shr of Reg.t * int
+  | Add_ri of Reg.t * int
+  | Cmp_rr of Reg.t * Reg.t
+  | Cmp_ri of Reg.t * int
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Enter of int
+  | Leave
+  | Jmp of int
+  | Jcc of cond * int
+  | Jmp_ind of Reg.t
+  | Call of int
+  | Call_ind of Reg.t
+  | Ret
+  | Load_idx of Reg.t * Reg.t * Reg.t * int
+
+let equal = Stdlib.( = )
+
+let cond_name = function
+  | Eq -> "eq"
+  | Ne -> "ne"
+  | Lt -> "lt"
+  | Ge -> "ge"
+  | Gt -> "gt"
+  | Le -> "le"
+
+let mnemonic = function
+  | Nop -> "nop"
+  | Halt -> "halt"
+  | Mov_rr _ | Mov_ri _ -> "mov"
+  | Load _ -> "load"
+  | Store _ -> "store"
+  | Lea _ -> "lea"
+  | Add _ | Add_ri _ -> "add"
+  | Sub _ -> "sub"
+  | Mul _ -> "mul"
+  | And_ _ -> "and"
+  | Or_ _ -> "or"
+  | Xor _ -> "xor"
+  | Shl _ -> "shl"
+  | Shr _ -> "shr"
+  | Cmp_rr _ | Cmp_ri _ -> "cmp"
+  | Push _ -> "push"
+  | Pop _ -> "pop"
+  | Enter _ -> "enter"
+  | Leave -> "leave"
+  | Jmp _ -> "jmp"
+  | Jcc (c, _) -> "j" ^ cond_name c
+  | Jmp_ind _ -> "jmp*"
+  | Call _ -> "call"
+  | Call_ind _ -> "call*"
+  | Ret -> "ret"
+  | Load_idx _ -> "loadidx"
+
+let pp fmt i =
+  let r = Reg.name in
+  match i with
+  | Nop -> Format.fprintf fmt "nop"
+  | Halt -> Format.fprintf fmt "halt"
+  | Mov_rr (d, s) -> Format.fprintf fmt "mov %s, %s" (r d) (r s)
+  | Mov_ri (d, v) -> Format.fprintf fmt "mov %s, %d" (r d) v
+  | Load (d, b, o) -> Format.fprintf fmt "load %s, [%s%+d]" (r d) (r b) o
+  | Store (b, o, s) -> Format.fprintf fmt "store [%s%+d], %s" (r b) o (r s)
+  | Lea (d, o) -> Format.fprintf fmt "lea %s, [pc%+d]" (r d) o
+  | Add (d, s) -> Format.fprintf fmt "add %s, %s" (r d) (r s)
+  | Sub (d, s) -> Format.fprintf fmt "sub %s, %s" (r d) (r s)
+  | Mul (d, s) -> Format.fprintf fmt "mul %s, %s" (r d) (r s)
+  | And_ (d, s) -> Format.fprintf fmt "and %s, %s" (r d) (r s)
+  | Or_ (d, s) -> Format.fprintf fmt "or %s, %s" (r d) (r s)
+  | Xor (d, s) -> Format.fprintf fmt "xor %s, %s" (r d) (r s)
+  | Shl (d, n) -> Format.fprintf fmt "shl %s, %d" (r d) n
+  | Shr (d, n) -> Format.fprintf fmt "shr %s, %d" (r d) n
+  | Add_ri (d, v) -> Format.fprintf fmt "add %s, %d" (r d) v
+  | Cmp_rr (a, b) -> Format.fprintf fmt "cmp %s, %s" (r a) (r b)
+  | Cmp_ri (a, v) -> Format.fprintf fmt "cmp %s, %d" (r a) v
+  | Push s -> Format.fprintf fmt "push %s" (r s)
+  | Pop d -> Format.fprintf fmt "pop %s" (r d)
+  | Enter n -> Format.fprintf fmt "enter %d" n
+  | Leave -> Format.fprintf fmt "leave"
+  | Jmp o -> Format.fprintf fmt "jmp %+d" o
+  | Jcc (c, o) -> Format.fprintf fmt "j%s %+d" (cond_name c) o
+  | Jmp_ind s -> Format.fprintf fmt "jmp *%s" (r s)
+  | Call o -> Format.fprintf fmt "call %+d" o
+  | Call_ind s -> Format.fprintf fmt "call *%s" (r s)
+  | Ret -> Format.fprintf fmt "ret"
+  | Load_idx (d, b, i, s) ->
+    Format.fprintf fmt "loadidx %s, [%s + %s*%d]" (r d) (r b) (r i) s
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,56 @@
+(** Instructions of the synthetic ISA.
+
+    A variable-length byte-encoded instruction set carrying every
+    control-flow construct the paper's CFG construction must understand:
+    direct, conditional and indirect jumps; direct and indirect calls;
+    returns; a trap; frame setup and tear-down ([Enter]/[Leave], the signal
+    used by the tail-call heuristics); and the address arithmetic from which
+    jump tables are built ([Lea] for the table base, [Load_idx] for the
+    scaled table fetch, [Cmp_ri]+[Jcc] for the bounds check).
+
+    Branch displacement operands are relative to the address immediately
+    after the instruction, as on x86. *)
+
+type cond = Eq | Ne | Lt | Ge | Gt | Le
+
+type t =
+  | Nop
+  | Halt  (** trap; execution cannot continue past it *)
+  | Mov_rr of Reg.t * Reg.t  (** rd <- rs *)
+  | Mov_ri of Reg.t * int  (** rd <- imm32 *)
+  | Load of Reg.t * Reg.t * int  (** rd <- mem\[rs + disp16\] *)
+  | Store of Reg.t * int * Reg.t  (** mem\[rd + disp16\] <- rs *)
+  | Lea of Reg.t * int  (** rd <- next_pc + disp32 (pc-relative address) *)
+  | Add of Reg.t * Reg.t
+  | Sub of Reg.t * Reg.t
+  | Mul of Reg.t * Reg.t
+  | And_ of Reg.t * Reg.t
+  | Or_ of Reg.t * Reg.t
+  | Xor of Reg.t * Reg.t
+  | Shl of Reg.t * int  (** shift left by imm8 *)
+  | Shr of Reg.t * int
+  | Add_ri of Reg.t * int  (** rd <- rd + imm32 *)
+  | Cmp_rr of Reg.t * Reg.t  (** set flags from rs1 - rs2 *)
+  | Cmp_ri of Reg.t * int  (** set flags from rs - imm32 *)
+  | Push of Reg.t
+  | Pop of Reg.t
+  | Enter of int  (** push fp; fp <- sp; sp <- sp - imm16 *)
+  | Leave  (** sp <- fp; pop fp (stack tear-down) *)
+  | Jmp of int  (** unconditional, rel32 *)
+  | Jcc of cond * int  (** conditional, rel32 *)
+  | Jmp_ind of Reg.t  (** indirect jump (jump tables) *)
+  | Call of int  (** direct call, rel32 *)
+  | Call_ind of Reg.t
+  | Ret
+  | Load_idx of Reg.t * Reg.t * Reg.t * int
+      (** rd <- mem\[rs + ri * scale\]; scale in {1,2,4,8}. The jump-table
+          fetch idiom. *)
+
+val equal : t -> t -> bool
+val cond_name : cond -> string
+val mnemonic : t -> string
+
+val pp : Format.formatter -> t -> unit
+(** Render in an objdump-like syntax, e.g. [add r1, r2]. *)
+
+val to_string : t -> string

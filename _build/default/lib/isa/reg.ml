@@ -1,0 +1,42 @@
+type t = int
+
+let count = 16
+
+let of_int i =
+  if i < 0 || i >= count then invalid_arg "Reg.of_int";
+  i
+
+let to_int r = r
+let equal = Int.equal
+let compare = Int.compare
+let r0 = 0
+let r1 = 1
+let r2 = 2
+let r3 = 3
+let r4 = 4
+let r5 = 5
+let fp = 14
+let sp = 15
+
+let name r =
+  match r with 14 -> "fp" | 15 -> "sp" | _ -> "r" ^ string_of_int r
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+module Set = struct
+  type reg = int
+  type nonrec t = int
+
+  let empty = 0
+  let add r s = s lor (1 lsl r)
+  let mem r s = s land (1 lsl r) <> 0
+  let union = ( lor )
+  let diff a b = a land lnot b
+  let inter = ( land )
+
+  let cardinal s =
+    let rec go s acc = if s = 0 then acc else go (s lsr 1) (acc + (s land 1)) in
+    go s 0
+
+  let of_list rs = List.fold_left (fun s r -> add r s) empty rs
+end

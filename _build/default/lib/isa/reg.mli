@@ -1,0 +1,50 @@
+(** Registers of the synthetic ISA.
+
+    Sixteen general-purpose registers [r0]-[r15]. Conventions mirror common
+    ABIs so the generated code reads naturally: [r0] carries return values,
+    [r1]-[r5] arguments, [r14] is the frame pointer and [r15] the stack
+    pointer. The small dense encoding lets register sets be represented as
+    16-bit masks in the liveness analysis. *)
+
+type t = private int
+
+val of_int : int -> t
+(** Raises [Invalid_argument] unless the index is in [0, 15]. *)
+
+val to_int : t -> int
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val r0 : t
+val r1 : t
+val r2 : t
+val r3 : t
+val r4 : t
+val r5 : t
+
+val fp : t
+(** Frame pointer, [r14]. *)
+
+val sp : t
+(** Stack pointer, [r15]. *)
+
+val count : int
+(** Number of registers, 16. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Register sets as bitmasks, used by the data-flow analyses. *)
+module Set : sig
+  type reg = t
+  type t = int
+
+  val empty : t
+  val add : reg -> t -> t
+  val mem : reg -> t -> bool
+  val union : t -> t -> t
+  val diff : t -> t -> t
+  val inter : t -> t -> t
+  val cardinal : t -> int
+  val of_list : reg list -> t
+end

@@ -1,0 +1,1 @@
+lib/simsched/heap.ml: Array

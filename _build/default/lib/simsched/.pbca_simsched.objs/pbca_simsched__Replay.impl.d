@@ -1,0 +1,1 @@
+lib/simsched/replay.ml: Array Hashtbl Heap List Option Trace

@@ -1,0 +1,1 @@
+lib/simsched/replay.mli: Trace

@@ -1,0 +1,1 @@
+lib/simsched/trace.ml: Atomic Domain List Pbca_concurrent

@@ -1,0 +1,65 @@
+type t = {
+  mutable keys : int array;
+  mutable payloads : int array;
+  mutable size : int;
+}
+
+let create () = { keys = Array.make 16 0; payloads = Array.make 16 0; size = 0 }
+
+let less t i j =
+  t.keys.(i) < t.keys.(j)
+  || (t.keys.(i) = t.keys.(j) && t.payloads.(i) < t.payloads.(j))
+
+let swap t i j =
+  let k = t.keys.(i) and p = t.payloads.(i) in
+  t.keys.(i) <- t.keys.(j);
+  t.payloads.(i) <- t.payloads.(j);
+  t.keys.(j) <- k;
+  t.payloads.(j) <- p
+
+let grow t =
+  let n = Array.length t.keys * 2 in
+  let keys = Array.make n 0 and payloads = Array.make n 0 in
+  Array.blit t.keys 0 keys 0 t.size;
+  Array.blit t.payloads 0 payloads 0 t.size;
+  t.keys <- keys;
+  t.payloads <- payloads
+
+let push t ~key ~payload =
+  if t.size = Array.length t.keys then grow t;
+  t.keys.(t.size) <- key;
+  t.payloads.(t.size) <- payload;
+  t.size <- t.size + 1;
+  let i = ref (t.size - 1) in
+  while !i > 0 && less t !i ((!i - 1) / 2) do
+    swap t !i ((!i - 1) / 2);
+    i := (!i - 1) / 2
+  done
+
+let peek t = if t.size = 0 then None else Some (t.keys.(0), t.payloads.(0))
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = (t.keys.(0), t.payloads.(0)) in
+    t.size <- t.size - 1;
+    t.keys.(0) <- t.keys.(t.size);
+    t.payloads.(0) <- t.payloads.(t.size);
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+      let smallest = ref !i in
+      if l < t.size && less t l !smallest then smallest := l;
+      if r < t.size && less t r !smallest then smallest := r;
+      if !smallest <> !i then begin
+        swap t !i !smallest;
+        i := !smallest
+      end
+      else continue := false
+    done;
+    Some top
+  end
+
+let is_empty t = t.size = 0
+let length t = t.size

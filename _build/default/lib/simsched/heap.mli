@@ -1,0 +1,11 @@
+(** Binary min-heap on [(key, payload)] pairs, ordered by key then payload
+    (both ints), giving the replay scheduler a deterministic tie-break. *)
+
+type t
+
+val create : unit -> t
+val push : t -> key:int -> payload:int -> unit
+val pop : t -> (int * int) option
+val peek : t -> (int * int) option
+val is_empty : t -> bool
+val length : t -> int

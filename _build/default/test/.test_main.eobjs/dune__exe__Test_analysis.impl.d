@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Array List Pbca_analysis Pbca_codegen Pbca_core Pbca_isa Printf Profile Tutil

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Hashtbl List Option Pbca_binfeat Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_core Pbca_debuginfo Pbca_hpcstruct Pbca_isa Pbca_simsched Printf Profile String Tutil

@@ -1,0 +1,1 @@
+test/test_binfmt.ml: Alcotest Bytes Char Domain List Pbca_binfmt Pbca_codegen Printf Profile QCheck2 String Tutil

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest Array List Option Pbca_binfmt Pbca_codegen Pbca_core Pbca_isa Profile QCheck2 Tutil

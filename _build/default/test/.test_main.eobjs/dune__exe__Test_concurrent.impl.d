@@ -1,0 +1,1 @@
+test/test_concurrent.ml: Alcotest Array Atomic Domain Hashtbl Int List Option Pbca_concurrent QCheck2 Tutil Unix

@@ -1,0 +1,1 @@
+test/test_debuginfo.ml: Alcotest Array Bytes Option Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_debuginfo Profile QCheck2 Tutil

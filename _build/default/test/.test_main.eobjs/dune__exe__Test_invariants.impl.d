@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Atomic Buffer Domain List Option Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa Printf Tutil

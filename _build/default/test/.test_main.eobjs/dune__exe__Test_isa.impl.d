@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Buffer Bytes List Pbca_isa QCheck2 String Tutil

@@ -1,0 +1,1 @@
+test/test_ops.ml: Alcotest List Pbca_binfmt Pbca_codegen Pbca_core Profile QCheck2 Tutil

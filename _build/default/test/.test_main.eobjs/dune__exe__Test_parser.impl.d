@@ -1,0 +1,1 @@
+test/test_parser.ml: Alcotest Atomic Bytes List Option Pbca_binfmt Pbca_checker Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa Printf Profile String Tutil

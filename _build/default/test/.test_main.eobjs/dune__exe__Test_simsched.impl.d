@@ -1,0 +1,1 @@
+test/test_simsched.ml: Alcotest List Pbca_codegen Pbca_concurrent Pbca_core Pbca_simsched Printf Profile QCheck2 Tutil

@@ -1,0 +1,1 @@
+test/test_tools.ml: Alcotest Array Bytes List Pbca_analysis Pbca_binfmt Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa Printf Profile QCheck2 String Tutil

@@ -1,0 +1,1 @@
+test/tutil.ml: Alcotest Array Atomic Format List Pbca_checker Pbca_codegen Pbca_concurrent Pbca_core Pbca_isa QCheck2 QCheck_alcotest String

@@ -1,0 +1,203 @@
+(* Tests for the post-CFG analyses: dominators, loops, liveness, stack
+   heights — the capabilities hpcstruct and BinFeat consume. *)
+
+open Tutil
+module Cfg = Pbca_core.Cfg
+module Spec = Pbca_codegen.Spec
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module FV = Pbca_analysis.Func_view
+module Dom = Pbca_analysis.Dominators
+module Loops = Pbca_analysis.Loops
+module Live = Pbca_analysis.Liveness
+module SH = Pbca_analysis.Stack_height
+
+let view_of name funcs =
+  let image = (emit_spec (mk_spec funcs)).image in
+  let g = parse_serial image in
+  let f = get_func g name in
+  (g, FV.make g f)
+
+let idx_of fv addr_rank =
+  (* blocks sorted by start; rank = position *)
+  ignore fv;
+  addr_rank
+
+let test_view_shape () =
+  let g, fv = view_of "diamond" [ diamond_fun () ] in
+  ignore g;
+  Alcotest.(check int) "blocks" 4 (FV.n_blocks fv);
+  Alcotest.(check int) "entry index" 0 (FV.entry_index fv);
+  (* entry has two successors; join has one *)
+  Alcotest.(check int) "entry succs" 2 (List.length fv.succ.(0))
+
+let test_dominators_diamond () =
+  let _, fv = view_of "diamond" [ diamond_fun () ] in
+  let dom = Dom.compute fv in
+  let entry = 0 in
+  for i = 0 to FV.n_blocks fv - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "entry dominates %d" i)
+      true
+      (Dom.dominates dom entry (idx_of fv i))
+  done;
+  (* neither branch arm dominates the join *)
+  let join = 2 in
+  Alcotest.(check bool) "then-arm does not dominate join" false
+    (Dom.dominates dom 1 join);
+  Alcotest.(check bool) "else-arm does not dominate join" false
+    (Dom.dominates dom 3 join);
+  Alcotest.(check int) "join's idom is the entry" entry dom.idom.(join)
+
+let test_dominators_reflexive () =
+  let _, fv = view_of "looper" [ loop_fun () ] in
+  let dom = Dom.compute fv in
+  for i = 0 to FV.n_blocks fv - 1 do
+    Alcotest.(check bool) "reflexive" true (Dom.dominates dom i i)
+  done
+
+let test_loops_simple () =
+  let _, fv = view_of "looper" [ loop_fun () ] in
+  let dom = Dom.compute fv in
+  let loops = Loops.compute fv dom in
+  Alcotest.(check int) "one loop" 1 (Loops.loop_count loops);
+  Alcotest.(check int) "max depth 1" 1 (Loops.max_depth loops);
+  let l = loops.loops.(0) in
+  Alcotest.(check int) "header is block 1" 1 l.header;
+  Alcotest.(check bool) "body has header and latch" true
+    (List.mem 1 l.body && List.mem 2 l.body);
+  Alcotest.(check bool) "exit not in body" false (List.mem 3 l.body);
+  Alcotest.(check int) "no parent" 0
+    (match l.parent with None -> 0 | Some _ -> 1)
+
+let nested_loop_fun () =
+  (* 0 -> 1(outer hdr) -> 2(inner hdr) -> 3(inner latch-> 2) ; 2 ->exit 4(outer latch -> 1); 1 -> 5 ret *)
+  mk_fspec ~name:"nested"
+    [
+      blk ~body:[ Insn.Mov_ri (Reg.r1, 0) ] Spec.T_fall;
+      blk ~body:[ Insn.Cmp_ri (Reg.r1, 9) ] (Spec.T_cond (Insn.Ge, 5));
+      blk ~body:[ Insn.Cmp_ri (Reg.r2, 3) ] (Spec.T_cond (Insn.Ge, 4));
+      blk ~body:[ Insn.Add_ri (Reg.r2, 1) ] (Spec.T_jmp 2);
+      blk ~body:[ Insn.Add_ri (Reg.r1, 1) ] (Spec.T_jmp 1);
+      blk Spec.T_ret;
+    ]
+
+let test_loops_nested () =
+  let _, fv = view_of "nested" [ nested_loop_fun () ] in
+  let dom = Dom.compute fv in
+  let loops = Loops.compute fv dom in
+  Alcotest.(check int) "two loops" 2 (Loops.loop_count loops);
+  Alcotest.(check int) "max depth 2" 2 (Loops.max_depth loops);
+  (* the inner loop's parent is the outer loop *)
+  let with_parent =
+    Array.to_list loops.loops |> List.filter (fun l -> l.Loops.parent <> None)
+  in
+  Alcotest.(check int) "one nested loop" 1 (List.length with_parent)
+
+let test_liveness_simple () =
+  (* r1 set in entry, used in the ret block -> live across the middle;
+     jumps force real block boundaries (plain fall-through runs merge) *)
+  let f =
+    mk_fspec ~name:"lv" ~frame:false
+      [
+        blk ~body:[ Insn.Mov_ri (Reg.r1, 5) ] (Spec.T_jmp 1);
+        blk ~body:[ Insn.Mov_ri (Reg.r3, 1) ] (Spec.T_jmp 2);
+        blk ~body:[ Insn.Mov_rr (Reg.r0, Reg.r1) ] Spec.T_ret;
+      ]
+  in
+  let g, fv = view_of "lv" [ f ] in
+  let live = Live.compute g fv in
+  (* fall-blocks merged: find the block defining r0 (the last one) *)
+  let n = FV.n_blocks fv in
+  Alcotest.(check bool) "r1 live into the last block" true
+    (Pbca_isa.Reg.Set.mem Reg.r1 live.live_in.(n - 1))
+
+let test_liveness_kill () =
+  let f =
+    mk_fspec ~name:"kl" ~frame:false
+      [
+        blk ~body:[ Insn.Mov_ri (Reg.r2, 1) ] Spec.T_fall;
+        blk ~body:[ Insn.Mov_ri (Reg.r2, 2); Insn.Mov_rr (Reg.r0, Reg.r2) ]
+          Spec.T_ret;
+      ]
+  in
+  let g, fv = view_of "kl" [ f ] in
+  let live = Live.compute g fv in
+  (* the redefinition kills r2: not live into the block *)
+  let n = FV.n_blocks fv in
+  Alcotest.(check bool) "killed register not live-in" false
+    (Pbca_isa.Reg.Set.mem Reg.r2 live.live_in.(n - 1))
+
+let test_liveness_fixpoint_stable () =
+  let g, fv = view_of "nested" [ nested_loop_fun () ] in
+  let a = Live.compute g fv in
+  let b = Live.compute g fv in
+  Alcotest.(check bool) "recomputation identical" true
+    (a.live_in = b.live_in && a.live_out = b.live_out)
+
+let test_stack_height_frame () =
+  let f =
+    mk_fspec ~name:"sh" ~frame:true
+      [ blk ~body:[ Insn.Push Reg.r1; Insn.Pop Reg.r2 ] Spec.T_ret ]
+  in
+  let g, fv = view_of "sh" [ f ] in
+  let sh = SH.compute g fv in
+  Alcotest.(check bool) "entry height 0" true (sh.at_entry.(0) = SH.Height 0);
+  (* exit passes through Leave -> Top (non-constant restore) *)
+  Alcotest.(check bool) "exit is not bottom" true (sh.at_exit.(0) <> SH.Bottom)
+
+let test_stack_height_balanced () =
+  let f =
+    mk_fspec ~name:"bal" ~frame:false
+      [
+        blk ~body:[ Insn.Push Reg.r1; Insn.Push Reg.r2 ] Spec.T_fall;
+        blk ~body:[ Insn.Pop Reg.r2; Insn.Pop Reg.r1 ] Spec.T_ret;
+      ]
+  in
+  let g, fv = view_of "bal" [ f ] in
+  let sh = SH.compute g fv in
+  let n = FV.n_blocks fv in
+  Alcotest.(check bool) "net zero at exit" true
+    (sh.at_exit.(n - 1) = SH.Height 0)
+
+let test_stack_height_join () =
+  Alcotest.(check bool) "bottom join x" true (SH.join SH.Bottom (SH.Height 3) = SH.Height 3);
+  Alcotest.(check bool) "conflict joins to top" true
+    (SH.join (SH.Height 1) (SH.Height 2) = SH.Top);
+  Alcotest.(check bool) "equal heights join" true
+    (SH.join (SH.Height 4) (SH.Height 4) = SH.Height 4)
+
+let test_analysis_on_corpus =
+  slow "analyses run on every function of a generated binary" (fun () ->
+      let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 60 } in
+      let g = parse_serial r.image in
+      List.iter
+        (fun f ->
+          let fv = FV.make g f in
+          let dom = Dom.compute fv in
+          let loops = Loops.compute fv dom in
+          let live = Live.compute g fv in
+          let sh = SH.compute g fv in
+          Alcotest.(check bool) "depth bounded" true
+            (Loops.max_depth loops <= FV.n_blocks fv);
+          Alcotest.(check bool) "liveness arrays sized" true
+            (Array.length live.live_in = FV.n_blocks fv);
+          Alcotest.(check bool) "heights sized" true
+            (Array.length sh.at_entry = FV.n_blocks fv))
+        (Cfg.funcs_list g))
+
+let suite =
+  [
+    quick "func view shape" test_view_shape;
+    quick "dominators: diamond" test_dominators_diamond;
+    quick "dominators: reflexive" test_dominators_reflexive;
+    quick "loops: single natural loop" test_loops_simple;
+    quick "loops: nesting" test_loops_nested;
+    quick "liveness: live across blocks" test_liveness_simple;
+    quick "liveness: kill" test_liveness_kill;
+    quick "liveness: fixpoint stable" test_liveness_fixpoint_stable;
+    quick "stack height: frames" test_stack_height_frame;
+    quick "stack height: balanced push/pop" test_stack_height_balanced;
+    quick "stack height: join lattice" test_stack_height_join;
+    test_analysis_on_corpus;
+  ]

@@ -1,0 +1,174 @@
+(* Tests for the binary container: byte IO, mangling, symbols, the
+   multi-keyed parallel symbol table (paper Section 6.2), images. *)
+
+open Tutil
+module Bio = Pbca_binfmt.Bio
+module Mangle = Pbca_binfmt.Mangle
+module Symbol = Pbca_binfmt.Symbol
+module Symtab = Pbca_binfmt.Symtab
+module Section = Pbca_binfmt.Section
+module Image = Pbca_binfmt.Image
+
+(* ------------------------------- bio ---------------------------------- *)
+
+let test_bio_roundtrip =
+  qcheck ~count:300 "bio: scalar roundtrip"
+    QCheck2.Gen.(
+      tup4 (int_bound 0xff) (int_bound 0xffff) (int_bound 0xffffffff)
+        (string_size (int_bound 40)))
+    (fun (a, b, c, s) ->
+      let w = Bio.W.create () in
+      Bio.W.u8 w a;
+      Bio.W.u16 w b;
+      Bio.W.u32 w c;
+      Bio.W.u64 w (c * 7);
+      Bio.W.str w s;
+      Bio.W.bytes w (Bytes.of_string s);
+      let r = Bio.R.of_bytes (Bio.W.contents w) in
+      Bio.R.u8 r = a && Bio.R.u16 r = b && Bio.R.u32 r = c
+      && Bio.R.u64 r = c * 7
+      && Bio.R.str r = s
+      && Bytes.to_string (Bio.R.bytes r) = s
+      && Bio.R.eof r)
+
+let test_bio_truncated () =
+  let r = Bio.R.of_bytes (Bytes.of_string "\x01") in
+  ignore (Bio.R.u8 r);
+  Alcotest.check_raises "reading past the end" Bio.R.Truncated (fun () ->
+      ignore (Bio.R.u8 r))
+
+(* ------------------------------ mangle -------------------------------- *)
+
+let gen_name =
+  QCheck2.Gen.(
+    map
+      (fun cs -> String.init (1 + (List.length cs mod 12)) (fun i ->
+           Char.chr (97 + (List.nth cs (i mod max 1 (List.length cs)) mod 26))))
+      (list_size (int_range 1 12) (int_bound 1000)))
+
+let gen_args =
+  QCheck2.Gen.(
+    list_size (int_bound 4) (oneofl [ Mangle.Int; Mangle.Float; Mangle.Ptr ]))
+
+let test_mangle_roundtrip =
+  qcheck ~count:300 "mangle: demangle inverts mangle"
+    (QCheck2.Gen.pair gen_name gen_args)
+    (fun (name, args) ->
+      Mangle.demangle (Mangle.mangle name args) = Some (name, args))
+
+let test_mangle_pretty () =
+  Alcotest.(check string) "pretty" "foo" (Mangle.pretty (Mangle.mangle "foo" [ Int; Ptr ]));
+  Alcotest.(check string) "typed" "foo(int, ptr)"
+    (Mangle.typed (Mangle.mangle "foo" [ Int; Ptr ]));
+  Alcotest.(check string) "unmangled passthrough" "main" (Mangle.pretty "main");
+  Alcotest.(check bool) "non-mangled demangle" true (Mangle.demangle "main" = None)
+
+(* ------------------------------ symtab -------------------------------- *)
+
+let test_symtab_multikey () =
+  let t = Symtab.create () in
+  let s1 = Symbol.make (Mangle.mangle "foo" [ Int ]) 0x100 in
+  let s2 = Symbol.make (Mangle.mangle "foo" [ Float ]) 0x200 in
+  Alcotest.(check bool) "insert s1" true (Symtab.insert t s1);
+  Alcotest.(check bool) "insert s2" true (Symtab.insert t s2);
+  Alcotest.(check bool) "duplicate rejected" false (Symtab.insert t s1);
+  Alcotest.(check int) "by_offset" 1 (List.length (Symtab.by_offset t 0x100));
+  Alcotest.(check int) "by_pretty finds both overloads" 2
+    (List.length (Symtab.by_pretty t "foo"));
+  Alcotest.(check int) "by_typed disambiguates" 1
+    (List.length (Symtab.by_typed t "foo(int)"));
+  Alcotest.(check int) "by_mangled" 1
+    (List.length (Symtab.by_mangled t (Mangle.mangle "foo" [ Int ])));
+  Alcotest.(check int) "length" 2 (Symtab.length t)
+
+let test_symtab_parallel () =
+  (* many domains inserting overlapping symbol sets: each symbol ends up in
+     every index exactly once (the Listing 6 total-order argument) *)
+  let t = Symtab.create () in
+  let syms =
+    List.init 200 (fun i -> Symbol.make (Printf.sprintf "sym_%d" i) (i * 16))
+  in
+  let ds =
+    List.init 4 (fun _ ->
+        Domain.spawn (fun () -> List.iter (fun s -> ignore (Symtab.insert t s)) syms))
+  in
+  List.iter Domain.join ds;
+  Alcotest.(check int) "master unique" 200 (Symtab.length t);
+  List.iter
+    (fun (s : Symbol.t) ->
+      Alcotest.(check int)
+        (Printf.sprintf "offset index of %s" s.mangled)
+        1
+        (List.length (Symtab.by_offset t s.offset));
+      Alcotest.(check int)
+        (Printf.sprintf "pretty index of %s" s.mangled)
+        1
+        (List.length (Symtab.by_pretty t (Symbol.pretty s))))
+    syms
+
+let test_symtab_serialize () =
+  let t = Symtab.create () in
+  for i = 0 to 40 do
+    ignore (Symtab.insert t (Symbol.make ~size:i (Printf.sprintf "s%d" i) (i * 8)))
+  done;
+  let w = Bio.W.create () in
+  Symtab.write w t;
+  let t2 = Symtab.read (Bio.R.of_bytes (Bio.W.contents w)) in
+  Alcotest.(check int) "roundtrip length" (Symtab.length t) (Symtab.length t2);
+  Alcotest.(check int) "lookup works" 1 (List.length (Symtab.by_pretty t2 "s7"))
+
+(* ------------------------------ image --------------------------------- *)
+
+let test_section () =
+  let s = Section.make ~name:".x" ~addr:0x1000 (Bytes.of_string "\x01\x02\x03\x04\x05") in
+  Alcotest.(check bool) "contains start" true (Section.contains s 0x1000);
+  Alcotest.(check bool) "contains last" true (Section.contains s 0x1004);
+  Alcotest.(check bool) "excludes end" false (Section.contains s 0x1005);
+  Alcotest.(check int) "u8" 3 (Section.u8 s 0x1002);
+  Alcotest.(check int) "u32 little-endian" 0x04030201 (Section.u32 s 0x1000)
+
+let test_image_roundtrip () =
+  let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 25 } in
+  let img = r.image in
+  let bytes = Image.write img in
+  let img2 = Image.read bytes in
+  Alcotest.(check int) "text size" (Image.text_size img) (Image.text_size img2);
+  Alcotest.(check int) "total size" (Image.total_size img) (Image.total_size img2);
+  Alcotest.(check int) "symbols"
+    (Symtab.length img.symtab)
+    (Symtab.length img2.symtab);
+  Alcotest.(check int) "entry" img.entry img2.entry;
+  (* decoding equivalence at entry *)
+  let d1 = Image.decode_at img img.entry and d2 = Image.decode_at img2 img2.entry in
+  Alcotest.(check bool) "same first instruction" true (d1 = d2)
+
+let test_image_bad_magic () =
+  Alcotest.(check bool) "bad magic rejected" true
+    (try
+       ignore (Image.read (Bytes.of_string "\x04\x00NOPE"));
+       false
+     with Failure _ -> true)
+
+let test_image_lookups () =
+  let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 10 } in
+  let img = r.image in
+  Alcotest.(check bool) ".text present" true (Image.section img ".text" <> None);
+  Alcotest.(check bool) ".rodata present" true (Image.section img ".rodata" <> None);
+  Alcotest.(check bool) ".debug present" true (Image.section img ".debug" <> None);
+  Alcotest.(check bool) "entry in text" true (Image.in_text img img.entry);
+  Alcotest.(check bool) "u8 outside sections" true (Image.u8 img 0xfff_ffff = None)
+
+let suite =
+  [
+    test_bio_roundtrip;
+    quick "bio: truncation raises" test_bio_truncated;
+    test_mangle_roundtrip;
+    quick "mangle: pretty and typed forms" test_mangle_pretty;
+    quick "symtab: four keys" test_symtab_multikey;
+    quick "symtab: concurrent inserts unique (Listing 6)" test_symtab_parallel;
+    quick "symtab: serialize roundtrip" test_symtab_serialize;
+    quick "section: byte reads" test_section;
+    quick "image: write/read roundtrip" test_image_roundtrip;
+    quick "image: bad magic" test_image_bad_magic;
+    quick "image: section lookups" test_image_lookups;
+  ]

@@ -1,0 +1,182 @@
+(* Tests for the binary generator and its ground truth. *)
+
+open Tutil
+module GT = Pbca_codegen.Ground_truth
+module Rng = Pbca_codegen.Rng
+module Image = Pbca_binfmt.Image
+module Semantics = Pbca_isa.Semantics
+
+(* ------------------------------- rng ---------------------------------- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_bounds =
+  qcheck ~count:300 "rng: range stays in bounds"
+    QCheck2.Gen.(triple (int_bound 100000) (int_range (-50) 50) (int_range 0 100))
+    (fun (seed, lo, span) ->
+      let r = Rng.create seed in
+      let v = Rng.range r lo (lo + span) in
+      v >= lo && v <= lo + span)
+
+let test_rng_split_independent () =
+  let a = Rng.create 7 in
+  let b = Rng.split a in
+  let xs = List.init 20 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 20 (fun _ -> Rng.int b 1000) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+(* ----------------------------- generation ----------------------------- *)
+
+let test_generation_deterministic () =
+  let p = { Profile.default with n_funcs = 40; seed = 77 } in
+  let a = Pbca_codegen.Emit.generate p in
+  let b = Pbca_codegen.Emit.generate p in
+  Alcotest.(check bool) "identical images" true
+    (Image.write a.image = Image.write b.image);
+  Alcotest.(check bool) "identical ground truth" true
+    (a.ground_truth = b.ground_truth)
+
+let test_gt_wellformed =
+  qcheck ~count:15 "ground truth is well-formed" QCheck2.Gen.(int_bound 500)
+    (fun seed ->
+      let p =
+        { (Profile.coreutils_like (seed mod 20)) with seed = 5000 + seed }
+      in
+      let r = Pbca_codegen.Emit.generate p in
+      let gt = r.ground_truth in
+      (* ranges sorted, disjoint, nonempty *)
+      List.for_all
+        (fun (f : GT.gfun) ->
+          let rec ok = function
+            | (a, b) :: ((c, _) :: _ as rest) -> a < b && b <= c && ok rest
+            | [ (a, b) ] -> a < b
+            | [] -> false
+          in
+          ok f.gf_ranges
+          (* the entry lies inside one of the ranges (not necessarily the
+             first: a shared stub can sit at a lower address) *)
+          && List.exists
+               (fun (lo, hi) -> f.gf_entry >= lo && f.gf_entry < hi)
+               f.gf_ranges)
+        gt.gt_funcs
+      (* jump-table jumps decode as indirect jumps *)
+      && List.for_all
+           (fun (t : GT.jump_table) ->
+             match Image.decode_at r.image t.jt_jump_addr with
+             | Some (Pbca_isa.Insn.Jmp_ind _, _) -> true
+             | _ -> false)
+           gt.gt_tables
+      (* noreturn call sites decode as calls *)
+      && List.for_all
+           (fun (c : GT.nr_call) ->
+             match Image.decode_at r.image c.nc_call_addr with
+             | Some (Pbca_isa.Insn.Call _, _) -> true
+             | _ -> false)
+           gt.gt_nr_calls)
+
+let test_gt_ranges_decodable =
+  qcheck ~count:10 "every ground-truth range decodes cleanly"
+    QCheck2.Gen.(int_bound 500)
+    (fun seed ->
+      let p = { Profile.default with n_funcs = 30; seed = 9000 + seed } in
+      let r = Pbca_codegen.Emit.generate p in
+      List.for_all
+        (fun (f : GT.gfun) ->
+          List.for_all
+            (fun (lo, hi) ->
+              let rec walk a =
+                if a >= hi then a = hi
+                else
+                  match Image.decode_at r.image a with
+                  | Some (_, len) -> walk (a + len)
+                  | None -> false
+              in
+              walk lo)
+            f.gf_ranges)
+        r.ground_truth.gt_funcs)
+
+let test_gt_main_entry () =
+  let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 10 } in
+  let main = GT.find_func r.ground_truth r.image.Image.entry in
+  Alcotest.(check bool) "main exists at the entry point" true (main <> None);
+  Alcotest.(check string) "named main" "main" (Option.get main).gf_name
+
+let test_gt_serialize () =
+  let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 30 } in
+  let w = Pbca_binfmt.Bio.W.create () in
+  GT.write w r.ground_truth;
+  let gt2 = GT.read (Pbca_binfmt.Bio.R.of_bytes (Pbca_binfmt.Bio.W.contents w)) in
+  Alcotest.(check bool) "roundtrip" true (r.ground_truth = gt2);
+  (* also via the .ground section of the image *)
+  let sec = Option.get (Image.section r.image ".ground") in
+  let gt3 = GT.read (Pbca_binfmt.Bio.R.of_bytes sec.Pbca_binfmt.Section.data) in
+  Alcotest.(check bool) "embedded copy" true (r.ground_truth = gt3)
+
+let test_coalesce () =
+  Alcotest.(check (list (pair int int))) "merge adjacent"
+    [ (1, 5) ] (GT.coalesce [ (1, 3); (3, 5) ]);
+  Alcotest.(check (list (pair int int))) "merge overlap"
+    [ (1, 6) ] (GT.coalesce [ (4, 6); (1, 5) ]);
+  Alcotest.(check (list (pair int int))) "keep gaps"
+    [ (1, 2); (4, 6) ] (GT.coalesce [ (4, 6); (1, 2) ]);
+  Alcotest.(check (list (pair int int))) "empty" [] (GT.coalesce [])
+
+let test_spec_returns_error_style () =
+  let p = { Profile.default with n_funcs = 10; with_error_style = true } in
+  let spec = Pbca_codegen.Spec.generate p in
+  let returns = Pbca_codegen.Spec.spec_returns spec in
+  let err = Option.get (Pbca_codegen.Spec.error_index spec) in
+  Alcotest.(check bool) "error can return" true returns.(err);
+  (* functions named exit are non-returning *)
+  Array.iteri
+    (fun i (f : Pbca_codegen.Spec.fspec) ->
+      if f.fs_noreturn_leaf then
+        Alcotest.(check bool) (f.fs_name ^ " never returns") false returns.(i))
+    spec.sp_funcs
+
+let test_noreturn_leaf_names () =
+  let p = { Profile.default with n_funcs = 30; p_noreturn_call = 0.1 } in
+  let spec = Pbca_codegen.Spec.generate p in
+  let leaves =
+    Array.to_list spec.sp_funcs
+    |> List.filter (fun (f : Pbca_codegen.Spec.fspec) -> f.fs_noreturn_leaf)
+  in
+  Alcotest.(check bool) "at least one exit-like leaf" true (leaves <> []);
+  List.iter
+    (fun (f : Pbca_codegen.Spec.fspec) ->
+      Alcotest.(check bool)
+        (f.fs_name ^ " matches the noreturn name list")
+        true
+        (Pbca_core.Noreturn.is_known_noreturn f.fs_name))
+    leaves
+
+let test_profiles_distinct () =
+  let sizes =
+    List.map
+      (fun (p : Profile.t) ->
+        let r = Pbca_codegen.Emit.generate (Profile.scale 0.05 p) in
+        Image.total_size r.image)
+      Profile.hpcstruct_subjects
+  in
+  Alcotest.(check int) "four subjects" 4 (List.length sizes);
+  List.iter (fun s -> Alcotest.(check bool) "non-trivial" true (s > 1000)) sizes
+
+let suite =
+  [
+    quick "rng: deterministic" test_rng_deterministic;
+    test_rng_bounds;
+    quick "rng: split independence" test_rng_split_independent;
+    quick "generation: deterministic end to end" test_generation_deterministic;
+    test_gt_wellformed;
+    test_gt_ranges_decodable;
+    quick "ground truth: main at entry" test_gt_main_entry;
+    quick "ground truth: serialization" test_gt_serialize;
+    quick "ground truth: range coalescing" test_coalesce;
+    quick "spec: error-style return status" test_spec_returns_error_style;
+    quick "spec: noreturn leaves are name-matchable" test_noreturn_leaf_names;
+    quick "profiles: four hpcstruct subjects" test_profiles_distinct;
+  ]

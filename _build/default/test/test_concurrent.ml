@@ -1,0 +1,303 @@
+(* Tests for the concurrency substrate: the OCaml equivalents of the TBB
+   concurrent hash map and the OpenMP task runtime the paper builds on. *)
+
+open Tutil
+module TP = Pbca_concurrent.Task_pool
+module Bag = Pbca_concurrent.Conc_bag
+module Barrier = Pbca_concurrent.Barrier
+module Rwlock = Pbca_concurrent.Rwlock
+module Wsdeque = Pbca_concurrent.Wsdeque
+module TL = Pbca_concurrent.Thread_local
+
+module IMap = Pbca_concurrent.Conc_hash.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+let in_domains n f =
+  let ds = List.init n (fun i -> Domain.spawn (fun () -> f i)) in
+  List.map Domain.join ds
+
+(* ------------------------------- rwlock ------------------------------- *)
+
+let test_rwlock_readers_share () =
+  let l = Rwlock.create () in
+  let inside = Atomic.make 0 in
+  let peak = Atomic.make 0 in
+  let b = Barrier.create 3 in
+  ignore
+    (in_domains 3 (fun _ ->
+         Barrier.await b;
+         Rwlock.with_read l (fun () ->
+             Atomic.incr inside;
+             let rec bump () =
+               let p = Atomic.get peak and c = Atomic.get inside in
+               if c > p && not (Atomic.compare_and_set peak p c) then bump ()
+             in
+             bump ();
+             Unix.sleepf 0.01;
+             Atomic.decr inside)));
+  Alcotest.(check bool) "readers overlapped" true (Atomic.get peak >= 2)
+
+let test_rwlock_writer_excludes () =
+  let l = Rwlock.create () in
+  let counter = ref 0 in
+  ignore
+    (in_domains 4 (fun _ ->
+         for _ = 1 to 1000 do
+           Rwlock.with_write l (fun () -> incr counter)
+         done));
+  Alcotest.(check int) "no lost updates" 4000 !counter
+
+(* ------------------------------ conc_hash ----------------------------- *)
+
+let test_map_basic () =
+  let m = IMap.create () in
+  Alcotest.(check bool) "insert new" true (IMap.insert_if_absent m 1 "a");
+  Alcotest.(check bool) "insert dup" false (IMap.insert_if_absent m 1 "b");
+  Alcotest.(check (option string)) "find" (Some "a") (IMap.find m 1);
+  Alcotest.(check int) "length" 1 (IMap.length m);
+  ignore (IMap.remove m 1);
+  Alcotest.(check (option string)) "removed" None (IMap.find m 1)
+
+let test_map_find_or_insert () =
+  let m = IMap.create () in
+  let v1, c1 = IMap.find_or_insert m 7 (fun () -> "x") in
+  let v2, c2 = IMap.find_or_insert m 7 (fun () -> "y") in
+  Alcotest.(check string) "first" "x" v1;
+  Alcotest.(check bool) "created" true c1;
+  Alcotest.(check string) "second sees first" "x" v2;
+  Alcotest.(check bool) "not created" false c2
+
+let test_map_update_atomic () =
+  let m = IMap.create () in
+  ignore (IMap.insert_if_absent m 0 0);
+  ignore
+    (in_domains 4 (fun _ ->
+         for _ = 1 to 2500 do
+           IMap.update m 0 (fun cur ->
+               (Some (Option.value cur ~default:0 + 1), ()))
+         done));
+  Alcotest.(check (option int)) "10000 increments" (Some 10000) (IMap.find m 0)
+
+let test_map_unique_winner () =
+  (* Invariant 1: when many threads create the same key, exactly one wins *)
+  let m = IMap.create () in
+  let results =
+    in_domains 4 (fun d ->
+        List.init 500 (fun i -> IMap.insert_if_absent m i d))
+  in
+  for i = 0 to 499 do
+    let winners =
+      List.fold_left
+        (fun acc per_domain -> acc + if List.nth per_domain i then 1 else 0)
+        0 results
+    in
+    if winners <> 1 then Alcotest.failf "key %d has %d winners" i winners
+  done
+
+let test_map_fold () =
+  let m = IMap.create () in
+  for i = 1 to 100 do
+    ignore (IMap.insert_if_absent m i i)
+  done;
+  let sum = IMap.fold (fun _ v acc -> acc + v) m 0 in
+  Alcotest.(check int) "fold sums values" 5050 sum
+
+let test_map_model =
+  qcheck ~count:200 "conc_hash behaves like Hashtbl (sequential)"
+    QCheck2.Gen.(list (pair (int_bound 50) (int_bound 1000)))
+    (fun ops ->
+      let m = IMap.create ~shards:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          if v mod 3 = 0 then begin
+            ignore (IMap.remove m k);
+            Hashtbl.remove h k
+          end
+          else begin
+            ignore (IMap.insert_if_absent m k v);
+            if not (Hashtbl.mem h k) then Hashtbl.add h k v
+          end)
+        ops;
+      List.for_all
+        (fun (k, _) -> IMap.find m k = Hashtbl.find_opt h k)
+        ops
+      && IMap.length m = Hashtbl.length h)
+
+(* ------------------------------ wsdeque ------------------------------- *)
+
+let test_deque_lifo_fifo () =
+  let d = Wsdeque.create () in
+  Wsdeque.push d 1;
+  Wsdeque.push d 2;
+  Wsdeque.push d 3;
+  Alcotest.(check (option int)) "owner pops newest" (Some 3) (Wsdeque.pop d);
+  Alcotest.(check (option int)) "thief steals oldest" (Some 1) (Wsdeque.steal d);
+  Alcotest.(check (option int)) "remaining" (Some 2) (Wsdeque.pop d);
+  Alcotest.(check (option int)) "empty pop" None (Wsdeque.pop d);
+  Alcotest.(check (option int)) "empty steal" None (Wsdeque.steal d)
+
+let test_deque_no_loss () =
+  let d = Wsdeque.create () in
+  for i = 0 to 9999 do
+    Wsdeque.push d i
+  done;
+  let seen = Array.make 10000 false in
+  let lost = Atomic.make 0 in
+  ignore
+    (in_domains 4 (fun k ->
+         let rec go () =
+           let item = if k mod 2 = 0 then Wsdeque.pop d else Wsdeque.steal d in
+           match item with
+           | Some i ->
+             if seen.(i) then Atomic.incr lost;
+             seen.(i) <- true;
+             go ()
+           | None -> ()
+         in
+         go ()));
+  Alcotest.(check int) "no duplicates" 0 (Atomic.get lost);
+  Alcotest.(check bool) "all drained" true (Array.for_all (fun x -> x) seen)
+
+(* ------------------------------ task_pool ----------------------------- *)
+
+let test_pool_runs_all () =
+  let pool = TP.create ~threads:4 in
+  let count = Atomic.make 0 in
+  TP.run pool (fun spawn ->
+      for _ = 1 to 100 do
+        spawn (fun () -> Atomic.incr count)
+      done);
+  Alcotest.(check int) "all tasks ran" 100 (Atomic.get count)
+
+let test_pool_nested_spawn () =
+  let pool = TP.create ~threads:3 in
+  let count = Atomic.make 0 in
+  TP.run pool (fun spawn ->
+      let rec tree depth =
+        Atomic.incr count;
+        if depth > 0 then
+          for _ = 1 to 2 do
+            spawn (fun () -> tree (depth - 1))
+          done
+      in
+      tree 6);
+  (* 2^7 - 1 nodes *)
+  Alcotest.(check int) "binary task tree" 127 (Atomic.get count)
+
+let test_pool_serial_inline () =
+  let pool = TP.create ~threads:1 in
+  let order = ref [] in
+  TP.run pool (fun spawn ->
+      spawn (fun () -> order := 1 :: !order);
+      spawn (fun () -> order := 2 :: !order));
+  Alcotest.(check int) "both ran" 2 (List.length !order)
+
+let test_pool_exception () =
+  let pool = TP.create ~threads:2 in
+  let raised =
+    try
+      TP.run pool (fun spawn -> spawn (fun () -> failwith "boom"));
+      false
+    with Failure m -> m = "boom"
+  in
+  Alcotest.(check bool) "exception propagated" true raised;
+  (* pool remains usable *)
+  let ok = Atomic.make 0 in
+  TP.run pool (fun spawn -> spawn (fun () -> Atomic.incr ok));
+  Alcotest.(check int) "pool reusable after failure" 1 (Atomic.get ok)
+
+let test_parallel_for_coverage () =
+  let pool = TP.create ~threads:4 in
+  let hits = Array.make 1000 0 in
+  TP.parallel_for pool 0 1000 (fun i -> hits.(i) <- hits.(i) + 1);
+  Alcotest.(check bool) "each index exactly once" true
+    (Array.for_all (fun h -> h = 1) hits)
+
+let test_parallel_for_empty () =
+  let pool = TP.create ~threads:2 in
+  TP.parallel_for pool 5 5 (fun _ -> Alcotest.fail "must not run");
+  TP.parallel_for pool 5 3 (fun _ -> Alcotest.fail "must not run")
+
+let test_parallel_for_reduce () =
+  let pool = TP.create ~threads:4 in
+  let sum =
+    TP.parallel_for_reduce pool 1 1001 ~init:0 ~map:(fun i -> i)
+      ~combine:( + )
+  in
+  Alcotest.(check int) "sum 1..1000" 500500 sum
+
+let test_parallel_iter_list () =
+  let pool = TP.create ~threads:3 in
+  let acc = Bag.create () in
+  TP.parallel_iter_list pool [ "a"; "b"; "c"; "d" ] (fun s -> Bag.add acc s);
+  Alcotest.(check int) "all visited" 4 (Bag.length acc)
+
+(* ------------------------------ others -------------------------------- *)
+
+let test_bag () =
+  let b = Bag.create () in
+  Alcotest.(check bool) "fresh empty" true (Bag.is_empty b);
+  ignore (in_domains 4 (fun d -> List.iter (Bag.add b) (List.init 100 (fun i -> (d * 100) + i))));
+  Alcotest.(check int) "all added" 400 (Bag.length b);
+  let drained = Bag.drain b in
+  Alcotest.(check int) "drain returns all" 400 (List.length drained);
+  Alcotest.(check bool) "empty after drain" true (Bag.is_empty b);
+  Alcotest.(check int) "distinct elements survive"
+    400
+    (List.length (List.sort_uniq compare drained))
+
+let test_thread_local () =
+  let tl = TL.create (fun () -> ref 0) in
+  ignore
+    (in_domains 3 (fun _ ->
+         let r = TL.get tl in
+         for _ = 1 to 100 do
+           incr r
+         done;
+         !r));
+  let total = TL.fold tl ~init:0 ~f:(fun acc r -> acc + !r) in
+  Alcotest.(check int) "per-domain instances summed" 300 total
+
+let test_barrier_cyclic () =
+  let b = Barrier.create 4 in
+  let phase = Atomic.make 0 in
+  let bad = Atomic.make 0 in
+  ignore
+    (in_domains 4 (fun _ ->
+         for p = 1 to 5 do
+           Barrier.await b;
+           if Atomic.get phase > p then Atomic.incr bad;
+           Barrier.await b;
+           ignore (Atomic.compare_and_set phase (p - 1) p)
+         done));
+  Alcotest.(check int) "phases in lock-step" 0 (Atomic.get bad)
+
+let suite =
+  [
+    quick "rwlock: readers share" test_rwlock_readers_share;
+    quick "rwlock: writers exclude" test_rwlock_writer_excludes;
+    quick "conc_hash: basic ops" test_map_basic;
+    quick "conc_hash: find_or_insert" test_map_find_or_insert;
+    quick "conc_hash: update is atomic" test_map_update_atomic;
+    quick "conc_hash: unique creation winner (Invariant 1)" test_map_unique_winner;
+    quick "conc_hash: fold" test_map_fold;
+    test_map_model;
+    quick "wsdeque: lifo owner, fifo thief" test_deque_lifo_fifo;
+    quick "wsdeque: concurrent drain, no loss" test_deque_no_loss;
+    quick "task_pool: runs all tasks" test_pool_runs_all;
+    quick "task_pool: nested spawns" test_pool_nested_spawn;
+    quick "task_pool: single thread inline" test_pool_serial_inline;
+    quick "task_pool: exception propagation" test_pool_exception;
+    quick "parallel_for: exact coverage" test_parallel_for_coverage;
+    quick "parallel_for: empty ranges" test_parallel_for_empty;
+    quick "parallel_for_reduce: sum" test_parallel_for_reduce;
+    quick "parallel_iter_list" test_parallel_iter_list;
+    quick "conc_bag: concurrent adds and drain" test_bag;
+    quick "thread_local: per-domain instances" test_thread_local;
+    quick "barrier: cyclic phases" test_barrier_cyclic;
+  ]

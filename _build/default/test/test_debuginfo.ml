@@ -1,0 +1,136 @@
+(* Tests for the DWARF-like debug info: codec, line map, inline trees. *)
+
+open Tutil
+module Dbg = Pbca_debuginfo.Types
+module Codec = Pbca_debuginfo.Codec
+module Line_map = Pbca_debuginfo.Line_map
+
+let sample_debug () =
+  let line lo hi file l = { Dbg.range = { Dbg.lo; hi }; file; line = l } in
+  let inl callee lo hi children =
+    {
+      Dbg.callee;
+      call_file = "a.c";
+      call_line = 3;
+      inl_ranges = [ { Dbg.lo; hi } ];
+      children;
+    }
+  in
+  {
+    Dbg.cus =
+      [|
+        {
+          Dbg.cu_name = "a.c";
+          cu_funcs =
+            [
+              {
+                Dbg.fi_name = "f";
+                fi_ranges = [ { Dbg.lo = 0x100; hi = 0x180 } ];
+                fi_decl_file = "a.c";
+                fi_decl_line = 10;
+                fi_inlines =
+                  [ inl "inner" 0x110 0x140 [ inl "leaf" 0x118 0x120 [] ] ];
+              };
+            ];
+          cu_lines = [ line 0x100 0x120 "a.c" 10; line 0x120 0x180 "a.c" 11 ];
+          cu_pad = 128;
+        };
+        {
+          Dbg.cu_name = "b.c";
+          cu_funcs = [];
+          cu_lines = [ line 0x200 0x240 "b.c" 5 ];
+          cu_pad = 64;
+        };
+      |];
+  }
+
+let test_codec_roundtrip () =
+  let d = sample_debug () in
+  let d2 = Codec.decode (Codec.encode d) in
+  Alcotest.(check int) "cus" 2 (Array.length d2.cus);
+  Alcotest.(check bool) "trees equal" true (d = d2)
+
+let test_codec_parallel_equals_serial () =
+  let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 60; n_cus = 12 } in
+  let data =
+    (Option.get (Pbca_binfmt.Image.section r.image ".debug")).Pbca_binfmt.Section.data
+  in
+  let serial = Codec.decode data in
+  let pool = Pbca_concurrent.Task_pool.create ~threads:4 in
+  let par = Codec.decode ~pool data in
+  Alcotest.(check bool) "identical" true (serial = par)
+
+let test_codec_corruption () =
+  let d = sample_debug () in
+  let bytes = Codec.encode d in
+  (* flip a byte inside the first CU's padding *)
+  let n = Bytes.length bytes in
+  Bytes.set bytes (n - 10) '\xff';
+  Alcotest.(check bool) "checksum mismatch detected" true
+    (try
+       ignore (Codec.decode bytes);
+       false
+     with Failure _ -> true)
+
+let test_cu_blobs () =
+  let d = sample_debug () in
+  let blobs = Codec.cu_blobs (Codec.encode d) in
+  Alcotest.(check int) "two blobs" 2 (Array.length blobs);
+  let cu0 = Codec.decode_cu blobs.(0) in
+  Alcotest.(check string) "first cu" "a.c" cu0.cu_name
+
+let test_line_map_lookup () =
+  let lm = Line_map.build (sample_debug ()) in
+  Alcotest.(check int) "entries" 3 (Line_map.length lm);
+  let at a =
+    match Line_map.lookup lm a with Some le -> le.Dbg.line | None -> -1
+  in
+  Alcotest.(check int) "first range start" 10 (at 0x100);
+  Alcotest.(check int) "first range interior" 10 (at 0x11f);
+  Alcotest.(check int) "second range" 11 (at 0x120);
+  Alcotest.(check int) "last byte" 11 (at 0x17f);
+  Alcotest.(check int) "hole between cus" (-1) (at 0x190);
+  Alcotest.(check int) "other cu" 5 (at 0x210);
+  Alcotest.(check int) "before everything" (-1) (at 0x50);
+  Alcotest.(check int) "past everything" (-1) (at 0x900)
+
+let test_inline_context () =
+  let d = sample_debug () in
+  Alcotest.(check (list string)) "nested chain" [ "f"; "inner"; "leaf" ]
+    (Line_map.inline_context d 0x119);
+  Alcotest.(check (list string)) "mid-level" [ "f"; "inner" ]
+    (Line_map.inline_context d 0x130);
+  Alcotest.(check (list string)) "function only" [ "f" ]
+    (Line_map.inline_context d 0x150);
+  Alcotest.(check (list string)) "outside" [] (Line_map.inline_context d 0x300)
+
+let test_generated_roundtrip =
+  qcheck ~count:20 "generated debug info roundtrips"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+      let p = { Profile.default with n_funcs = 20; seed; n_cus = 4 } in
+      let r = Pbca_codegen.Emit.generate p in
+      let data =
+        (Option.get (Pbca_binfmt.Image.section r.image ".debug"))
+          .Pbca_binfmt.Section.data
+      in
+      Codec.decode data = r.debug)
+
+let test_counts () =
+  let d = sample_debug () in
+  Alcotest.(check int) "func count" 1 (Dbg.func_count d);
+  Alcotest.(check int) "line count" 3 (Dbg.line_count d);
+  Alcotest.(check int) "range size" 0x80
+    (Dbg.range_size { Dbg.lo = 0x100; hi = 0x180 })
+
+let suite =
+  [
+    quick "codec: roundtrip" test_codec_roundtrip;
+    quick "codec: parallel = serial decode" test_codec_parallel_equals_serial;
+    quick "codec: corruption detected" test_codec_corruption;
+    quick "codec: cu slicing" test_cu_blobs;
+    quick "line map: lookup semantics" test_line_map_lookup;
+    quick "inline context: nesting" test_inline_context;
+    test_generated_roundtrip;
+    quick "types: counts" test_counts;
+  ]

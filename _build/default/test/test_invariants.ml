@@ -1,0 +1,244 @@
+(* Direct concurrency tests of the five parsing invariants (paper Section
+   5.2), driving the Cfg primitives from racing domains — the Figure 1
+   scenario made executable. *)
+
+open Tutil
+module Cfg = Pbca_core.Cfg
+module Insn = Pbca_isa.Insn
+module Image = Pbca_binfmt.Image
+module Barrier = Pbca_concurrent.Barrier
+
+(* A common code area: a run of nops ending in one control-flow
+   instruction — several "threads" branch into it at different offsets,
+   as in Figure 1. *)
+let common_area_image () =
+  let buf = Buffer.create 32 in
+  for _ = 1 to 10 do
+    Pbca_isa.Codec.encode buf Insn.Nop
+  done;
+  Pbca_isa.Codec.encode buf Insn.Ret;
+  let tab = Pbca_binfmt.Symtab.create () in
+  Image.make ~name:"common" ~entry:0x1000
+    ~sections:[ Pbca_binfmt.Section.make ~name:".text" ~addr:0x1000 (Buffer.to_bytes buf) ]
+    tab
+
+(* Replicate the linear-parse + register-end sequence of the parser for a
+   block starting at [start] (no caches, no edges beyond the terminator
+   marker). *)
+let parse_one g (b : Cfg.block) =
+  let rec scan a =
+    match Image.decode_at g.Cfg.image a with
+    | None -> ()
+    | Some (insn, len) ->
+      if Pbca_isa.Semantics.is_control_flow insn then
+        Cfg.register_end g b ~end_:(a + len)
+          ~on_win:(fun blk -> Atomic.set blk.Cfg.b_term (Some insn))
+          ~on_done:(fun _ -> ())
+      else scan (a + len)
+  in
+  scan b.Cfg.b_start
+
+let run_figure1_once starts =
+  let image = common_area_image () in
+  let g = Cfg.create image in
+  let n = List.length starts in
+  let barrier = Barrier.create n in
+  let domains =
+    List.map
+      (fun start ->
+        Domain.spawn (fun () ->
+            let b, created = Cfg.find_or_create_block g start in
+            Barrier.await barrier;
+            (* everyone races into the common area simultaneously *)
+            if created then parse_one g b;
+            created))
+      starts
+  in
+  let created = List.map Domain.join domains in
+  (g, created)
+
+let check_figure1_result g starts =
+  let sorted = List.sort compare starts in
+  let last_end = 0x1000 + 10 + 1 in
+  (* expected block partition: consecutive [s_i, s_i+1) plus the tail *)
+  let expected =
+    List.mapi
+      (fun i s ->
+        let e =
+          match List.nth_opt sorted (i + 1) with
+          | Some next -> next
+          | None -> last_end
+        in
+        (s, e))
+      sorted
+  in
+  List.iter
+    (fun (s, e) ->
+      match Pbca_core.Addr_map.find g.Cfg.blocks s with
+      | None -> Alcotest.failf "no block at 0x%x" s
+      | Some b ->
+        Alcotest.(check int)
+          (Printf.sprintf "end of block 0x%x" s)
+          e (Cfg.block_end b))
+    expected;
+  (* Invariant 2: exactly one block registered per end address *)
+  List.iter
+    (fun (s, e) ->
+      match Pbca_core.Addr_map.find g.Cfg.ends e with
+      | Some owner ->
+        Alcotest.(check int)
+          (Printf.sprintf "ends[0x%x] owner" e)
+          s owner.Cfg.b_start
+      | None -> Alcotest.failf "no ends entry for 0x%x" e)
+    expected;
+  (* Invariant 3: only the final block carries the terminator *)
+  let with_term =
+    List.filter
+      (fun (s, _) ->
+        match Pbca_core.Addr_map.find g.Cfg.blocks s with
+        | Some b -> Atomic.get b.Cfg.b_term <> None
+        | None -> false)
+      expected
+  in
+  Alcotest.(check int) "exactly one terminator owner" 1 (List.length with_term);
+  (* Invariant 4: the split chain is stitched with fall-through edges *)
+  let rec pairs = function
+    | (s1, e1) :: ((s2, _) :: _ as rest) ->
+      Alcotest.(check int) "adjacent" e1 s2;
+      (match Pbca_core.Addr_map.find g.Cfg.blocks s1 with
+      | Some b ->
+        let has_ft =
+          List.exists
+            (fun (e : Cfg.edge) ->
+              e.e_kind = Cfg.Fallthrough && e.e_dst.Cfg.b_start = s2)
+            (Cfg.out_edges b)
+        in
+        Alcotest.(check bool)
+          (Printf.sprintf "fallthrough 0x%x -> 0x%x" s1 s2)
+          true has_ft;
+        Alcotest.(check int)
+          (Printf.sprintf "single live out-edge of 0x%x" s1)
+          1
+          (List.length (Cfg.out_edges b))
+      | None -> ());
+      pairs rest
+    | _ -> ()
+  in
+  pairs expected
+
+let test_figure1_three_threads () =
+  (* offsets 0x4, 0xA, 0xD of the paper's figure, scaled to our encoding *)
+  for _ = 1 to 50 do
+    let starts = [ 0x1000; 0x1003; 0x1007 ] in
+    let g, created = run_figure1_once starts in
+    Alcotest.(check int) "each start created once" 3
+      (List.length (List.filter (fun c -> c) created));
+    check_figure1_result g starts
+  done
+
+let test_figure1_same_target () =
+  (* several threads branch to the SAME address: Invariant 1 gives one
+     winner; the rest leave the common area (Figure 1a, T3/T4/T5) *)
+  for _ = 1 to 50 do
+    let image = common_area_image () in
+    let g = Cfg.create image in
+    let barrier = Barrier.create 4 in
+    let domains =
+      List.init 4 (fun _ ->
+          Domain.spawn (fun () ->
+              Barrier.await barrier;
+              let b, created = Cfg.find_or_create_block g 0x1005 in
+              if created then parse_one g b;
+              created))
+    in
+    let created = List.map Domain.join domains in
+    Alcotest.(check int) "one winner" 1
+      (List.length (List.filter (fun c -> c) created));
+    let b = Option.get (Pbca_core.Addr_map.find g.Cfg.blocks 0x1005) in
+    Alcotest.(check int) "parsed to the terminator" (0x1000 + 11)
+      (Cfg.block_end b)
+  done
+
+let test_figure1_random_offsets () =
+  let rng = Pbca_codegen.Rng.create 2025 in
+  for _ = 1 to 30 do
+    (* any distinct offsets within the nop run must converge to the same
+       partition regardless of schedule *)
+    let all = [ 0x1000; 0x1001; 0x1002; 0x1004; 0x1006; 0x1008; 0x1009 ] in
+    let k = 2 + Pbca_codegen.Rng.int rng 3 in
+    let rec pick acc n =
+      if n = 0 then acc
+      else
+        let c = List.nth all (Pbca_codegen.Rng.int rng (List.length all)) in
+        if List.mem c acc then pick acc n else pick (c :: acc) (n - 1)
+    in
+    let starts = pick [] k in
+    let g, _ = run_figure1_once starts in
+    check_figure1_result g starts
+  done
+
+let test_invariant5_function_creation () =
+  let image = common_area_image () in
+  let g = Cfg.create image in
+  let barrier = Barrier.create 4 in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            Barrier.await barrier;
+            let _, created =
+              Cfg.find_or_create_func g
+                ~name:(Printf.sprintf "from_domain_%d" i)
+                ~from_symtab:false 0x1000
+            in
+            created))
+  in
+  let created = List.map Domain.join domains in
+  Alcotest.(check int) "one function winner (Invariant 5)" 1
+    (List.length (List.filter (fun c -> c) created));
+  Alcotest.(check int) "single function in the map" 1
+    (List.length (Cfg.funcs_list g))
+
+let test_add_edge_at_end_vs_split () =
+  (* a call-fall-through firing concurrently with a split of the same call
+     block must serialize on the ends-entry lock: the edge lands on
+     whichever fragment owns the end, never on a stale block *)
+  for _ = 1 to 50 do
+    let image = common_area_image () in
+    let g = Cfg.create image in
+    let b0, _ = Cfg.find_or_create_block g 0x1000 in
+    parse_one g b0;
+    let end_ = 0x1000 + 11 in
+    let barrier = Barrier.create 2 in
+    let splitter =
+      Domain.spawn (fun () ->
+          Barrier.await barrier;
+          let b, _ = Cfg.find_or_create_block g 0x1006 in
+          parse_one g b)
+    in
+    let firer =
+      Domain.spawn (fun () ->
+          Barrier.await barrier;
+          Cfg.add_edge_at_end g ~end_ ~dst_addr:end_ Cfg.Call_fallthrough)
+    in
+    ignore (Domain.join firer);
+    Domain.join splitter;
+    (* whoever owns the end now must carry the fall-through edge *)
+    let owner = Option.get (Pbca_core.Addr_map.find g.Cfg.ends end_) in
+    Alcotest.(check int) "owner is the split tail" 0x1006 owner.Cfg.b_start;
+    let has_ft =
+      List.exists
+        (fun (e : Cfg.edge) -> e.e_kind = Cfg.Call_fallthrough)
+        (Cfg.out_edges owner)
+    in
+    Alcotest.(check bool) "fall-through on the live owner" true has_ft
+  done
+
+let suite =
+  [
+    quick "figure 1: three racing threads, exact partition"
+      test_figure1_three_threads;
+    quick "figure 1: same branch target, one winner" test_figure1_same_target;
+    quick "figure 1: random offsets converge" test_figure1_random_offsets;
+    quick "invariant 5: unique function creation" test_invariant5_function_creation;
+    quick "call-fall-through vs concurrent split" test_add_edge_at_end_vs_split;
+  ]

@@ -1,0 +1,250 @@
+(* Tests for the synthetic ISA: registers, codec, semantics. *)
+
+open Tutil
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module Codec = Pbca_isa.Codec
+module Semantics = Pbca_isa.Semantics
+
+(* generator for arbitrary well-formed instructions *)
+let gen_insn : Insn.t QCheck2.Gen.t =
+  let open QCheck2.Gen in
+  let reg = map Reg.of_int (int_bound 15) in
+  let imm32 = map (fun x -> x - 500_000) (int_bound 1_000_000) in
+  let disp16 = map (fun x -> x - 30_000) (int_bound 60_000) in
+  let imm8 = int_bound 255 in
+  let imm16 = int_bound 0xffff in
+  let scale = oneofl [ 1; 2; 4; 8 ] in
+  let cond = oneofl [ Insn.Eq; Ne; Lt; Ge; Gt; Le ] in
+  oneof
+    [
+      return Insn.Nop;
+      return Insn.Halt;
+      map2 (fun a b -> Insn.Mov_rr (a, b)) reg reg;
+      map2 (fun a v -> Insn.Mov_ri (a, v)) reg imm32;
+      map3 (fun a b d -> Insn.Load (a, b, d)) reg reg disp16;
+      map3 (fun a d b -> Insn.Store (a, d, b)) reg disp16 reg;
+      map2 (fun a d -> Insn.Lea (a, d)) reg imm32;
+      map2 (fun a b -> Insn.Add (a, b)) reg reg;
+      map2 (fun a b -> Insn.Sub (a, b)) reg reg;
+      map2 (fun a b -> Insn.Mul (a, b)) reg reg;
+      map2 (fun a b -> Insn.And_ (a, b)) reg reg;
+      map2 (fun a b -> Insn.Or_ (a, b)) reg reg;
+      map2 (fun a b -> Insn.Xor (a, b)) reg reg;
+      map2 (fun a n -> Insn.Shl (a, n)) reg imm8;
+      map2 (fun a n -> Insn.Shr (a, n)) reg imm8;
+      map2 (fun a v -> Insn.Add_ri (a, v)) reg imm32;
+      map2 (fun a b -> Insn.Cmp_rr (a, b)) reg reg;
+      map2 (fun a v -> Insn.Cmp_ri (a, v)) reg imm32;
+      map (fun a -> Insn.Push a) reg;
+      map (fun a -> Insn.Pop a) reg;
+      map (fun n -> Insn.Enter n) imm16;
+      return Insn.Leave;
+      map (fun d -> Insn.Jmp d) imm32;
+      map2 (fun c d -> Insn.Jcc (c, d)) cond imm32;
+      map (fun a -> Insn.Jmp_ind a) reg;
+      map (fun d -> Insn.Call d) imm32;
+      map (fun a -> Insn.Call_ind a) reg;
+      return Insn.Ret;
+      map2
+        (fun (d, b) (i, s) -> Insn.Load_idx (d, b, i, s))
+        (pair reg reg) (pair reg scale);
+    ]
+
+let encode_one i =
+  let b = Buffer.create 8 in
+  Codec.encode b i;
+  Buffer.to_bytes b
+
+let test_roundtrip =
+  qcheck ~count:1000 "codec: decode (encode i) = i" gen_insn (fun i ->
+      let bytes = encode_one i in
+      match Codec.decode bytes ~pos:0 with
+      | Some (j, len) -> Insn.equal i j && len = Bytes.length bytes
+      | None -> false)
+
+let test_lengths =
+  qcheck ~count:1000 "codec: encoded_length agrees with encode" gen_insn
+    (fun i -> Codec.encoded_length i = Bytes.length (encode_one i))
+
+let test_decode_total =
+  qcheck ~count:1000 "codec: decode never crashes on random bytes"
+    QCheck2.Gen.(bytes_size (int_range 0 16))
+    (fun buf ->
+      match Codec.decode buf ~pos:0 with
+      | Some (_, len) -> len >= 1 && len <= Codec.max_length && len <= Bytes.length buf
+      | None -> true)
+
+let test_decode_oob () =
+  let b = encode_one (Insn.Mov_ri (Reg.r0, 42)) in
+  (* truncating any suffix must fail cleanly *)
+  for keep = 0 to Bytes.length b - 1 do
+    match Codec.decode (Bytes.sub b 0 keep) ~pos:0 with
+    | Some _ -> Alcotest.failf "decoded from %d-byte prefix" keep
+    | None -> ()
+  done
+
+let test_bad_register () =
+  (* register field 0x1f is invalid for mov_rr *)
+  let buf = Bytes.of_string "\x10\x1f\x01" in
+  Alcotest.(check bool) "invalid register rejected" true
+    (Codec.decode buf ~pos:0 = None)
+
+let test_flow_targets () =
+  let check insn len expect =
+    let got = Semantics.flow ~addr:0x100 ~len insn in
+    if got <> expect then Alcotest.fail "unexpected flow"
+  in
+  check (Insn.Jmp 10) 5 (Semantics.Jump (0x100 + 5 + 10));
+  check (Insn.Jmp (-20)) 5 (Semantics.Jump (0x100 + 5 - 20));
+  check (Insn.Jcc (Insn.Eq, 6)) 6 (Semantics.Cond_jump (0x100 + 6 + 6));
+  check (Insn.Call 0) 5 (Semantics.Call_direct 0x105);
+  check Insn.Ret 1 Semantics.Return;
+  check Insn.Halt 1 Semantics.Stop;
+  check (Insn.Jmp_ind Reg.r0) 2 Semantics.Jump_indirect;
+  check (Insn.Call_ind Reg.r0) 2 Semantics.Call_indirect;
+  check Insn.Nop 1 Semantics.Fallthrough
+
+let test_is_control_flow =
+  qcheck ~count:500 "semantics: control flow iff non-fallthrough" gen_insn
+    (fun i ->
+      let cf = Semantics.is_control_flow i in
+      let fl = Semantics.flow ~addr:0 ~len:(Codec.encoded_length i) i in
+      cf = (fl <> Semantics.Fallthrough))
+
+let test_defs_uses_valid =
+  qcheck ~count:500 "semantics: defs/uses are valid register sets" gen_insn
+    (fun i ->
+      let ok s = s >= 0 && s < 1 lsl Reg.count in
+      ok (Semantics.defs i) && ok (Semantics.uses i))
+
+let test_mov_def_use () =
+  let i = Insn.Mov_rr (Reg.r1, Reg.r2) in
+  Alcotest.(check bool) "defs r1" true (Reg.Set.mem Reg.r1 (Semantics.defs i));
+  Alcotest.(check bool) "uses r2" true (Reg.Set.mem Reg.r2 (Semantics.uses i));
+  Alcotest.(check bool) "does not use r1" false
+    (Reg.Set.mem Reg.r1 (Semantics.uses i))
+
+let test_sp_delta () =
+  Alcotest.(check (option int)) "push" (Some (-8)) (Semantics.sp_delta (Insn.Push Reg.r1));
+  Alcotest.(check (option int)) "pop" (Some 8) (Semantics.sp_delta (Insn.Pop Reg.r1));
+  Alcotest.(check (option int)) "enter" (Some (-72)) (Semantics.sp_delta (Insn.Enter 64));
+  Alcotest.(check (option int)) "leave non-constant" None (Semantics.sp_delta Insn.Leave);
+  Alcotest.(check (option int)) "mov neutral" (Some 0)
+    (Semantics.sp_delta (Insn.Mov_ri (Reg.r0, 1)))
+
+let test_teardown () =
+  Alcotest.(check bool) "leave tears down" true (Semantics.is_stack_teardown Insn.Leave);
+  Alcotest.(check bool) "ret does not" false (Semantics.is_stack_teardown Insn.Ret)
+
+let test_reg_bounds () =
+  Alcotest.check_raises "of_int 16 rejected" (Invalid_argument "Reg.of_int")
+    (fun () -> ignore (Reg.of_int 16));
+  Alcotest.check_raises "of_int -1 rejected" (Invalid_argument "Reg.of_int")
+    (fun () -> ignore (Reg.of_int (-1)));
+  Alcotest.(check string) "sp name" "sp" (Reg.name Reg.sp);
+  Alcotest.(check string) "fp name" "fp" (Reg.name Reg.fp)
+
+let test_regset_laws =
+  qcheck ~count:300 "reg sets: union/inter/diff laws"
+    QCheck2.Gen.(triple (int_bound 0xffff) (int_bound 0xffff) (int_bound 15))
+    (fun (a, b, r) ->
+      let open Reg.Set in
+      let r = Reg.of_int r in
+      union a b = union b a
+      && inter a b = inter b a
+      && diff (union a b) b = diff a b
+      && mem r (add r a)
+      && cardinal (add r empty) = 1)
+
+let test_pp_all_insns =
+  qcheck ~count:300 "pp: every instruction prints nonempty" gen_insn (fun i ->
+      String.length (Insn.to_string i) > 0)
+
+let suite =
+  [
+    test_roundtrip;
+    test_lengths;
+    test_decode_total;
+    quick "codec: truncation rejected" test_decode_oob;
+    quick "codec: bad register rejected" test_bad_register;
+    quick "semantics: branch target arithmetic" test_flow_targets;
+    test_is_control_flow;
+    test_defs_uses_valid;
+    quick "semantics: mov defs/uses" test_mov_def_use;
+    quick "semantics: sp deltas" test_sp_delta;
+    quick "semantics: stack teardown" test_teardown;
+    quick "reg: bounds and names" test_reg_bounds;
+    test_regset_laws;
+    test_pp_all_insns;
+  ]
+
+(* -------------------------- golden lengths ----------------------------- *)
+
+let test_length_goldens () =
+  let cases =
+    [
+      (Insn.Nop, 1); (Insn.Halt, 1); (Insn.Leave, 1); (Insn.Ret, 1);
+      (Insn.Push Reg.r1, 2); (Insn.Pop Reg.r1, 2);
+      (Insn.Jmp_ind Reg.r1, 2); (Insn.Call_ind Reg.r1, 2);
+      (Insn.Mov_rr (Reg.r0, Reg.r1), 3); (Insn.Enter 64, 3);
+      (Insn.Shl (Reg.r1, 3), 3); (Insn.Cmp_rr (Reg.r0, Reg.r1), 3);
+      (Insn.Load_idx (Reg.r0, Reg.r1, Reg.r2, 4), 4);
+      (Insn.Load (Reg.r0, Reg.r1, -8), 5); (Insn.Store (Reg.r0, 8, Reg.r1), 5);
+      (Insn.Jmp 100, 5); (Insn.Call (-100), 5);
+      (Insn.Mov_ri (Reg.r0, 7), 6); (Insn.Lea (Reg.r0, -7), 6);
+      (Insn.Add_ri (Reg.r0, 1), 6); (Insn.Cmp_ri (Reg.r0, 1), 6);
+      (Insn.Jcc (Insn.Eq, 0), 6);
+    ]
+  in
+  List.iter
+    (fun (i, len) ->
+      Alcotest.(check int) (Insn.to_string i) len (Codec.encoded_length i))
+    cases
+
+let test_immediate_boundaries () =
+  let roundtrip i =
+    let b = encode_one i in
+    match Codec.decode b ~pos:0 with
+    | Some (j, _) -> Insn.equal i j
+    | None -> false
+  in
+  Alcotest.(check bool) "imm32 max" true (roundtrip (Insn.Mov_ri (Reg.r0, 0x7fff_ffff)));
+  Alcotest.(check bool) "imm32 min" true (roundtrip (Insn.Mov_ri (Reg.r0, -0x8000_0000)));
+  Alcotest.(check bool) "disp16 max" true (roundtrip (Insn.Load (Reg.r0, Reg.r1, 0x7fff)));
+  Alcotest.(check bool) "disp16 min" true (roundtrip (Insn.Load (Reg.r0, Reg.r1, -0x8000)));
+  Alcotest.(check bool) "enter 0" true (roundtrip (Insn.Enter 0));
+  Alcotest.(check bool) "enter max" true (roundtrip (Insn.Enter 0xffff));
+  Alcotest.check_raises "imm32 overflow rejected"
+    (Invalid_argument "Codec: imm32 out of range") (fun () ->
+      ignore (encode_one (Insn.Mov_ri (Reg.r0, 0x1_0000_0000))));
+  Alcotest.check_raises "disp16 overflow rejected"
+    (Invalid_argument "Codec: disp16 out of range") (fun () ->
+      ignore (encode_one (Insn.Load (Reg.r0, Reg.r1, 0x8000))));
+  Alcotest.check_raises "bad scale rejected"
+    (Invalid_argument "Codec: scale must be 1, 2, 4 or 8") (fun () ->
+      ignore (encode_one (Insn.Load_idx (Reg.r0, Reg.r1, Reg.r2, 3))))
+
+let test_decode_stream_self_delimits =
+  qcheck ~count:200 "codec: concatenated encodings decode in order"
+    QCheck2.Gen.(list_size (int_range 1 10) gen_insn)
+    (fun insns ->
+      let buf = Buffer.create 64 in
+      List.iter (Codec.encode buf) insns;
+      let bytes = Buffer.to_bytes buf in
+      let rec go pos = function
+        | [] -> pos = Bytes.length bytes
+        | i :: rest -> (
+          match Codec.decode bytes ~pos with
+          | Some (j, len) -> Insn.equal i j && go (pos + len) rest
+          | None -> false)
+      in
+      go 0 insns)
+
+let suite =
+  suite
+  @ [
+      quick "codec: length goldens" test_length_goldens;
+      quick "codec: immediate boundaries" test_immediate_boundaries;
+      test_decode_stream_self_delimits;
+    ]

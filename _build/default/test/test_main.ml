@@ -1,0 +1,16 @@
+let () =
+  Alcotest.run "pbca"
+    [
+      ("concurrent", Test_concurrent.suite);
+      ("isa", Test_isa.suite);
+      ("binfmt", Test_binfmt.suite);
+      ("debuginfo", Test_debuginfo.suite);
+      ("codegen", Test_codegen.suite);
+      ("ops", Test_ops.suite);
+      ("parser", Test_parser.suite);
+      ("tools", Test_tools.suite);
+      ("invariants", Test_invariants.suite);
+      ("analysis", Test_analysis.suite);
+      ("simsched", Test_simsched.suite);
+      ("apps", Test_apps.suite);
+    ]

@@ -1,0 +1,250 @@
+(* Property tests for the CFG operation algebra — the paper's Section 4
+   claims, machine-checked on generated binaries. *)
+
+open Tutil
+module Ops = Pbca_core.Ops
+module Image = Pbca_binfmt.Image
+module Rng = Pbca_codegen.Rng
+
+(* small images to drive the pure model *)
+let small_image seed =
+  let p =
+    {
+      Profile.default with
+      n_funcs = 6;
+      seed;
+      max_blocks = 6;
+      p_jump_table = 0.0;
+      n_shared_stubs = 1;
+      p_cold = 0.0;
+      p_secondary_entry = 0.0;
+    }
+  in
+  (Pbca_codegen.Emit.generate p).image
+
+let entries image =
+  List.filter_map
+    (fun (s : Pbca_binfmt.Symbol.t) ->
+      if Pbca_binfmt.Symbol.is_func s then Some s.offset else None)
+    (Pbca_binfmt.Symtab.functions image.Image.symtab)
+  |> List.sort_uniq compare
+
+(* advance construction a few random steps to reach interesting mid-states *)
+let advance image rng steps g =
+  let rec go n g =
+    if n = 0 then g
+    else
+      match g.Ops.cands with
+      | [] -> g
+      | cs ->
+        let t = List.nth cs (Rng.int rng (List.length cs)) in
+        let g = Ops.o_ber image g t in
+        let g =
+          match g.Ops.blocks with
+          | [] -> g
+          | bs ->
+            let b = List.nth bs (Rng.int rng (List.length bs)) in
+            Ops.o_dec image g b.Ops.s
+          in
+        go (n - 1) g
+  in
+  go steps g
+
+let gen_seed = QCheck2.Gen.int_bound 10_000
+
+let mid_state seed =
+  let image = small_image (seed mod 97) in
+  let rng = Pbca_codegen.Rng.create seed in
+  let g0 = Ops.init (entries image) in
+  (image, advance image rng (Pbca_codegen.Rng.int rng 8) g0)
+
+let test_ber_self_commute =
+  qcheck ~count:60 "O_BER commutes with itself" gen_seed (fun seed ->
+      let image, g = mid_state seed in
+      match g.Ops.cands with
+      | a :: b :: _ when a <> b ->
+        let g1 = Ops.o_ber image (Ops.o_ber image g a) b in
+        let g2 = Ops.o_ber image (Ops.o_ber image g b) a in
+        Ops.equal g1 g2
+      | _ -> true)
+
+let test_dec_self_commute =
+  qcheck ~count:60 "O_DEC commutes with itself" gen_seed (fun seed ->
+      let image, g = mid_state seed in
+      match g.Ops.blocks with
+      | a :: b :: _ ->
+        let g1 = Ops.o_dec image (Ops.o_dec image g a.Ops.s) b.Ops.s in
+        let g2 = Ops.o_dec image (Ops.o_dec image g b.Ops.s) a.Ops.s in
+        Ops.equal g1 g2
+      | _ -> true)
+
+let test_ber_dec_commute =
+  qcheck ~count:60 "O_BER and O_DEC commute" gen_seed (fun seed ->
+      let image, g = mid_state seed in
+      match (g.Ops.cands, g.Ops.blocks) with
+      | t :: _, b :: _ ->
+        let g1 = Ops.o_dec image (Ops.o_ber image g t) b.Ops.s in
+        let g2 = Ops.o_ber image (Ops.o_dec image g b.Ops.s) t in
+        Ops.equal g1 g2
+      | _ -> true)
+
+let test_er_self_commute =
+  qcheck ~count:60 "O_ER commutes with itself" gen_seed (fun seed ->
+      let image, g0 = mid_state seed in
+      let g = Ops.construct image g0 in
+      match g.Ops.edges with
+      | e1 :: e2 :: _ when e1 <> e2 ->
+        let a = Ops.o_er (Ops.o_er g e1) e2 in
+        let b = Ops.o_er (Ops.o_er g e2) e1 in
+        Ops.equal a b
+      | _ -> true)
+
+let test_construction_increasing =
+  qcheck ~count:40 "construction is increasing under the partial order"
+    gen_seed (fun seed ->
+      let image, g = mid_state seed in
+      (* one O_BER step can only grow the graph *)
+      match g.Ops.cands with
+      | t :: _ -> Ops.preceq g (Ops.o_ber image g t)
+      | [] -> true)
+
+let test_g0_preceq_final =
+  qcheck ~count:40 "G0 preceq final graph" gen_seed (fun seed ->
+      let image = small_image (seed mod 97) in
+      let g0 = Ops.init (entries image) in
+      Ops.preceq g0 (Ops.construct image g0))
+
+let test_preceq_reflexive =
+  qcheck ~count:40 "preceq is reflexive" gen_seed (fun seed ->
+      let _, g = mid_state seed in
+      Ops.preceq g g)
+
+let test_iec_monotonic =
+  qcheck ~count:40 "delaying O_IEC cannot shrink the result" gen_seed
+    (fun seed ->
+      let image, g = mid_state seed in
+      match g.Ops.blocks with
+      | b :: _ -> (
+        let targets = [ b.Ops.s ] in
+        (* Ox (O_IEC g) preceq O_IEC (Ox g) for an O_BER step Ox *)
+        match g.Ops.cands with
+        | t :: _ ->
+          let lhs = Ops.o_ber image (Ops.o_iec g b.Ops.s targets) t in
+          let rhs = Ops.o_iec (Ops.o_ber image g t) b.Ops.s targets in
+          Ops.preceq lhs rhs
+        | [] -> true)
+      | [] -> true)
+
+let test_split_case () =
+  (* explicit O_BER block-splitting case on a hand-made function *)
+  let spec = mk_spec [ diamond_fun () ] in
+  let { Pbca_codegen.Emit.image; _ } = emit_spec spec in
+  let e = entries image in
+  let g = Ops.construct image (Ops.init e) in
+  (* every block is disjoint and nonempty *)
+  let rec disjoint = function
+    | a :: (b : Ops.block) :: rest ->
+      a.Ops.e <= b.Ops.s && a.Ops.s < a.Ops.e && disjoint (b :: rest)
+    | [ a ] -> a.Ops.s < a.Ops.e
+    | [] -> true
+  in
+  Alcotest.(check bool) "blocks disjoint" true (disjoint g.Ops.blocks);
+  Alcotest.(check bool) "no candidates left" true (g.Ops.cands = []);
+  Alcotest.(check bool) "has conditional edges" true
+    (List.exists (fun e -> e.Ops.kind = Ops.Cond_taken) g.Ops.edges)
+
+let test_er_removes_unreachable () =
+  let spec = mk_spec [ loop_fun () ] in
+  let { Pbca_codegen.Emit.image; _ } = emit_spec spec in
+  let g = Ops.construct image (Ops.init (entries image)) in
+  (* removing the loop-exit edge must drop the return block *)
+  match
+    List.find_opt (fun e -> e.Ops.kind = Ops.Cond_taken) g.Ops.edges
+  with
+  | Some e ->
+    let g' = Ops.o_er g e in
+    Alcotest.(check bool) "fewer blocks" true
+      (List.length g'.Ops.blocks < List.length g.Ops.blocks)
+  | None -> Alcotest.fail "expected a conditional edge"
+
+let suite =
+  [
+    test_ber_self_commute;
+    test_dec_self_commute;
+    test_ber_dec_commute;
+    test_er_self_commute;
+    test_construction_increasing;
+    test_g0_preceq_final;
+    test_preceq_reflexive;
+    test_iec_monotonic;
+    quick "construct on diamond: sane blocks" test_split_case;
+    quick "O_ER drops unreachable blocks" test_er_removes_unreachable;
+  ]
+
+(* --------------------------- confluence ------------------------------- *)
+
+let test_confluence =
+  qcheck ~count:25 "construction is confluent: random orders, same fixpoint"
+    QCheck2.Gen.(pair (int_bound 96) (int_bound 10_000))
+    (fun (img_seed, order_seed) ->
+      let image = small_image img_seed in
+      let ents = entries image in
+      let reference = Ops.construct image (Ops.init ents) in
+      (* drive to the same fixpoint applying operations in random order *)
+      let rng = Rng.create order_seed in
+      let rec randomized g fuel =
+        if fuel = 0 then g
+        else
+          let g' =
+            match (g.Ops.cands, Rng.bool rng 0.5) with
+            | c :: _ :: _, true ->
+              (* pick a random candidate rather than the first *)
+              let cs = g.Ops.cands in
+              ignore c;
+              Ops.o_ber image g (List.nth cs (Rng.int rng (List.length cs)))
+            | c :: _, _ -> Ops.o_ber image g c
+            | [], _ -> (
+              match g.Ops.blocks with
+              | [] -> g
+              | bs ->
+                let b = List.nth bs (Rng.int rng (List.length bs)) in
+                Ops.o_dec image g b.Ops.s)
+          in
+          if Ops.equal g g' then
+            (* no progress on that pick: fall back to the driver *)
+            Ops.construct image g
+          else randomized g' (fuel - 1)
+      in
+      let alt = randomized (Ops.init ents) 500 in
+      let alt = Ops.construct image alt in
+      Ops.equal reference alt)
+
+let test_er_idempotent =
+  qcheck ~count:30 "O_ER is idempotent" gen_seed (fun seed ->
+      let image, g0 = mid_state seed in
+      let g = Ops.construct image g0 in
+      match g.Ops.edges with
+      | e :: _ -> Ops.equal (Ops.o_er g e) (Ops.o_er (Ops.o_er g e) e)
+      | [] -> true)
+
+let test_ber_absorbs_known_start () =
+  (* resolving a candidate where a block already starts is the identity on
+     blocks (the "second operation is effectively the identity" case of
+     Section 4.3) *)
+  let image = small_image 5 in
+  let ents = entries image in
+  let g = Ops.construct image (Ops.init ents) in
+  match g.Ops.blocks with
+  | b :: _ ->
+    let g' = { g with Ops.cands = [ b.Ops.s ] } in
+    let g'' = Ops.o_ber image g' b.Ops.s in
+    Alcotest.(check bool) "blocks unchanged" true (g''.Ops.blocks = g.Ops.blocks)
+  | [] -> Alcotest.fail "no blocks"
+
+let suite =
+  suite
+  @ [
+      test_confluence;
+      test_er_idempotent;
+      quick "O_BER absorbs an already-started block" test_ber_absorbs_known_start;
+    ]
