@@ -8,7 +8,8 @@
    of that phase's task trace.
 
    Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
-   micro all (default: all). *)
+   micro contention all (default: all); plus microsmoke, a seconds-long
+   self-checking slice of contention wired into `dune runtest`. *)
 
 module Profile = Pbca_codegen.Profile
 module Emit = Pbca_codegen.Emit
@@ -20,6 +21,15 @@ module H = Pbca_hpcstruct.Hpcstruct
 module B = Pbca_binfeat.Binfeat
 
 let threads_sweep = [ 1; 2; 4; 8; 16; 32; 64 ]
+
+(* the retired mutex-sharded map, kept as the comparison baseline for the
+   lock-free Addr_map (same key hash as Addr_map uses) *)
+module MutexMap = Pbca_concurrent.Conc_hash.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash a = (a * 0x9E3779B1) lxor (a lsr 16)
+end)
 
 let geomean xs =
   match xs with
@@ -434,7 +444,9 @@ let ablations () =
     \    (deferred drains wait for round barriers, and every round repeats\n\
     \    the jump-table fixed point - the Section 4.3 interaction)\n"
     (ms tr_eager 64) jt_eager (ms tr_lazy 64) jt_lazy;
-  (* (b) thread-local decode cache *)
+  (* (b) early parse stop at known block starts (the decode_cache flag now
+     consults the shared lock-free blocks map, so every thread's parses
+     stop every other thread's rescans) *)
   let decoded config =
     let pool = TP.create ~threads:4 in
     let g = Pbca_core.Parallel.parse ~config ~pool r.image in
@@ -443,8 +455,8 @@ let ablations () =
   let with_cache = decoded Pbca_core.Config.default in
   let without = decoded { Pbca_core.Config.default with decode_cache = false } in
   Printf.printf
-    "(b) thread-local decode cache (Section 6.3): %d insns decoded with, %d \
-     without (%.1f%% saved)\n"
+    "(b) early scan stop at known block starts (Section 6.3): %d insns \
+     decoded with, %d without (%.1f%% saved)\n"
     with_cache without
     (100.0 *. float_of_int (without - with_cache) /. float_of_int (max 1 without));
   (* (c) jump-table union strategy: hand-assembled table whose base is
@@ -540,10 +552,33 @@ let micro () =
           let fv = Pbca_analysis.Func_view.make g_small some_func in
           ignore (Pbca_analysis.Liveness.compute g_small fv)));
       Test.make ~name:"conc_hash_insert1k" (Staged.stage (fun () ->
+          let m = MutexMap.create ~shards:64 () in
+          for i = 0 to 999 do
+            ignore (MutexMap.insert_if_absent m (i * 16) ())
+          done));
+      Test.make ~name:"lockfree_map_insert1k" (Staged.stage (fun () ->
           let m = Pbca_core.Addr_map.create ~shards:64 () in
           for i = 0 to 999 do
             ignore (Pbca_core.Addr_map.insert_if_absent m (i * 16) ())
           done));
+      (* the tentpole comparison: read-heavy traffic, mutex-sharded vs
+         lock-free — the workload shape of the parser's address maps *)
+      (let m = MutexMap.create ~shards:64 () in
+       for i = 0 to 4095 do
+         ignore (MutexMap.insert_if_absent m (i * 16) ())
+       done;
+       Test.make ~name:"map_read4k_mutex_sharded" (Staged.stage (fun () ->
+           for i = 0 to 4095 do
+             ignore (MutexMap.find m (i * 16))
+           done)));
+      (let m = Pbca_core.Addr_map.create ~shards:64 () in
+       for i = 0 to 4095 do
+         ignore (Pbca_core.Addr_map.insert_if_absent m (i * 16) ())
+       done;
+       Test.make ~name:"map_read4k_lockfree" (Staged.stage (fun () ->
+           for i = 0 to 4095 do
+             ignore (Pbca_core.Addr_map.find m (i * 16))
+           done)));
     ]
   in
   let instance = Toolkit.Instance.monotonic_clock in
@@ -572,6 +607,347 @@ let micro () =
     tests
 
 (* ---------------------------------------------------------------- *)
+(* Minimal JSON: a hand-rolled emitter plus a recursive-descent
+   well-formedness checker (no JSON library in the toolchain; the checker
+   keeps the emitted reports honest).                                *)
+
+type json =
+  | J_int of int
+  | J_float of float
+  | J_bool of bool
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_emit b ind j =
+  let pad n = String.make n ' ' in
+  match j with
+  | J_int i -> Buffer.add_string b (string_of_int i)
+  | J_float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+    else Buffer.add_string b "null"
+  | J_bool v -> Buffer.add_string b (string_of_bool v)
+  | J_str s -> Buffer.add_string b ("\"" ^ json_escape s ^ "\"")
+  | J_arr [] -> Buffer.add_string b "[]"
+  | J_arr xs ->
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        json_emit b ind x)
+      xs;
+    Buffer.add_string b "]"
+  | J_obj [] -> Buffer.add_string b "{}"
+  | J_obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (ind + 2));
+        Buffer.add_string b ("\"" ^ json_escape k ^ "\": ");
+        json_emit b (ind + 2) v)
+      kvs;
+    Buffer.add_string b ("\n" ^ pad ind ^ "}")
+
+let json_to_string j =
+  let b = Buffer.create 512 in
+  json_emit b 0 j;
+  Buffer.contents b
+
+(* Well-formedness check of the grammar we emit (objects, arrays, strings
+   with the escapes above, numbers, booleans, null). Returns false instead
+   of raising so the smoke target can report cleanly. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false) do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c =
+    if !pos < n && s.[!pos] = c then incr pos else fail := true
+  in
+  let lit w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail := true
+  in
+  let string_ () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      if !pos >= n then fail := true
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          fin := true
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail := true
+          else begin
+            (match s.[!pos] with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> ()
+            | 'u' ->
+              if !pos + 4 < n then pos := !pos + 4 else fail := true
+            | _ -> fail := true);
+            incr pos
+          end
+        | c when Char.code c < 0x20 -> fail := true
+        | _ -> incr pos
+    done
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value depth =
+    if depth > 64 then fail := true
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then incr pos
+        else begin
+          let more = ref true in
+          while !more && not !fail do
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value (depth + 1);
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some '}' ->
+              incr pos;
+              more := false
+            | _ -> fail := true
+          done
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then incr pos
+        else begin
+          let more = ref true in
+          while !more && not !fail do
+            value (depth + 1);
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some ']' ->
+              incr pos;
+              more := false
+            | _ -> fail := true
+          done
+        end
+      | Some '"' -> string_ ()
+      | Some 't' -> lit "true"
+      | Some 'f' -> lit "false"
+      | Some 'n' -> lit "null"
+      | Some _ -> number ()
+      | None -> fail := true
+    end
+  in
+  value 0;
+  skip_ws ();
+  (not !fail) && !pos = n
+
+(* ---------------------------------------------------------------- *)
+(* `bench contention`: proves the tentpole. (1) read-heavy micro of the
+   mutex-sharded map vs the lock-free map at one thread; (2) a parallel
+   parse of a generated subject reporting the new contention, decode-cache
+   and scheduler counters. Writes BENCH_pr1.json unless ~smoke.        *)
+
+let time_reads ~rounds ~keys find populate =
+  populate ();
+  (* one warm pass so both maps are faulted in *)
+  for i = 0 to keys - 1 do
+    ignore (find (i * 16))
+  done;
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    for i = 0 to keys - 1 do
+      ignore (find (i * 16))
+    done
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  dt *. 1e9 /. float_of_int (rounds * keys)
+
+let contention_report ~smoke () =
+  let keys = if smoke then 512 else 4096 in
+  let rounds = if smoke then 50 else 1000 in
+  let mutex_ns =
+    let m = MutexMap.create ~shards:64 () in
+    time_reads ~rounds ~keys
+      (fun k -> MutexMap.find m k)
+      (fun () ->
+        for i = 0 to keys - 1 do
+          ignore (MutexMap.insert_if_absent m (i * 16) i)
+        done)
+  in
+  let lockfree_ns =
+    let m = Pbca_core.Addr_map.create ~shards:64 () in
+    time_reads ~rounds ~keys
+      (fun k -> Pbca_core.Addr_map.find m k)
+      (fun () ->
+        for i = 0 to keys - 1 do
+          ignore (Pbca_core.Addr_map.insert_if_absent m (i * 16) i)
+        done)
+  in
+  let p =
+    if smoke then { Profile.default with Profile.n_funcs = 25; seed = 11 }
+    else { (Profile.coreutils_like 3) with Profile.seed = 2026 }
+  in
+  let r = Emit.generate p in
+  TP.reset_stats ();
+  let threads = if smoke then 2 else 4 in
+  let pool = TP.create ~threads in
+  let t0 = Unix.gettimeofday () in
+  let g = Pbca_core.Parallel.parse_and_finalize ~pool r.Emit.image in
+  let wall = Unix.gettimeofday () -. t0 in
+  let c = g.Pbca_core.Cfg.stats.contention in
+  let dc = r.Emit.image.Image.dcache in
+  let ps = TP.stats () in
+  let get a = Atomic.get a in
+  let open Pbca_concurrent.Contention in
+  J_obj
+    [
+      ("bench", J_str "pr1_lockfree_hot_paths");
+      ("smoke", J_bool smoke);
+      ( "micro_map_read",
+        J_obj
+          [
+            ("keys", J_int keys);
+            ("rounds", J_int rounds);
+            ("mutex_sharded_ns_per_read", J_float mutex_ns);
+            ("lockfree_ns_per_read", J_float lockfree_ns);
+            ("lockfree_speedup", J_float (mutex_ns /. lockfree_ns));
+          ] );
+      ( "parse_contention",
+        J_obj
+          [
+            ("subject", J_str p.Profile.name);
+            ("seed", J_int p.Profile.seed);
+            ("threads", J_int threads);
+            ( "counter_sources",
+              J_arr
+                (List.map
+                   (fun s -> J_str s)
+                   [
+                     "blocks"; "ends"; "funcs"; "static_entries"; "ft_guard";
+                     "jt_pending"; "jt_last"; "f_visited";
+                   ]) );
+            ("wall_s", J_float wall);
+            ("blocks", J_int (Pbca_core.Addr_map.length g.Pbca_core.Cfg.blocks));
+            ("funcs", J_int (Pbca_core.Addr_map.length g.Pbca_core.Cfg.funcs));
+            ("probes", J_int (get c.probes));
+            ("cas_retries", J_int (get c.cas_retries));
+            ("resizes", J_int (get c.resizes));
+            ("frozen_waits", J_int (get c.frozen_waits));
+            ("decode_hits", J_int (Pbca_binfmt.Decode_cache.hits dc));
+            ("decode_misses", J_int (Pbca_binfmt.Decode_cache.misses dc));
+            ("decode_hit_rate", J_float (Pbca_binfmt.Decode_cache.hit_rate dc));
+            ("steals", J_int ps.TP.steals);
+            ("steal_attempts", J_int ps.TP.steal_attempts);
+            ("idle_sleeps", J_int ps.TP.idle_sleeps);
+          ] );
+    ]
+
+let contention_checks j =
+  (* the acceptance criteria, machine-checked on every run *)
+  let field path =
+    let rec go j = function
+      | [] -> Some j
+      | k :: rest -> (
+        match j with
+        | J_obj kvs -> Option.bind (List.assoc_opt k kvs) (fun v -> go v rest)
+        | _ -> None)
+    in
+    go j path
+  in
+  let num path =
+    match field path with
+    | Some (J_int i) -> float_of_int i
+    | Some (J_float f) -> f
+    | _ -> nan
+  in
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  check "lockfree read beats mutex-sharded at 1 thread"
+    (num [ "micro_map_read"; "lockfree_speedup" ] > 1.0);
+  check "decode cache hit rate > 0"
+    (num [ "parse_contention"; "decode_hit_rate" ] > 0.0);
+  check "parse produced blocks" (num [ "parse_contention"; "blocks" ] > 0.0);
+  List.rev !failures
+
+let contention () =
+  header "Contention counters + lock-free vs mutex-sharded map (PR1)";
+  let j = contention_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match contention_checks j with
+  | [] -> print_endline "all contention checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr1.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr1.json"
+
+(* seconds-long slice of the same report, self-checking, for `dune
+   runtest`; prints to stdout only (the test sandbox is read-only) *)
+let microsmoke () =
+  let j = contention_report ~smoke:true () in
+  print_endline (json_to_string j);
+  match contention_checks j with
+  | [] -> print_endline "microsmoke: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1
+
+(* ---------------------------------------------------------------- *)
 
 let () =
   let cmds = Array.to_list Sys.argv |> List.tl in
@@ -593,4 +969,7 @@ let () =
   if want "correctness" then correctness ();
   if want "ablations" then ablations ();
   if want "micro" then micro ();
+  if want "contention" then contention ();
+  (* microsmoke is runtest plumbing, not part of "all" *)
+  if List.mem "microsmoke" cmds then microsmoke ();
   line ()

@@ -3,9 +3,16 @@ type t = {
   sections : Section.t list;
   symtab : Symtab.t;
   entry : int;
+  dcache : Decode_cache.t;
 }
 
-let make ~name ?(entry = 0) ~sections symtab = { name; sections; symtab; entry }
+let dcache_of_sections sections =
+  match List.find_opt (fun s -> s.Section.name = ".text") sections with
+  | Some s -> Decode_cache.create ~base:s.Section.addr ~size:(Section.size s)
+  | None -> Decode_cache.create ~base:0 ~size:0
+
+let make ~name ?(entry = 0) ~sections symtab =
+  { name; sections; symtab; entry; dcache = dcache_of_sections sections }
 
 let section t n = List.find_opt (fun s -> s.Section.name = n) t.sections
 
@@ -26,10 +33,16 @@ let in_text t a =
   match section t ".text" with Some s -> Section.contains s a | None -> false
 
 let decode_at t a =
-  match section t ".text" with
-  | Some s when Section.contains s a ->
-    Pbca_isa.Codec.decode s.Section.data ~pos:(a - s.Section.addr)
-  | _ -> None
+  match Decode_cache.find t.dcache a with
+  | Decode_cache.Ins (i, len) -> Some (i, len)
+  | Decode_cache.Bad -> None
+  | Decode_cache.Unknown -> (
+    match section t ".text" with
+    | Some s when Section.contains s a ->
+      let r = Pbca_isa.Codec.decode s.Section.data ~pos:(a - s.Section.addr) in
+      Decode_cache.store t.dcache a r;
+      r
+    | _ -> None)
 
 let text_size t = match section t ".text" with Some s -> Section.size s | None -> 0
 let total_size t = List.fold_left (fun acc s -> acc + Section.size s) 0 t.sections
@@ -74,6 +87,7 @@ let read ?name data =
       sections;
       symtab;
       entry;
+      dcache = dcache_of_sections sections;
     }
   with Bio.R.Truncated -> failwith "Image.read: truncated container"
 

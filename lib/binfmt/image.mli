@@ -11,6 +11,10 @@ type t = {
   sections : Section.t list;
   symtab : Symtab.t;
   entry : int;  (** program entry point address, 0 if none *)
+  dcache : Decode_cache.t;
+      (** shared decoded-instruction cache over [.text]; consulted by
+          {!decode_at}, so every analysis pass (parse, traversal, jump-table
+          slicing, finalization) reuses every other pass's decode work *)
 }
 
 val make :
@@ -28,7 +32,8 @@ val in_text : t -> int -> bool
 (** True when the address lies inside [.text]. *)
 
 val decode_at : t -> int -> (Pbca_isa.Insn.t * int) option
-(** Decode the instruction at a virtual address in [.text]. *)
+(** Decode the instruction at a virtual address in [.text], memoized
+    through {!dcache} (both successes and failures are cached). *)
 
 val text_size : t -> int
 val total_size : t -> int

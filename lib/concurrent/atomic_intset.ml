@@ -1,0 +1,159 @@
+(* Grow-only concurrent set of non-negative ints: open addressing over an
+   array of int Atomics, CAS insertion, freeze-based resize. See the .mli. *)
+
+let empty = -1
+let frozen = -2
+
+type table = { slots : int Atomic.t array; mask : int }
+
+type t = {
+  tbl : table Atomic.t;
+  size : int Atomic.t;
+  resizing : bool Atomic.t;
+  c : Contention.t;
+}
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let mk_table n =
+  let n = next_pow2 (max 8 n) in
+  { slots = Array.init n (fun _ -> Atomic.make empty); mask = n - 1 }
+
+let create ?(capacity = 32) ?counters () =
+  {
+    tbl = Atomic.make (mk_table capacity);
+    size = Atomic.make 0;
+    resizing = Atomic.make false;
+    c = (match counters with Some c -> c | None -> Contention.create ());
+  }
+
+let counters t = t.c
+
+(* Fibonacci-style scramble: keys are addresses with aligned low bits. *)
+let hash k = (k * 0x9E3779B1) lxor (k lsr 16)
+
+let wait_resize t old =
+  let spins = ref 0 in
+  while Atomic.get t.tbl == old do
+    incr spins;
+    ignore (Atomic.fetch_and_add t.c.Contention.frozen_waits 1);
+    if !spins > 1024 then Unix.sleepf 5e-5 else Domain.cpu_relax ()
+  done
+
+(* Occupied slots are immutable forever (the set only grows), so a resize
+   only needs to freeze the EMPTY slots: a frozen-empty slot turns writers
+   away while readers keep treating it as a probe terminator. *)
+let resize t old =
+  if Atomic.compare_and_set t.resizing false true then begin
+    if Atomic.get t.tbl == old then begin
+      ignore (Atomic.fetch_and_add t.c.Contention.resizes 1);
+      let nt = mk_table (2 * Array.length old.slots) in
+      Array.iter
+        (fun cell ->
+          let rec grab () =
+            let v = Atomic.get cell in
+            if v = empty then
+              if Atomic.compare_and_set cell empty frozen then ()
+              else grab ()
+            else if v <> frozen then begin
+              (* private insert into the unpublished table *)
+              let rec put i =
+                let dst = nt.slots.(i) in
+                if Atomic.get dst = empty then Atomic.set dst v
+                else put ((i + 1) land nt.mask)
+              in
+              put (hash v land nt.mask)
+            end
+          in
+          grab ())
+        old.slots;
+      Atomic.set t.tbl nt
+    end;
+    Atomic.set t.resizing false
+  end
+
+let maybe_resize t =
+  let tbl = Atomic.get t.tbl in
+  (* resize at 1/2 load to keep linear-probe chains short *)
+  if 2 * Atomic.get t.size > Array.length tbl.slots then resize t tbl
+
+let rec add t k =
+  if k < 0 then invalid_arg "Atomic_intset.add: negative key";
+  let tbl = Atomic.get t.tbl in
+  let rec probe i steps =
+    let cell = tbl.slots.(i) in
+    let v = Atomic.get cell in
+    if steps > tbl.mask + 1 then begin
+      (* racing inserters filled every slot before the elected resizer froze
+         any: the table is 100% occupied and a cyclic probe would never
+         terminate. Force the resize through and retry in the new table. *)
+      resize t tbl;
+      if Atomic.get t.tbl == tbl then wait_resize t tbl;
+      add t k
+    end
+    else if v = k then begin
+      if steps > 1 then
+        ignore (Atomic.fetch_and_add t.c.Contention.probes (steps - 1));
+      false
+    end
+    else if v = empty then
+      if Atomic.compare_and_set cell empty k then begin
+        ignore (Atomic.fetch_and_add t.size 1);
+        maybe_resize t;
+        true
+      end
+      else begin
+        (* slot was taken under us: maybe by this very key *)
+        ignore (Atomic.fetch_and_add t.c.Contention.cas_retries 1);
+        probe i steps
+      end
+    else if v = frozen then begin
+      wait_resize t tbl;
+      add t k
+    end
+    else probe ((i + 1) land tbl.mask) (steps + 1)
+  in
+  probe (hash k land tbl.mask) 1
+
+let mem t k =
+  if k < 0 then false
+  else begin
+    let tbl = Atomic.get t.tbl in
+    let rec probe i steps =
+      let v = Atomic.get tbl.slots.(i) in
+      if steps > tbl.mask + 1 then begin
+        (* full cyclic scan without finding [k]: absent (momentarily full
+           table, see [add]) *)
+        ignore (Atomic.fetch_and_add t.c.Contention.probes (steps - 1));
+        false
+      end
+      else if v = k then begin
+        if steps > 1 then
+          ignore (Atomic.fetch_and_add t.c.Contention.probes (steps - 1));
+        true
+      end
+      else if v = empty || v = frozen then begin
+        if steps > 1 then
+          ignore (Atomic.fetch_and_add t.c.Contention.probes (steps - 1));
+        false
+      end
+      else probe ((i + 1) land tbl.mask) (steps + 1)
+    in
+    probe (hash k land tbl.mask) 1
+  end
+
+let cardinal t = Atomic.get t.size
+
+let iter f t =
+  Array.iter
+    (fun cell ->
+      let v = Atomic.get cell in
+      if v >= 0 then f v)
+    (Atomic.get t.tbl).slots
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun v -> acc := v :: !acc) t;
+  !acc

@@ -1,0 +1,45 @@
+(** Grow-only concurrent set of non-negative ints.
+
+    Built for the per-function visited sets of the parallel CFG traversal
+    (paper Listing 3): the traversal marks a block visited at most once and
+    checks membership once per edge, so the workload is one CAS per block
+    and wait-free reads everywhere else. The previous implementation — a
+    [Hashtbl] behind a per-function mutex — locked twice per edge.
+
+    Representation: open addressing with linear probing over an array of
+    [int Atomic.t] slots. [add] is one CAS on an empty slot; [mem] never
+    writes (except collision-probe accounting) and never waits. Elements
+    are immutable once inserted, so resizing only freezes {e empty} slots:
+    readers keep reading the old table during migration (frozen-empty
+    terminates a probe exactly like empty), writers wait for the doubled
+    table to be published.
+
+    Keys must be [>= 0] (two negative values are used as the empty and
+    frozen sentinels). There is no removal — the CFG traversal never
+    unvisits. *)
+
+type t
+
+val create : ?capacity:int -> ?counters:Contention.t -> unit -> t
+(** [capacity] is the initial slot count (rounded to a power of two, min
+    8); the table doubles at 1/2 load. [counters] shares a
+    {!Contention.t} across instances. *)
+
+val counters : t -> Contention.t
+
+val add : t -> int -> bool
+(** [add t k] inserts [k]; [true] iff this call inserted it. Exactly one of
+    any number of concurrent [add]s of the same key returns [true] — the
+    "first visitor wins" primitive. Lock-free. Raises [Invalid_argument] on
+    a negative key. *)
+
+val mem : t -> int -> bool
+(** Wait-free. *)
+
+val cardinal : t -> int
+(** O(1). *)
+
+val iter : (int -> unit) -> t -> unit
+(** Quiescent use only: iterates a snapshot of the current table. *)
+
+val to_list : t -> int list

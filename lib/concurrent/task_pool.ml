@@ -6,6 +6,27 @@ let create ~threads =
 
 let threads t = t.n
 
+(* Cumulative scheduler counters across every pool in the process: steals
+   (successful and attempted) and idle back-off sleeps. Bench harnesses
+   snapshot them around a run. *)
+type pool_stats = { steals : int; steal_attempts : int; idle_sleeps : int }
+
+let steals_ctr = Atomic.make 0
+let steal_attempts_ctr = Atomic.make 0
+let idle_sleeps_ctr = Atomic.make 0
+
+let stats () =
+  {
+    steals = Atomic.get steals_ctr;
+    steal_attempts = Atomic.get steal_attempts_ctr;
+    idle_sleeps = Atomic.get idle_sleeps_ctr;
+  }
+
+let reset_stats () =
+  Atomic.set steals_ctr 0;
+  Atomic.set steal_attempts_ctr 0;
+  Atomic.set idle_sleeps_ctr 0
+
 type region = {
   deques : (unit -> unit) Wsdeque.t array;
   pending : int Atomic.t; (* spawned-but-unfinished tasks *)
@@ -39,13 +60,25 @@ let find_work region me =
     let n = Array.length region.deques in
     let rec try_steal i =
       if i >= n then None
-      else
+      else begin
         let victim = (me + i) mod n in
+        ignore (Atomic.fetch_and_add steal_attempts_ctr 1);
         match Wsdeque.steal region.deques.(victim) with
-        | Some _ as t -> t
+        | Some _ as t ->
+          ignore (Atomic.fetch_and_add steals_ctr 1);
+          t
         | None -> try_steal (i + 1)
+      end
     in
     try_steal 1
+
+(* Idle back-off: spin briefly (work usually reappears within a few steal
+   attempts), then sleep with exponentially growing, capped pauses so an
+   idle worker neither burns a shared core nor adds fixed 200 us latency
+   the moment the deques run momentarily dry. *)
+let spin_limit = 64
+let sleep_base = 2e-6
+let sleep_cap = 2e-4
 
 let worker_loop region me =
   Domain.DLS.set slot_key me;
@@ -60,11 +93,10 @@ let worker_loop region me =
         loop ()
       | None ->
         incr idle_spins;
-        if !idle_spins > 64 then begin
-          (* Nothing to steal: another worker is still producing. Sleep
-             briefly rather than burning the core it may be sharing. *)
-          idle_spins := 0;
-          Unix.sleepf 0.0002
+        if !idle_spins > spin_limit then begin
+          ignore (Atomic.fetch_and_add idle_sleeps_ctr 1);
+          let exp = min (!idle_spins - spin_limit) 7 in
+          Unix.sleepf (Float.min sleep_cap (sleep_base *. float_of_int (1 lsl exp)))
         end
         else Domain.cpu_relax ();
         loop ()
@@ -121,11 +153,14 @@ let parallel_for t ?chunk lo hi f =
   end
 
 let parallel_for_reduce t ?chunk lo hi ~init ~map ~combine =
-  let partials = Array.make t.n init in
+  (* one heap-allocated ref per worker: each accumulator lives in its own
+     block, so workers never write adjacent words of a shared array (the
+     false-sharing trap of packing partials into one flat array) *)
+  let partials = Array.init t.n (fun _ -> ref init) in
   parallel_for t ?chunk lo hi (fun i ->
-      let w = worker_index () in
-      partials.(w) <- combine partials.(w) (map i));
-  Array.fold_left combine init partials
+      let r = partials.(worker_index ()) in
+      r := combine !r (map i));
+  Array.fold_left (fun acc r -> combine acc !r) init partials
 
 let parallel_iter_list t xs f =
   let arr = Array.of_list xs in

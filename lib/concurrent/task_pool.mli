@@ -54,3 +54,14 @@ val parallel_iter_list : t -> 'a list -> ('a -> unit) -> unit
     (0 for the master), or 0 outside any region. Useful for per-worker
     accumulators. *)
 val worker_index : unit -> int
+
+(** Cumulative scheduler counters, process-wide across all pools: steals
+    (successful / attempted) and idle back-off sleeps taken by workers that
+    found their own deque and every victim empty. Idle workers back off
+    exponentially (spin, then sleeps doubling from 2 us up to a 200 us
+    cap), so [idle_sleeps] is a direct measure of starvation. *)
+
+type pool_stats = { steals : int; steal_attempts : int; idle_sleeps : int }
+
+val stats : unit -> pool_stats
+val reset_stats : unit -> unit

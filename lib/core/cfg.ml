@@ -38,8 +38,7 @@ and func = {
   f_ret : ret_status Atomic.t;
   f_ret_dep : Pbca_simsched.Trace.dep option Atomic.t;
   f_waiters : waiter list Atomic.t;
-  f_visited : (int, unit) Hashtbl.t;
-  f_vlock : Mutex.t;
+  f_visited : Pbca_concurrent.Atomic_intset.t;
   mutable f_blocks : block list;
 }
 
@@ -59,6 +58,8 @@ type stats = {
   edges_created : int Atomic.t;
   jt_analyses : int Atomic.t;
   jt_unresolved : int Atomic.t;
+  contention : Pbca_concurrent.Contention.t;
+      (* shared by every Addr_map and visited-set of this graph *)
 }
 
 type t = {
@@ -77,7 +78,9 @@ type t = {
 
 let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     image =
-  let static_entries = Addr_map.create ~shards:config.Config.shards () in
+  let counters = Pbca_concurrent.Contention.create () in
+  let amap () = Addr_map.create ~shards:config.Config.shards ~counters () in
+  let static_entries = amap () in
   List.iter
     (fun (s : Pbca_binfmt.Symbol.t) ->
       ignore (Addr_map.insert_if_absent static_entries s.offset ()))
@@ -85,13 +88,13 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
   {
     image;
     config;
-    blocks = Addr_map.create ~shards:config.Config.shards ();
-    ends = Addr_map.create ~shards:config.Config.shards ();
-    funcs = Addr_map.create ~shards:config.Config.shards ();
+    blocks = amap ();
+    ends = amap ();
+    funcs = amap ();
     tables = Pbca_concurrent.Conc_bag.create ();
     next_table_id = Atomic.make 0;
     static_entries;
-    ft_guard = Addr_map.create ~shards:config.Config.shards ();
+    ft_guard = amap ();
     stats =
       {
         insns_decoded = Atomic.make 0;
@@ -100,6 +103,7 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
         edges_created = Atomic.make 0;
         jt_analyses = Atomic.make 0;
         jt_unresolved = Atomic.make 0;
+        contention = counters;
       };
     trace;
   }
@@ -150,8 +154,9 @@ let find_or_create_func t ~name ~from_symtab addr =
         f_ret = Atomic.make Unset;
         f_ret_dep = Atomic.make None;
         f_waiters = Atomic.make [];
-        f_visited = Hashtbl.create 16;
-        f_vlock = Mutex.create ();
+        f_visited =
+          Pbca_concurrent.Atomic_intset.create ~capacity:16
+            ~counters:t.stats.contention ();
         f_blocks = [];
       })
 

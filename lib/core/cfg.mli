@@ -70,8 +70,10 @@ and func = {
           dependency so the replay model sees the noreturn serialization
           even when the status race was already won *)
   f_waiters : waiter list Atomic.t;
-  f_visited : (int, unit) Hashtbl.t;  (** guarded by [f_vlock] *)
-  f_vlock : Mutex.t;
+  f_visited : Pbca_concurrent.Atomic_intset.t;
+      (** per-function traversal visited-set; [Atomic_intset.add] is the
+          lock-free "first visitor wins" test the traversal runs per edge
+          (previously a [Hashtbl] behind a per-function mutex) *)
   mutable f_blocks : block list;  (** set by finalization *)
 }
 
@@ -91,6 +93,10 @@ type stats = {
   edges_created : int Atomic.t;
   jt_analyses : int Atomic.t;
   jt_unresolved : int Atomic.t;
+  contention : Pbca_concurrent.Contention.t;
+      (** probe / CAS-retry / resize / frozen-wait counters shared by every
+          address map and visited-set of this graph — the direct measure of
+          how contended the lock-free hot paths actually were *)
 }
 
 type t = {

@@ -5,13 +5,12 @@ module Image = Pbca_binfmt.Image
 module Symtab = Pbca_binfmt.Symtab
 module Symbol = Pbca_binfmt.Symbol
 module Task_pool = Pbca_concurrent.Task_pool
-module Thread_local = Pbca_concurrent.Thread_local
+module Atomic_intset = Pbca_concurrent.Atomic_intset
 module Trace = Pbca_simsched.Trace
 
 type ctx = {
   g : Cfg.t;
   mutable spawn : (unit -> unit) -> unit;
-  decode_cache : (int, unit) Hashtbl.t Thread_local.t;
   jt_pending : Reg.t Addr_map.t;
       (* keyed by the indirect jump's end address, which is stable across
          splits (Invariant 2); the owning block is looked up at analysis
@@ -85,13 +84,8 @@ and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
     | b :: rest ->
       stack := rest;
       Trace.tick g.Cfg.trace 1;
-      let first =
-        Mutex.lock f.Cfg.f_vlock;
-        let seen = Hashtbl.mem f.Cfg.f_visited b.Cfg.b_start in
-        if not seen then Hashtbl.replace f.Cfg.f_visited b.Cfg.b_start ();
-        Mutex.unlock f.Cfg.f_vlock;
-        not seen
-      in
+      (* lock-free "first visitor wins": one CAS, no per-function mutex *)
+      let first = Atomic_intset.add f.Cfg.f_visited b.Cfg.b_start in
       if first then Cfg.watch b f;
       if not (Cfg.is_candidate b) then begin
         (match Atomic.get b.Cfg.b_term with
@@ -109,13 +103,8 @@ and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
             | Cfg.Fallthrough | Cfg.Jump | Cfg.Cond_taken | Cfg.Cond_fall
             | Cfg.Call_fallthrough | Cfg.Indirect ->
               let dst = e.e_dst in
-              let seen =
-                Mutex.lock f.Cfg.f_vlock;
-                let s = Hashtbl.mem f.Cfg.f_visited dst.Cfg.b_start in
-                Mutex.unlock f.Cfg.f_vlock;
-                s
-              in
-              if not seen then stack := dst :: !stack)
+              if not (Atomic_intset.mem f.Cfg.f_visited dst.Cfg.b_start) then
+                stack := dst :: !stack)
           (Cfg.out_edges b)
       end
   done
@@ -126,11 +115,6 @@ and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
 and parse_block ctx (b : Cfg.block) =
   let g = ctx.g in
   if Cfg.is_candidate b then begin
-    let cache =
-      if g.Cfg.config.Config.decode_cache then
-        Some (Thread_local.get ctx.decode_cache)
-      else None
-    in
     let post : (unit -> unit) list ref = ref [] in
     let add_post a = post := a :: !post in
     (* terminator-edge creation, run under the ends-entry lock when this
@@ -183,9 +167,16 @@ and parse_block ctx (b : Cfg.block) =
       | Semantics.Fallthrough -> assert false
     in
     let rec scan a n prev =
-      match cache with
-      | Some c when a <> b.Cfg.b_start && Hashtbl.mem c a ->
-        (* early block ending at a start this thread already created *)
+      (* Early stop at any already-known block start: the split protocol
+         would produce the identical Fallthrough edge if we scanned on, so
+         stopping here saves the work without changing the CFG. Now that
+         [blocks] reads are wait-free this consults the *global* map — the
+         old thread-local set only saw this thread's own parses. *)
+      if
+        g.Cfg.config.Config.decode_cache
+        && a <> b.Cfg.b_start
+        && Addr_map.mem g.Cfg.blocks a
+      then begin
         Atomic.set b.Cfg.b_ninsns n;
         Cfg.register_end g b ~end_:a
           ~on_win:(fun blk ->
@@ -193,7 +184,8 @@ and parse_block ctx (b : Cfg.block) =
             | Some dst -> ignore (Cfg.add_edge g blk dst Cfg.Fallthrough)
             | None -> ())
           ~on_done:(fun blk -> notify_watchers ctx blk)
-      | _ -> (
+      end
+      else (
         match Image.decode_at g.Cfg.image a with
         | None ->
           Atomic.set b.Cfg.b_ninsns n;
@@ -218,9 +210,6 @@ and parse_block ctx (b : Cfg.block) =
           else scan (a + len) (n + 1) (Some insn))
     in
     scan b.Cfg.b_start 0 None;
-    (match cache with
-    | Some c -> Hashtbl.replace c b.Cfg.b_start ()
-    | None -> ());
     List.iter (fun a -> a ()) (List.rev !post)
   end
 
@@ -285,9 +274,8 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     {
       g;
       spawn = (fun _ -> invalid_arg "Parallel: spawn outside region");
-      decode_cache = Thread_local.create (fun () -> Hashtbl.create 1024);
-      jt_pending = Addr_map.create ();
-      jt_last = Addr_map.create ();
+      jt_pending = Addr_map.create ~counters:g.Cfg.stats.contention ();
+      jt_last = Addr_map.create ~counters:g.Cfg.stats.contention ();
     }
   in
   let symbols =

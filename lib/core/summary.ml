@@ -117,10 +117,20 @@ let func_ranges _g (f : Cfg.func) =
 
 let pp_stats fmt (g : Cfg.t) =
   let s = g.Cfg.stats in
+  let dc = g.Cfg.image.Pbca_binfmt.Image.dcache in
+  let pool = Pbca_concurrent.Task_pool.stats () in
   Format.fprintf fmt
-    "blocks=%d funcs=%d insns=%d splits=%d edges=%d jt=%d jt_unresolved=%d"
+    "blocks=%d funcs=%d insns=%d splits=%d edges=%d jt=%d jt_unresolved=%d@ \
+     %a@ decode_hits=%d decode_misses=%d decode_hit_rate=%.2f@ steals=%d \
+     steal_attempts=%d idle_sleeps=%d"
     (Addr_map.length g.Cfg.blocks)
     (Addr_map.length g.Cfg.funcs)
     (Atomic.get s.insns_decoded) (Atomic.get s.splits)
     (Atomic.get s.edges_created) (Atomic.get s.jt_analyses)
-    (Atomic.get s.jt_unresolved)
+    (Atomic.get s.jt_unresolved) Pbca_concurrent.Contention.pp s.contention
+    (Pbca_binfmt.Decode_cache.hits dc)
+    (Pbca_binfmt.Decode_cache.misses dc)
+    (Pbca_binfmt.Decode_cache.hit_rate dc)
+    pool.Pbca_concurrent.Task_pool.steals
+    pool.Pbca_concurrent.Task_pool.steal_attempts
+    pool.Pbca_concurrent.Task_pool.idle_sleeps

@@ -42,3 +42,7 @@ val func_ranges : Cfg.t -> Cfg.func -> (int * int) list
     with ground-truth ranges. *)
 
 val pp_stats : Format.formatter -> Cfg.t -> unit
+(** One-line-per-group parse statistics: graph counts, the graph's
+    {!Pbca_concurrent.Contention} counters, the image's decode-cache hit
+    rate, and the cumulative {!Pbca_concurrent.Task_pool} scheduler
+    counters. *)

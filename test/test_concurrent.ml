@@ -16,6 +16,16 @@ module IMap = Pbca_concurrent.Conc_hash.Make (struct
   let hash = Hashtbl.hash
 end)
 
+module LMap = Pbca_concurrent.Lockfree_map.Make (struct
+  type t = int
+
+  let equal = Int.equal
+  let hash = Hashtbl.hash
+end)
+
+module ISet = Pbca_concurrent.Atomic_intset
+module Contention = Pbca_concurrent.Contention
+
 let in_domains n f =
   let ds = List.init n (fun i -> Domain.spawn (fun () -> f i)) in
   List.map Domain.join ds
@@ -127,6 +137,176 @@ let test_map_model =
         (fun (k, _) -> IMap.find m k = Hashtbl.find_opt h k)
         ops
       && IMap.length m = Hashtbl.length h)
+
+(* ----------------------------- lockfree_map --------------------------- *)
+
+let test_lmap_basic () =
+  let m = LMap.create () in
+  Alcotest.(check bool) "insert new" true (LMap.insert_if_absent m 1 "a");
+  Alcotest.(check bool) "insert dup" false (LMap.insert_if_absent m 1 "b");
+  Alcotest.(check (option string)) "find" (Some "a") (LMap.find m 1);
+  Alcotest.(check bool) "mem" true (LMap.mem m 1);
+  Alcotest.(check int) "length" 1 (LMap.length m);
+  Alcotest.(check (option string)) "remove" (Some "a") (LMap.remove m 1);
+  Alcotest.(check (option string)) "removed" None (LMap.find m 1);
+  Alcotest.(check int) "length after remove" 0 (LMap.length m)
+
+let test_lmap_resize_preserves () =
+  (* start tiny so growth happens many times; nothing may be lost *)
+  let m = LMap.create ~shards:2 () in
+  for i = 0 to 9999 do
+    ignore (LMap.insert_if_absent m i (i * 3))
+  done;
+  Alcotest.(check int) "length" 10000 (LMap.length m);
+  for i = 0 to 9999 do
+    if LMap.find m i <> Some (i * 3) then Alcotest.failf "lost key %d" i
+  done;
+  Alcotest.(check bool) "resized at least once" true
+    (Atomic.get (LMap.counters m).Contention.resizes >= 1)
+
+let test_lmap_unique_winner () =
+  (* Invariant 1 on the lock-free map: concurrent creators of the same key,
+     exactly one winner, losers observe the winner's value *)
+  let m = LMap.create ~shards:2 () in
+  let results =
+    in_domains 4 (fun d ->
+        List.init 500 (fun i -> (LMap.insert_if_absent m i d, LMap.find m i)))
+  in
+  for i = 0 to 499 do
+    let winners =
+      List.fold_left
+        (fun acc per_domain ->
+          acc + if fst (List.nth per_domain i) then 1 else 0)
+        0 results
+    in
+    if winners <> 1 then Alcotest.failf "key %d has %d winners" i winners;
+    let v = Option.get (LMap.find m i) in
+    List.iter
+      (fun per_domain ->
+        match snd (List.nth per_domain i) with
+        | Some seen when seen <> v ->
+          Alcotest.failf "key %d: a loser saw %d, winner wrote %d" i seen v
+        | _ -> ())
+      results
+  done
+
+let test_lmap_update_atomic () =
+  let m = LMap.create () in
+  ignore (LMap.insert_if_absent m 0 0);
+  ignore
+    (in_domains 4 (fun _ ->
+         for _ = 1 to 2500 do
+           LMap.update m 0 (fun cur ->
+               (Some (Option.value cur ~default:0 + 1), ()))
+         done));
+  Alcotest.(check (option int)) "10000 increments" (Some 10000) (LMap.find m 0)
+
+let test_lmap_concurrent_vs_model =
+  (* linearizability smoke: N domains race disjoint-and-overlapping
+     insert/find/mem traffic (insert-only: grow-only maps need no remove
+     linearization); afterwards the map must agree with a sequential model
+     that applies every key once *)
+  qcheck ~count:30 "lockfree_map: concurrent inserts match model"
+    QCheck2.Gen.(list_size (return 400) (int_bound 127))
+    (fun keys ->
+      let m = LMap.create ~shards:2 () in
+      let arr = Array.of_list keys in
+      ignore
+        (in_domains 4 (fun d ->
+             Array.iteri
+               (fun i k ->
+                 (* every domain tries every key; values differ per domain *)
+                 ignore (LMap.insert_if_absent m k ((d * 1000) + i));
+                 ignore (LMap.mem m k);
+                 ignore (LMap.find m k))
+               arr));
+      let model = Hashtbl.create 16 in
+      List.iter (fun k -> Hashtbl.replace model k ()) keys;
+      LMap.length m = Hashtbl.length model
+      && List.for_all (fun k -> LMap.mem m k) keys
+      && LMap.fold (fun k _ acc -> acc && Hashtbl.mem model k) m true)
+
+let test_lmap_model =
+  qcheck ~count:200 "lockfree_map behaves like Hashtbl (sequential)"
+    QCheck2.Gen.(list (pair (int_bound 50) (int_bound 1000)))
+    (fun ops ->
+      let m = LMap.create ~shards:4 () in
+      let h = Hashtbl.create 16 in
+      List.iter
+        (fun (k, v) ->
+          if v mod 3 = 0 then begin
+            ignore (LMap.remove m k);
+            Hashtbl.remove h k
+          end
+          else begin
+            ignore (LMap.insert_if_absent m k v);
+            if not (Hashtbl.mem h k) then Hashtbl.add h k v
+          end)
+        ops;
+      List.for_all (fun (k, _) -> LMap.find m k = Hashtbl.find_opt h k) ops
+      && LMap.length m = Hashtbl.length h)
+
+(* ----------------------------- atomic_intset --------------------------- *)
+
+let test_iset_basic () =
+  let s = ISet.create () in
+  Alcotest.(check bool) "add new" true (ISet.add s 42);
+  Alcotest.(check bool) "add dup" false (ISet.add s 42);
+  Alcotest.(check bool) "mem" true (ISet.mem s 42);
+  Alcotest.(check bool) "not mem" false (ISet.mem s 43);
+  Alcotest.(check int) "cardinal" 1 (ISet.cardinal s);
+  Alcotest.check_raises "negative key rejected"
+    (Invalid_argument "Atomic_intset.add: negative key") (fun () ->
+      ignore (ISet.add s (-1)))
+
+let test_iset_resize_preserves () =
+  let s = ISet.create ~capacity:4 () in
+  for i = 0 to 9999 do
+    ignore (ISet.add s (i * 7))
+  done;
+  Alcotest.(check int) "cardinal" 10000 (ISet.cardinal s);
+  for i = 0 to 9999 do
+    if not (ISet.mem s (i * 7)) then Alcotest.failf "lost %d" (i * 7)
+  done;
+  Alcotest.(check bool) "non-members stay out" false (ISet.mem s 3)
+
+let test_iset_unique_winner () =
+  (* the traversal's "first visitor wins" primitive: exactly one of any
+     number of concurrent adds of a key returns true *)
+  let s = ISet.create ~capacity:4 () in
+  let results =
+    in_domains 4 (fun _ -> List.init 500 (fun i -> ISet.add s i))
+  in
+  for i = 0 to 499 do
+    let winners =
+      List.fold_left
+        (fun acc per_domain -> acc + if List.nth per_domain i then 1 else 0)
+        0 results
+    in
+    if winners <> 1 then Alcotest.failf "key %d has %d winners" i winners
+  done;
+  Alcotest.(check int) "cardinal" 500 (ISet.cardinal s)
+
+let test_iset_concurrent_vs_model =
+  (* linearizability smoke vs a sequential set model, with resizes in
+     flight: domains hammer random keys while the table doubles *)
+  qcheck ~count:30 "atomic_intset: concurrent adds match model"
+    QCheck2.Gen.(list_size (return 300) (int_bound 100_000))
+    (fun keys ->
+      let s = ISet.create ~capacity:4 () in
+      let arr = Array.of_list keys in
+      ignore
+        (in_domains 4 (fun _ ->
+             Array.iter
+               (fun k ->
+                 ignore (ISet.add s k);
+                 ignore (ISet.mem s k))
+               arr));
+      let module S = Set.Make (Int) in
+      let model = S.of_list keys in
+      ISet.cardinal s = S.cardinal model
+      && S.for_all (fun k -> ISet.mem s k) model
+      && List.for_all (fun k -> S.mem k model) (ISet.to_list s))
 
 (* ------------------------------ wsdeque ------------------------------- *)
 
@@ -287,6 +467,17 @@ let suite =
     quick "conc_hash: unique creation winner (Invariant 1)" test_map_unique_winner;
     quick "conc_hash: fold" test_map_fold;
     test_map_model;
+    quick "lockfree_map: basic ops" test_lmap_basic;
+    quick "lockfree_map: resize loses nothing" test_lmap_resize_preserves;
+    quick "lockfree_map: unique creation winner (Invariant 1)"
+      test_lmap_unique_winner;
+    quick "lockfree_map: update is atomic" test_lmap_update_atomic;
+    test_lmap_concurrent_vs_model;
+    test_lmap_model;
+    quick "atomic_intset: basic ops" test_iset_basic;
+    quick "atomic_intset: resize loses nothing" test_iset_resize_preserves;
+    quick "atomic_intset: unique add winner" test_iset_unique_winner;
+    test_iset_concurrent_vs_model;
     quick "wsdeque: lifo owner, fifo thief" test_deque_lifo_fifo;
     quick "wsdeque: concurrent drain, no loss" test_deque_no_loss;
     quick "task_pool: runs all tasks" test_pool_runs_all;

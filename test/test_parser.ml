@@ -416,6 +416,33 @@ let test_checker_corpus =
         check_clean r.ground_truth (parse_serial r.image)
       done)
 
+let test_cfg_diff_fuzz =
+  (* Cfg_diff-level equivalence fuzz over the lock-free containers: beyond
+     Summary equality, the structural differ must see zero added / removed /
+     changed functions between a serial parse and parallel parses of the
+     same binary, across a spread of profiles and seeds. *)
+  slow "fuzz: serial vs parallel Cfg_diff-equivalent across 8 seeds"
+    (fun () ->
+      for i = 0 to 7 do
+        let p = { (Profile.coreutils_like i) with seed = 77_000 + (i * 131) } in
+        let r = Pbca_codegen.Emit.generate p in
+        let gs = parse_serial r.image in
+        List.iter
+          (fun threads ->
+            let gp = parse_parallel ~threads r.image in
+            let d = Pbca_core.Cfg_diff.diff gs gp in
+            if d.added <> [] || d.removed <> [] || d.changed <> [] then
+              Alcotest.failf
+                "seed %d, %d threads: serial/parallel diverged:@\n%s" i
+                threads
+                (Format.asprintf "%a" Pbca_core.Cfg_diff.pp d);
+            Alcotest.(check int)
+              (Printf.sprintf "seed %d: all funcs unchanged" i)
+              (List.length (Pbca_core.Cfg.funcs_list gs))
+              d.unchanged)
+          [ 2; 4 ]
+      done)
+
 (* --------------------------- ablations -------------------------------- *)
 
 let test_config_variants_same_cfg () =
@@ -482,6 +509,7 @@ let suite =
     test_determinism_sweep;
     test_parallel_repeated;
     test_checker_corpus;
+    test_cfg_diff_fuzz;
     quick "config ablations keep the CFG" test_config_variants_same_cfg;
     quick "stats sanity" test_stats_sanity;
     quick "empty image" test_empty_image;
