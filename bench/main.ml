@@ -8,8 +8,9 @@
    of that phase's task trace.
 
    Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
-   micro contention all (default: all); plus microsmoke, a seconds-long
-   self-checking slice of contention wired into `dune runtest`. *)
+   micro contention finalize all (default: all); plus microsmoke, a
+   seconds-long self-checking slice of the contention and finalize reports
+   wired into `dune runtest`. *)
 
 module Profile = Pbca_codegen.Profile
 module Emit = Pbca_codegen.Emit
@@ -791,6 +792,22 @@ let json_well_formed s =
   skip_ws ();
   (not !fail) && !pos = n
 
+let json_field j path =
+  let rec go j = function
+    | [] -> Some j
+    | k :: rest -> (
+      match j with
+      | J_obj kvs -> Option.bind (List.assoc_opt k kvs) (fun v -> go v rest)
+      | _ -> None)
+  in
+  go j path
+
+let json_num j path =
+  match json_field j path with
+  | Some (J_int i) -> float_of_int i
+  | Some (J_float f) -> f
+  | _ -> nan
+
 (* ---------------------------------------------------------------- *)
 (* `bench contention`: proves the tentpole. (1) read-heavy micro of the
    mutex-sharded map vs the lock-free map at one thread; (2) a parallel
@@ -894,22 +911,7 @@ let contention_report ~smoke () =
 
 let contention_checks j =
   (* the acceptance criteria, machine-checked on every run *)
-  let field path =
-    let rec go j = function
-      | [] -> Some j
-      | k :: rest -> (
-        match j with
-        | J_obj kvs -> Option.bind (List.assoc_opt k kvs) (fun v -> go v rest)
-        | _ -> None)
-    in
-    go j path
-  in
-  let num path =
-    match field path with
-    | Some (J_int i) -> float_of_int i
-    | Some (J_float f) -> f
-    | _ -> nan
-  in
+  let num path = json_num j path in
   let failures = ref [] in
   let check name ok = if not ok then failures := name :: !failures in
   check "json well-formed" (json_well_formed (json_to_string j));
@@ -936,13 +938,170 @@ let contention () =
   close_out oc;
   print_endline "wrote BENCH_pr1.json"
 
-(* seconds-long slice of the same report, self-checking, for `dune
+(* ---------------------------------------------------------------- *)
+(* `bench finalize`: PR2 — legacy whole-graph finalization vs the
+   snapshot-indexed path, serial and at [threads]. Every variant re-parses
+   the image at 1 thread (the expansion graph is deterministic), then only
+   the finalization is timed; the resulting graphs are asserted
+   Cfg_diff-equal (and Summary-equal) across all variants on every benched
+   input. Writes BENCH_pr2.json unless ~smoke.                        *)
+
+let fz_json (g : Pbca_core.Cfg.t) wall =
+  let fz : Pbca_core.Cfg.finalize_stats =
+    g.Pbca_core.Cfg.stats.Pbca_core.Cfg.finalize
+  in
+  J_obj
+    [
+      ("wall_s", J_float wall);
+      ("jt_s", J_float fz.fz_jt_wall);
+      ("reach_s", J_float fz.fz_reach_wall);
+      ("bounds_s", J_float fz.fz_bounds_wall);
+      ("rules_s", J_float fz.fz_rules_wall);
+      ("prune_s", J_float fz.fz_prune_wall);
+      ("recount_s", J_float fz.fz_recount_wall);
+      ("snapshot_s", J_float fz.fz_snapshot_wall);
+      ("rounds", J_int fz.fz_rounds);
+      ("snapshots", J_int fz.fz_snapshots);
+      ("dirty", J_arr (List.map (fun d -> J_int d) fz.fz_dirty));
+    ]
+
+let graphs_equal a b =
+  let d = Pbca_core.Cfg_diff.diff a b in
+  d.Pbca_core.Cfg_diff.added = []
+  && d.Pbca_core.Cfg_diff.removed = []
+  && d.Pbca_core.Cfg_diff.changed = []
+  && Pbca_core.Summary.equal (Pbca_core.Summary.of_cfg a)
+       (Pbca_core.Summary.of_cfg b)
+
+let finalize_report ~smoke () =
+  let reps = if smoke then 1 else 3 in
+  let threads = if smoke then 2 else 4 in
+  let subjects =
+    if smoke then [ { Profile.default with Profile.n_funcs = 25; seed = 11 } ]
+    else
+      List.map2
+        (fun i n ->
+          { (Profile.coreutils_like i) with Profile.n_funcs = n; seed = 9000 + i })
+        [ 1; 4; 9 ] [ 300; 700; 1200 ]
+  in
+  let per_subject p =
+    let r = Emit.generate p in
+    let run_variant (finalize : pool:TP.t -> Pbca_core.Cfg.t -> unit)
+        pool_threads =
+      let once () =
+        let pool = TP.create ~threads:1 in
+        let g = Pbca_core.Parallel.parse ~pool r.Emit.image in
+        let fpool = TP.create ~threads:pool_threads in
+        let t0 = Unix.gettimeofday () in
+        finalize ~pool:fpool g;
+        (g, Unix.gettimeofday () -. t0)
+      in
+      let g0, w0 = once () in
+      let best_g = ref g0 and best_w = ref w0 in
+      for _ = 2 to reps do
+        let g, w = once () in
+        if w < !best_w then begin
+          best_g := g;
+          best_w := w
+        end
+      done;
+      (!best_g, !best_w)
+    in
+    let g_legacy, w_legacy = run_variant Pbca_core.Finalize.run_legacy 1 in
+    let g_snap1, w_snap1 = run_variant Pbca_core.Finalize.run 1 in
+    let g_snapp, w_snapp = run_variant Pbca_core.Finalize.run threads in
+    let eq_ls = graphs_equal g_legacy g_snap1 in
+    let eq_sp = graphs_equal g_snap1 g_snapp in
+    let speedup = w_legacy /. w_snap1 in
+    ( J_obj
+        [
+          ("subject", J_str p.Profile.name);
+          ("seed", J_int p.Profile.seed);
+          ("funcs", J_int (Pbca_core.Addr_map.length g_snap1.Pbca_core.Cfg.funcs));
+          ( "blocks",
+            J_int (Pbca_core.Addr_map.length g_snap1.Pbca_core.Cfg.blocks) );
+          ("legacy", fz_json g_legacy w_legacy);
+          ("snapshot_serial", fz_json g_snap1 w_snap1);
+          ("snapshot_parallel_threads", J_int threads);
+          ("snapshot_parallel", fz_json g_snapp w_snapp);
+          ("speedup_snapshot_vs_legacy", J_float speedup);
+          ("legacy_vs_snapshot_equal", J_bool eq_ls);
+          ("serial_vs_parallel_equal", J_bool eq_sp);
+        ],
+      speedup )
+  in
+  let results = List.map per_subject subjects in
+  J_obj
+    [
+      ("bench", J_str "pr2_snapshot_finalize");
+      ("smoke", J_bool smoke);
+      ("reps", J_int reps);
+      ("subjects", J_arr (List.map fst results));
+      ( "geomean_speedup_snapshot_vs_legacy",
+        J_float (geomean (List.map snd results)) );
+    ]
+
+let finalize_checks ~smoke j =
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  (match json_field j [ "subjects" ] with
+  | Some (J_arr subs) ->
+    check "at least one subject benched" (subs <> []);
+    List.iter
+      (fun s ->
+        let name =
+          match json_field s [ "subject" ] with Some (J_str n) -> n | _ -> "?"
+        in
+        let flag path =
+          match json_field s path with Some (J_bool b) -> b | _ -> false
+        in
+        check
+          (name ^ ": legacy and snapshot graphs Cfg_diff-equal")
+          (flag [ "legacy_vs_snapshot_equal" ]);
+        check
+          (name ^ ": serial and parallel snapshot graphs Cfg_diff-equal")
+          (flag [ "serial_vs_parallel_equal" ]);
+        check
+          (name ^ ": finalize ran at least one round")
+          (json_num s [ "snapshot_serial"; "rounds" ] >= 1.0))
+      subs
+  | _ -> check "subjects present" false);
+  if not smoke then
+    check "snapshot path beats legacy (geomean over the corpus)"
+      (json_num j [ "geomean_speedup_snapshot_vs_legacy" ] > 1.0);
+  List.rev !failures
+
+let finalize_bench () =
+  header "Finalization: legacy whole-graph vs snapshot-indexed (PR2)";
+  let j = finalize_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match finalize_checks ~smoke:false j with
+  | [] -> print_endline "all finalize checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr2.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr2.json"
+
+(* seconds-long slice of the same reports, self-checking, for `dune
    runtest`; prints to stdout only (the test sandbox is read-only) *)
 let microsmoke () =
   let j = contention_report ~smoke:true () in
   print_endline (json_to_string j);
-  match contention_checks j with
+  (match contention_checks j with
   | [] -> print_endline "microsmoke: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let jf = finalize_report ~smoke:true () in
+  print_endline (json_to_string jf);
+  match finalize_checks ~smoke:true jf with
+  | [] -> print_endline "microsmoke finalize: ok"
   | fs ->
     List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
     exit 1
@@ -970,6 +1129,7 @@ let () =
   if want "ablations" then ablations ();
   if want "micro" then micro ();
   if want "contention" then contention ();
+  if want "finalize" then finalize_bench ();
   (* microsmoke is runtest plumbing, not part of "all" *)
   if List.mem "microsmoke" cmds then microsmoke ();
   line ()

@@ -1,0 +1,21 @@
+(* Fixed-capacity concurrent int buffer: one fetch-and-add per push, plain
+   writes to distinct slots. See the .mli for the quiescence contract. *)
+
+type t = { buf : int array; len : int Atomic.t }
+
+let create ~capacity = { buf = Array.make (max 1 capacity) 0; len = Atomic.make 0 }
+
+let push t v =
+  let i = Atomic.fetch_and_add t.len 1 in
+  if i >= Array.length t.buf then
+    invalid_arg "Frontier.push: capacity exceeded (caller dedup broken)";
+  t.buf.(i) <- v
+
+let length t = Atomic.get t.len
+let is_empty t = Atomic.get t.len = 0
+
+let get t i =
+  if i < 0 || i >= Atomic.get t.len then invalid_arg "Frontier.get";
+  t.buf.(i)
+
+let clear t = Atomic.set t.len 0

@@ -1,0 +1,31 @@
+(** Fixed-capacity concurrent frontier buffer for level-synchronous
+    parallel BFS.
+
+    A frontier is an int buffer whose slots are claimed with one
+    fetch-and-add; membership deduplication is the caller's job (pair it
+    with {!Atomic_intset.add} so each vertex enters a frontier at most
+    once, which also bounds the capacity by the vertex count). Writes go
+    to distinct slots, so pushes never contend beyond the cursor bump;
+    reads ({!get}) are only valid once the pushing phase has quiesced —
+    exactly the barrier a level-synchronous BFS already has between
+    levels. *)
+
+type t
+
+val create : capacity:int -> t
+(** [capacity] is the maximum number of pushes before {!clear}. *)
+
+val push : t -> int -> unit
+(** Claim the next slot. Raises [Invalid_argument] past capacity (the
+    caller's dedup guard is broken if that happens). *)
+
+val length : t -> int
+(** Number of pushed elements. Quiescent use only. *)
+
+val is_empty : t -> bool
+
+val get : t -> int -> int
+(** [get t i] is element [i], [0 <= i < length t]. Quiescent use only. *)
+
+val clear : t -> unit
+(** Reset to empty; the buffer is reused across BFS levels. *)

@@ -51,6 +51,33 @@ type jt_record = {
   jt_count : int;
 }
 
+type finalize_stats = {
+  mutable fz_jt_wall : float;
+  mutable fz_reach_wall : float;
+  mutable fz_bounds_wall : float;
+  mutable fz_rules_wall : float;
+  mutable fz_prune_wall : float;
+  mutable fz_recount_wall : float;
+  mutable fz_snapshot_wall : float;
+  mutable fz_rounds : int;
+  mutable fz_snapshots : int;
+  mutable fz_dirty : int list;
+}
+
+let fresh_finalize_stats () =
+  {
+    fz_jt_wall = 0.0;
+    fz_reach_wall = 0.0;
+    fz_bounds_wall = 0.0;
+    fz_rules_wall = 0.0;
+    fz_prune_wall = 0.0;
+    fz_recount_wall = 0.0;
+    fz_snapshot_wall = 0.0;
+    fz_rounds = 0;
+    fz_snapshots = 0;
+    fz_dirty = [];
+  }
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -60,6 +87,7 @@ type stats = {
   jt_unresolved : int Atomic.t;
   contention : Pbca_concurrent.Contention.t;
       (* shared by every Addr_map and visited-set of this graph *)
+  finalize : finalize_stats;
 }
 
 type t = {
@@ -104,6 +132,7 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
         jt_analyses = Atomic.make 0;
         jt_unresolved = Atomic.make 0;
         contention = counters;
+        finalize = fresh_finalize_stats ();
       };
     trace;
   }

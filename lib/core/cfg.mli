@@ -86,6 +86,26 @@ type jt_record = {
   jt_count : int;  (** entries materialized as edges *)
 }
 
+(** Per-step finalization observability, written by {!Finalize} (both the
+    snapshot-indexed path and the legacy whole-graph path): wall seconds
+    per step, fix-round count, CSR snapshot rebuild count, and the
+    dirty-set size of each tail-call fix round ([fz_dirty], oldest round
+    first; the legacy path records the full function count each round
+    since it recomputes every boundary). Mutated only from the master
+    thread between parallel steps. *)
+type finalize_stats = {
+  mutable fz_jt_wall : float;  (** jump-table over-approximation cleanup *)
+  mutable fz_reach_wall : float;  (** unreachable-block pruning (all rounds) *)
+  mutable fz_bounds_wall : float;  (** function-boundary recomputation *)
+  mutable fz_rules_wall : float;  (** tail-call correction rule scans *)
+  mutable fz_prune_wall : float;  (** function pruning rounds *)
+  mutable fz_recount_wall : float;  (** final instruction recount *)
+  mutable fz_snapshot_wall : float;  (** CSR snapshot builds (snapshot path) *)
+  mutable fz_rounds : int;  (** tail-call fix rounds executed *)
+  mutable fz_snapshots : int;  (** CSR snapshots built (snapshot path) *)
+  mutable fz_dirty : int list;  (** boundary recomputations per fix round *)
+}
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -97,6 +117,7 @@ type stats = {
       (** probe / CAS-retry / resize / frozen-wait counters shared by every
           address map and visited-set of this graph — the direct measure of
           how contended the lock-free hot paths actually were *)
+  finalize : finalize_stats;
 }
 
 type t = {

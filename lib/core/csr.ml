@@ -1,0 +1,134 @@
+(* Immutable CSR-style CFG snapshot. See the .mli for the live-edge
+   invariants; this file is only the parallel construction. *)
+
+module Task_pool = Pbca_concurrent.Task_pool
+
+type t = {
+  blocks : Cfg.block array;
+  starts : int array;
+  edges : Cfg.edge array;
+  e_src : int array;
+  e_dst : int array;
+  fwd_off : int array;
+  bwd_off : int array;
+  bwd : int array;
+}
+
+let n_blocks t = Array.length t.blocks
+let n_edges t = Array.length t.edges
+
+let find_index starts addr =
+  let rec go lo hi =
+    if lo >= hi then -1
+    else
+      let mid = (lo + hi) / 2 in
+      let v = starts.(mid) in
+      if v = addr then mid else if v < addr then go (mid + 1) hi else go lo mid
+  in
+  go 0 (Array.length starts)
+
+let index_of t addr =
+  match find_index t.starts addr with -1 -> None | i -> Some i
+
+(* In-place insertion sort of a slice: backward-adjacency groups are
+   small, and the slices of distinct blocks are disjoint so the per-block
+   parallel pass below can sort them concurrently. *)
+let sort_slice a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
+
+let build ~pool (g : Cfg.t) =
+  let blocks = Array.of_list (Cfg.blocks_list g) in
+  let n = Array.length blocks in
+  let starts = Array.map (fun (b : Cfg.block) -> b.Cfg.b_start) blocks in
+  (* live out-edges per block, gathered and counted in one parallel pass *)
+  let outs = Array.make n [] in
+  let m =
+    Task_pool.parallel_for_reduce pool 0 n ~init:0
+      ~map:(fun i ->
+        let es = Cfg.out_edges blocks.(i) in
+        outs.(i) <- es;
+        List.length es)
+      ~combine:( + )
+  in
+  let fwd_off = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    fwd_off.(i + 1) <- fwd_off.(i) + List.length outs.(i)
+  done;
+  if m = 0 then
+    {
+      blocks;
+      starts;
+      edges = [||];
+      e_src = [||];
+      e_dst = [||];
+      fwd_off;
+      bwd_off = Array.make (n + 1) 0;
+      bwd = [||];
+    }
+  else begin
+    let dummy =
+      let rec first i =
+        match outs.(i) with e :: _ -> e | [] -> first (i + 1)
+      in
+      first 0
+    in
+    let edges = Array.make m dummy in
+    let e_src = Array.make m 0 in
+    let e_dst = Array.make m 0 in
+    (* fill the per-source groups; each block writes a disjoint slice, and
+       destination lookups (binary search) dominate, so this parallelizes *)
+    Task_pool.parallel_for pool 0 n (fun i ->
+        let k = ref fwd_off.(i) in
+        List.iter
+          (fun (e : Cfg.edge) ->
+            let d = find_index starts e.e_dst.Cfg.b_start in
+            if d < 0 then
+              invalid_arg "Csr.build: live edge to a block missing from the map";
+            edges.(!k) <- e;
+            e_src.(!k) <- i;
+            e_dst.(!k) <- d;
+            incr k)
+          outs.(i));
+    (* backward adjacency: serial O(m) count, prefix sum, then parallel
+       placement through per-destination atomic cursors *)
+    let bwd_off = Array.make (n + 1) 0 in
+    Array.iter (fun d -> bwd_off.(d + 1) <- bwd_off.(d + 1) + 1) e_dst;
+    for i = 0 to n - 1 do
+      bwd_off.(i + 1) <- bwd_off.(i + 1) + bwd_off.(i)
+    done;
+    let cursor = Array.init n (fun i -> Atomic.make bwd_off.(i)) in
+    let bwd = Array.make m 0 in
+    Task_pool.parallel_for pool ~chunk:1024 0 m (fun k ->
+        let pos = Atomic.fetch_and_add cursor.(e_dst.(k)) 1 in
+        bwd.(pos) <- k);
+    (* placement order is schedule-dependent; sort each group so the
+       snapshot layout is deterministic *)
+    Task_pool.parallel_for pool 0 n (fun i ->
+        sort_slice bwd bwd_off.(i) bwd_off.(i + 1));
+    { blocks; starts; edges; e_src; e_dst; fwd_off; bwd_off; bwd }
+  end
+
+let iter_out t i f =
+  for k = t.fwd_off.(i) to t.fwd_off.(i + 1) - 1 do
+    f k t.edges.(k)
+  done
+
+let iter_in t i f =
+  for p = t.bwd_off.(i) to t.bwd_off.(i + 1) - 1 do
+    let k = t.bwd.(p) in
+    f k t.edges.(k)
+  done
+
+let in_degree t i = t.bwd_off.(i + 1) - t.bwd_off.(i)
+
+let sole_in t i =
+  if in_degree t i = 1 then Some t.edges.(t.bwd.(t.bwd_off.(i)))
+  else None

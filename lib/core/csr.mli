@@ -1,0 +1,63 @@
+(** Immutable CSR-style snapshot of the live CFG.
+
+    Finalization (paper Section 5.4) is read-dominated: every correction
+    round re-examines the whole edge set, reachability walks every live
+    edge, and boundary assignment traverses intra-procedural adjacency.
+    Doing that through the concurrent maps and per-block [edge list]s
+    costs a filtered list allocation per visit. This module compacts the
+    quiescent graph once into flat arrays — blocks sorted by start
+    address, live edges grouped by source block with forward and backward
+    adjacency offsets — so the finalization steps become cache-friendly
+    array scans and index arithmetic.
+
+    Invariants (the contract {!Finalize} maintains):
+
+    - A {e live edge} is an edge whose [e_dead] flag was false at build
+      time. The snapshot holds exactly the live edges, each once.
+    - Edge {e kind} mutations (the tail-call correction flips) do NOT
+      invalidate a snapshot: [edges] aliases the graph's edge records, so
+      kinds are always read current. Only changes to the live-edge set —
+      killing edges, removing blocks — stale a snapshot; the consumer
+      must rebuild before the next step that reads it.
+    - Blocks are sorted by [b_start]; block indices are dense [0, n)
+      ints, which is what lets reachability use {!Pbca_concurrent.Atomic_intset}
+      over indices instead of a hash table over addresses. *)
+
+type t = {
+  blocks : Cfg.block array;  (** sorted by [b_start] *)
+  starts : int array;  (** [b_start] per block, same order (binary-search key) *)
+  edges : Cfg.edge array;
+      (** live edges grouped by source block: block [i]'s out-edges are
+          exactly indices [fwd_off.(i) .. fwd_off.(i+1) - 1] *)
+  e_src : int array;  (** source block index per edge *)
+  e_dst : int array;  (** destination block index per edge *)
+  fwd_off : int array;  (** length [n_blocks + 1] *)
+  bwd_off : int array;  (** length [n_blocks + 1] *)
+  bwd : int array;
+      (** edge indices grouped by destination block (each group sorted
+          ascending): block [i]'s in-edges are
+          [bwd.(bwd_off.(i)) .. bwd.(bwd_off.(i+1) - 1)] *)
+}
+
+val build : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> t
+(** Snapshot the graph's current live blocks and edges. Quiescent use
+    only (no concurrent mutators). Destination-index resolution and array
+    filling run in parallel over the pool. *)
+
+val n_blocks : t -> int
+val n_edges : t -> int
+
+val index_of : t -> int -> int option
+(** Block index of the block starting at an address, by binary search. *)
+
+val iter_out : t -> int -> (int -> Cfg.edge -> unit) -> unit
+(** [iter_out t i f] applies [f k e] to each out-edge [e = edges.(k)] of
+    block [i]. *)
+
+val iter_in : t -> int -> (int -> Cfg.edge -> unit) -> unit
+(** Same over in-edges (via the backward adjacency). *)
+
+val in_degree : t -> int -> int
+val sole_in : t -> int -> Cfg.edge option
+(** The unique in-edge of block [i], if its in-degree is exactly 1
+    (tail-call correction rule 3's test). *)

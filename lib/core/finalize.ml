@@ -1,27 +1,65 @@
 module Image = Pbca_binfmt.Image
 module Section = Pbca_binfmt.Section
 module Task_pool = Pbca_concurrent.Task_pool
+module Atomic_intset = Pbca_concurrent.Atomic_intset
+module Frontier = Pbca_concurrent.Frontier
 module Trace = Pbca_simsched.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Per-step observability: both entry points reset the graph's         *)
+(* [finalize_stats] and attribute wall time to the step that spent it. *)
+
+let timed cell f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  cell (Unix.gettimeofday () -. t0);
+  r
+
+let reset_stats (fz : Cfg.finalize_stats) =
+  fz.Cfg.fz_jt_wall <- 0.0;
+  fz.Cfg.fz_reach_wall <- 0.0;
+  fz.Cfg.fz_bounds_wall <- 0.0;
+  fz.Cfg.fz_rules_wall <- 0.0;
+  fz.Cfg.fz_prune_wall <- 0.0;
+  fz.Cfg.fz_recount_wall <- 0.0;
+  fz.Cfg.fz_snapshot_wall <- 0.0;
+  fz.Cfg.fz_rounds <- 0;
+  fz.Cfg.fz_snapshots <- 0;
+  fz.Cfg.fz_dirty <- []
+
+let t_jt fz dt = fz.Cfg.fz_jt_wall <- fz.Cfg.fz_jt_wall +. dt
+let t_reach fz dt = fz.Cfg.fz_reach_wall <- fz.Cfg.fz_reach_wall +. dt
+let t_bounds fz dt = fz.Cfg.fz_bounds_wall <- fz.Cfg.fz_bounds_wall +. dt
+let t_rules fz dt = fz.Cfg.fz_rules_wall <- fz.Cfg.fz_rules_wall +. dt
+let t_prune fz dt = fz.Cfg.fz_prune_wall <- fz.Cfg.fz_prune_wall +. dt
+let t_recount fz dt = fz.Cfg.fz_recount_wall <- fz.Cfg.fz_recount_wall +. dt
+let t_snap fz dt = fz.Cfg.fz_snapshot_wall <- fz.Cfg.fz_snapshot_wall +. dt
 
 (* ------------------------------------------------------------------ *)
 (* Step 1: jump-table over-approximation cleanup.                      *)
 
-let table_limit g sorted_bases base =
+let table_limit g (bases : int array) base =
   (* entries may extend to the next discovered table or the end of the
-     enclosing section *)
-  let next =
-    List.find_opt (fun b -> b > base) sorted_bases
-  in
+     enclosing section; the next table is the upper bound of [base] in
+     the sorted base array *)
+  let n = Array.length bases in
+  let lo = ref 0 and hi = ref n in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if bases.(mid) <= base then lo := mid + 1 else hi := mid
+  done;
   let section_end =
     match Image.find_section_at g.Cfg.image base with
     | Some s -> s.Section.addr + Section.size s
     | None -> base
   in
-  match next with Some n -> min n section_end | None -> section_end
+  if !lo < n then min bases.(!lo) section_end else section_end
 
 let clean_jump_tables ~pool g =
   let tables = Pbca_concurrent.Conc_bag.to_list g.Cfg.tables in
-  let bases = List.sort compare (List.map (fun t -> t.Cfg.jt_base) tables) in
+  let bases =
+    Array.of_list (List.sort compare (List.map (fun t -> t.Cfg.jt_base) tables))
+  in
   let tarr = Array.of_list tables in
   Task_pool.parallel_for pool 0 (Array.length tarr) (fun i ->
       let t = tarr.(i) in
@@ -40,11 +78,10 @@ let clean_jump_tables ~pool g =
           if e.e_kind = Cfg.Indirect && not (Hashtbl.mem valid e.e_dst.Cfg.b_start)
           then Atomic.set e.e_dead true)
         (Cfg.out_edges t.Cfg.jt_block))
-    ;
-  ()
 
 (* ------------------------------------------------------------------ *)
-(* Step 2: remove blocks unreachable from any function entry.          *)
+(* Legacy whole-graph steps (serial reachability, full boundary and    *)
+(* rule passes each round). Kept as the baseline [run_legacy] path.    *)
 
 let reachable_blocks g =
   let seen = Hashtbl.create 4096 in
@@ -77,69 +114,86 @@ let reachable_blocks g =
   drain ();
   seen
 
+let kill_block g (b : Cfg.block) =
+  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_out);
+  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_in);
+  ignore (Addr_map.remove g.Cfg.blocks b.Cfg.b_start);
+  let e = Cfg.block_end b in
+  match Addr_map.find g.Cfg.ends e with
+  | Some owner when owner == b -> ignore (Addr_map.remove g.Cfg.ends e)
+  | _ -> ()
+
 let prune_unreachable g =
   let seen = reachable_blocks g in
   let dead = ref [] in
   Addr_map.iter
-    (fun addr b -> if not (Hashtbl.mem seen addr) then dead := (addr, b) :: !dead)
+    (fun addr b -> if not (Hashtbl.mem seen addr) then dead := b :: !dead)
     g.Cfg.blocks;
-  List.iter
-    (fun (addr, (b : Cfg.block)) ->
-      List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_out);
-      List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_in);
-      ignore (Addr_map.remove g.Cfg.blocks addr);
-      let e = Cfg.block_end b in
-      (match Addr_map.find g.Cfg.ends e with
-      | Some owner when owner == b -> ignore (Addr_map.remove g.Cfg.ends e)
-      | _ -> ()))
-    !dead;
+  List.iter (kill_block g) !dead;
   !dead <> []
 
-(* ------------------------------------------------------------------ *)
-(* Step 3: function boundaries and tail-call correction.               *)
-
-let compute_boundaries ~pool g =
-  let funcs = Array.of_list (Cfg.funcs_list g) in
-  Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
-      let f = funcs.(i) in
-      let seen = Hashtbl.create 64 in
-      let rec visit (b : Cfg.block) =
+(* Worklist traversal of the intra-procedural out-edges from a function
+   entry (the explicit stack replaces an unbounded recursion: degenerate
+   fall-through chains are as deep as the function is long). *)
+let boundary_blocks g (f : Cfg.func) =
+  let seen = Hashtbl.create 64 in
+  (match Addr_map.find g.Cfg.blocks f.Cfg.f_entry_addr with
+  | None -> ()
+  | Some entry ->
+    let stack = ref [ entry ] in
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | b :: rest ->
+        stack := rest;
         if not (Hashtbl.mem seen b.Cfg.b_start) then begin
           Hashtbl.replace seen b.Cfg.b_start b;
           Trace.tick g.Cfg.trace 1;
           List.iter
             (fun (e : Cfg.edge) ->
-              if Cfg.is_intra e.e_kind then visit e.e_dst)
+              if Cfg.is_intra e.e_kind then stack := e.e_dst :: !stack)
             (Cfg.out_edges b)
-        end
-      in
-      (match Addr_map.find g.Cfg.blocks f.Cfg.f_entry_addr with
-      | Some entry -> visit entry
-      | None -> ());
-      f.Cfg.f_blocks <-
-        Hashtbl.fold (fun _ b acc -> b :: acc) seen []
-        |> List.sort (fun (a : Cfg.block) b -> compare a.Cfg.b_start b.Cfg.b_start))
+        end;
+        drain ()
+    in
+    drain ());
+  Hashtbl.fold (fun _ b acc -> b :: acc) seen []
+  |> List.sort (fun (a : Cfg.block) b -> compare a.Cfg.b_start b.Cfg.b_start)
+
+let compute_boundaries ~pool g =
+  let funcs = Array.of_list (Cfg.funcs_list g) in
+  Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
+      let f = funcs.(i) in
+      f.Cfg.f_blocks <- boundary_blocks g f);
+  Array.length funcs
 
 (* Membership map: block start -> functions containing it. *)
+let funcs_of members addr =
+  Option.value (Hashtbl.find_opt members addr) ~default:[]
+
+let membership_add members (f : Cfg.func) =
+  List.iter
+    (fun (b : Cfg.block) ->
+      Hashtbl.replace members b.Cfg.b_start (f :: funcs_of members b.Cfg.b_start))
+    f.Cfg.f_blocks
+
+let membership_remove members (f : Cfg.func) old_blocks =
+  List.iter
+    (fun (b : Cfg.block) ->
+      match List.filter (fun g -> g != f) (funcs_of members b.Cfg.b_start) with
+      | [] -> Hashtbl.remove members b.Cfg.b_start
+      | fs -> Hashtbl.replace members b.Cfg.b_start fs)
+    old_blocks
+
 let membership g =
   let tbl = Hashtbl.create 4096 in
-  List.iter
-    (fun (f : Cfg.func) ->
-      List.iter
-        (fun (b : Cfg.block) ->
-          Hashtbl.replace tbl b.Cfg.b_start
-            (f :: (Option.value (Hashtbl.find_opt tbl b.Cfg.b_start) ~default:[])))
-        f.Cfg.f_blocks)
-    (Cfg.funcs_list g)
-
-  ;
+  List.iter (membership_add tbl) (Cfg.funcs_list g);
   tbl
 
 let live_in_edges (b : Cfg.block) = Cfg.in_edges b
 
 let correct_tail_calls g =
   let members = membership g in
-  let funcs_of addr = Option.value (Hashtbl.find_opt members addr) ~default:[] in
   let flips = ref 0 in
   let all_edges =
     List.concat_map
@@ -172,7 +226,7 @@ let correct_tail_calls g =
           let self_loop =
             List.exists
               (fun (f : Cfg.func) -> f.Cfg.f_entry_addr = dst)
-              (funcs_of e.e_src.Cfg.b_start)
+              (funcs_of members e.e_src.Cfg.b_start)
           in
           if target_is_entry && not self_loop then begin
             e.e_kind <- Cfg.Tail_call;
@@ -182,7 +236,7 @@ let correct_tail_calls g =
         | Cfg.Tail_call ->
           (* rule 2: target lies within the boundary of a function that
              also contains the source *)
-          let src_funcs = funcs_of e.e_src.Cfg.b_start in
+          let src_funcs = funcs_of members e.e_src.Cfg.b_start in
           let within =
             List.exists
               (fun (f : Cfg.func) ->
@@ -215,9 +269,6 @@ let correct_tail_calls g =
     edges;
   !flips > 0
 
-(* ------------------------------------------------------------------ *)
-(* Step 4: prune functions without incoming inter-procedural edges.    *)
-
 let prune_functions g =
   let doomed = ref [] in
   Addr_map.iter
@@ -241,30 +292,289 @@ let prune_functions g =
   !doomed <> []
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot-indexed steps. All of them read a [Csr.t] built from the   *)
+(* current live graph; the caller rebuilds it whenever a step killed   *)
+(* edges or removed blocks (kind flips alone never stale a snapshot).  *)
 
-let run ~pool g =
-  clean_jump_tables ~pool g;
-  ignore (prune_unreachable g);
+(* Frontier-based level-synchronous parallel BFS over the snapshot's
+   forward adjacency. [Atomic_intset.add] is the first-visitor-wins test,
+   so each block index is pushed to a frontier at most once and the
+   fixed-capacity buffers cannot overflow. *)
+let prune_unreachable_snap ~pool g (snap : Csr.t) =
+  let n = Csr.n_blocks snap in
+  if n = 0 then false
+  else begin
+    let visited =
+      Atomic_intset.create ~capacity:(2 * n)
+        ~counters:g.Cfg.stats.Cfg.contention ()
+    in
+    let cur = Frontier.create ~capacity:n in
+    let nxt = Frontier.create ~capacity:n in
+    Addr_map.iter
+      (fun addr _ ->
+        match Csr.index_of snap addr with
+        | Some i -> if Atomic_intset.add visited i then Frontier.push cur i
+        | None -> ())
+      g.Cfg.funcs;
+    let rec levels cur nxt =
+      let len = Frontier.length cur in
+      if len > 0 then begin
+        Task_pool.parallel_for pool ~chunk:64 0 len (fun p ->
+            let i = Frontier.get cur p in
+            Csr.iter_out snap i (fun k _ ->
+                let d = snap.Csr.e_dst.(k) in
+                if Atomic_intset.add visited d then Frontier.push nxt d));
+        Frontier.clear cur;
+        levels nxt cur
+      end
+    in
+    levels cur nxt;
+    let dead =
+      Task_pool.parallel_for_reduce pool ~chunk:256 0 n ~init:[]
+        ~map:(fun i -> if Atomic_intset.mem visited i then [] else [ i ])
+        ~combine:List.rev_append
+    in
+    List.iter (fun i -> kill_block g snap.Csr.blocks.(i)) dead;
+    dead <> []
+  end
+
+(* Same traversal as [boundary_blocks] but over snapshot indices: no
+   per-visit list filtering, no address hashing on the edge walk. *)
+let boundary_blocks_snap g (snap : Csr.t) (f : Cfg.func) =
+  match Csr.index_of snap f.Cfg.f_entry_addr with
+  | None -> []
+  | Some entry ->
+    let seen = Hashtbl.create 64 in
+    let stack = ref [ entry ] in
+    let acc = ref [] in
+    while !stack <> [] do
+      (match !stack with
+      | [] -> ()
+      | i :: rest ->
+        stack := rest;
+        if not (Hashtbl.mem seen i) then begin
+          Hashtbl.replace seen i ();
+          Trace.tick g.Cfg.trace 1;
+          acc := i :: !acc;
+          Csr.iter_out snap i (fun k (e : Cfg.edge) ->
+              if Cfg.is_intra e.e_kind then
+                stack := snap.Csr.e_dst.(k) :: !stack)
+        end)
+    done;
+    List.sort compare !acc |> List.map (fun i -> snap.Csr.blocks.(i))
+
+(* Decide the correction rules for snapshot edge [k]. Pure reads: within
+   a round the rules only consult Call-kind in-edges (flips never create
+   or destroy a [Call]), boundary membership, the funcs map,
+   [static_entries] and edge liveness — all stable while a round's scan
+   runs — so evaluating edges in parallel chunks and applying the flips
+   serially afterwards is equivalent to the legacy serial sorted pass. *)
+let eval_rule g (snap : Csr.t) members k =
+  let e : Cfg.edge = snap.Csr.edges.(k) in
+  if e.e_flipped then None
+  else begin
+    let dst = e.e_dst.Cfg.b_start in
+    match e.e_kind with
+    | Cfg.Jump | Cfg.Cond_taken ->
+      let target_is_entry =
+        Addr_map.mem g.Cfg.funcs dst
+        ||
+        let found = ref false in
+        Csr.iter_in snap snap.Csr.e_dst.(k) (fun _ (ie : Cfg.edge) ->
+            if ie.e_kind = Cfg.Call then found := true);
+        !found
+      in
+      let self_loop =
+        List.exists
+          (fun (f : Cfg.func) -> f.Cfg.f_entry_addr = dst)
+          (funcs_of members e.e_src.Cfg.b_start)
+      in
+      if target_is_entry && not self_loop then Some (k, Cfg.Tail_call)
+      else None
+    | Cfg.Tail_call ->
+      let src_funcs = funcs_of members e.e_src.Cfg.b_start in
+      let within =
+        List.exists
+          (fun (f : Cfg.func) ->
+            f.Cfg.f_entry_addr <> dst
+            && List.exists
+                 (fun (b : Cfg.block) -> b.Cfg.b_start = dst)
+                 f.Cfg.f_blocks)
+          src_funcs
+      in
+      let sole_in =
+        match Csr.sole_in snap snap.Csr.e_dst.(k) with
+        | Some only -> only == e
+        | None -> false
+      in
+      if (within || sole_in) && not (Addr_map.mem g.Cfg.static_entries dst)
+      then
+        Some
+          ( k,
+            match Atomic.get e.e_src.Cfg.b_term with
+            | Some (Pbca_isa.Insn.Jcc _) -> Cfg.Cond_taken
+            | _ -> Cfg.Jump )
+      else None
+    | _ -> None
+  end
+
+let prune_functions_snap g (snap : Csr.t) =
+  let doomed = ref [] in
+  Addr_map.iter
+    (fun addr (f : Cfg.func) ->
+      if (not f.Cfg.f_from_symtab) && addr <> g.Cfg.image.Image.entry then begin
+        let has_interproc_in =
+          match Csr.index_of snap addr with
+          | None -> false
+          | Some i ->
+            let found = ref false in
+            Csr.iter_in snap i (fun _ (e : Cfg.edge) ->
+                match e.e_kind with
+                | Cfg.Call | Cfg.Tail_call -> found := true
+                | _ -> ());
+            !found
+        in
+        if not has_interproc_in then doomed := addr :: !doomed
+      end)
+    g.Cfg.funcs;
+  List.iter (fun addr -> ignore (Addr_map.remove g.Cfg.funcs addr)) !doomed;
+  !doomed <> []
+
+(* ------------------------------------------------------------------ *)
+
+let run_legacy ~pool g =
+  let fz = g.Cfg.stats.Cfg.finalize in
+  reset_stats fz;
+  timed (t_jt fz) (fun () -> clean_jump_tables ~pool g);
+  ignore (timed (t_reach fz) (fun () -> prune_unreachable g));
   (* tail-call correction: boundaries and rules alternate; each edge flips
      at most once so this converges quickly *)
   let rec fix n =
-    compute_boundaries ~pool g;
-    let flipped = correct_tail_calls g in
+    let nfuncs = timed (t_bounds fz) (fun () -> compute_boundaries ~pool g) in
+    fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ nfuncs ];
+    let flipped = timed (t_rules fz) (fun () -> correct_tail_calls g) in
+    fz.Cfg.fz_rounds <- fz.Cfg.fz_rounds + 1;
     if flipped && n < 8 then fix (n + 1)
   in
   fix 0;
   (* removing functions can strand their blocks; removing blocks can strip
      a function's last incoming call — iterate to a (small) fixed point *)
   let rec prune n =
-    let a = prune_functions g in
-    let b = if a then prune_unreachable g else false in
+    let a = timed (t_prune fz) (fun () -> prune_functions g) in
+    let b =
+      if a then timed (t_reach fz) (fun () -> prune_unreachable g) else false
+    in
     if (a || b) && n < 8 then prune (n + 1)
   in
   prune 0;
-  compute_boundaries ~pool g;
+  ignore (timed (t_bounds fz) (fun () -> compute_boundaries ~pool g));
   (* instruction counts are approximate during parsing (splits shrink blocks
      concurrently); recompute them from the final block extents *)
-  let blocks = Array.of_list (Cfg.blocks_list g) in
-  Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
-      let b = blocks.(i) in
-      Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b)))
+  timed (t_recount fz) (fun () ->
+      let blocks = Array.of_list (Cfg.blocks_list g) in
+      Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
+          let b = blocks.(i) in
+          Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))))
+
+let run ~pool g =
+  let fz = g.Cfg.stats.Cfg.finalize in
+  reset_stats fz;
+  timed (t_jt fz) (fun () -> clean_jump_tables ~pool g);
+  let build () =
+    timed (t_snap fz) (fun () ->
+        fz.Cfg.fz_snapshots <- fz.Cfg.fz_snapshots + 1;
+        Csr.build ~pool g)
+  in
+  let snap = ref (build ()) in
+  let rebuild () = snap := build () in
+  if timed (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap) then
+    rebuild ();
+  (* tail-call fix rounds: round 0 computes every boundary; later rounds
+     recompute only the functions whose boundary contained the source of
+     an edge flipped in the previous round — the only boundaries a flip
+     can change, since a traversal that never visits the flipped edge's
+     source never follows (or stops following) that edge. The membership
+     table is patched incrementally in step with the dirty recomputes. *)
+  let members = Hashtbl.create 4096 in
+  let recompute (dirty : Cfg.func array) =
+    timed (t_bounds fz) (fun () ->
+        let nd = Array.length dirty in
+        let newb = Array.make nd [] in
+        Task_pool.parallel_for pool 0 nd (fun i ->
+            newb.(i) <- boundary_blocks_snap g !snap dirty.(i));
+        for i = 0 to nd - 1 do
+          let f = dirty.(i) in
+          membership_remove members f f.Cfg.f_blocks;
+          f.Cfg.f_blocks <- newb.(i);
+          membership_add members f
+        done)
+  in
+  let rec fix round (dirty : Cfg.func array) =
+    fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ Array.length dirty ];
+    recompute dirty;
+    let decisions =
+      timed (t_rules fz) (fun () ->
+          Task_pool.parallel_for_reduce pool ~chunk:512 0
+            (Csr.n_edges !snap) ~init:[]
+            ~map:(fun k ->
+              match eval_rule g !snap members k with
+              | Some d -> [ d ]
+              | None -> [])
+            ~combine:List.rev_append)
+    in
+    fz.Cfg.fz_rounds <- fz.Cfg.fz_rounds + 1;
+    if decisions <> [] then begin
+      let next = Hashtbl.create 64 in
+      List.iter
+        (fun (k, nk) ->
+          let e : Cfg.edge = (!snap).Csr.edges.(k) in
+          e.e_kind <- nk;
+          e.e_flipped <- true;
+          List.iter
+            (fun (f : Cfg.func) -> Hashtbl.replace next f.Cfg.f_entry_addr f)
+            (funcs_of members e.e_src.Cfg.b_start))
+        decisions;
+      if round < 8 then
+        fix (round + 1)
+          (Hashtbl.fold (fun _ f acc -> f :: acc) next []
+          |> List.sort (fun (a : Cfg.func) b ->
+                 compare a.Cfg.f_entry_addr b.Cfg.f_entry_addr)
+          |> Array.of_list)
+    end
+  in
+  fix 0 (Array.of_list (Cfg.funcs_list g));
+  (* function/block pruning to a fixed point; only the unreachable prune
+     mutates the live-edge set, so that is the only stale trigger *)
+  let stale = ref false in
+  let rec prune n =
+    if !stale then begin
+      rebuild ();
+      stale := false
+    end;
+    let a = timed (t_prune fz) (fun () -> prune_functions_snap g !snap) in
+    let b =
+      if a then begin
+        let p =
+          timed (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap)
+        in
+        if p then stale := true;
+        p
+      end
+      else false
+    in
+    if (a || b) && n < 8 then prune (n + 1)
+  in
+  prune 0;
+  if !stale then rebuild ();
+  let funcs = Array.of_list (Cfg.funcs_list g) in
+  timed (t_bounds fz) (fun () ->
+      Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
+          let f = funcs.(i) in
+          f.Cfg.f_blocks <- boundary_blocks_snap g !snap f));
+  (* instruction counts are approximate during parsing (splits shrink blocks
+     concurrently); recompute them from the final block extents *)
+  timed (t_recount fz) (fun () ->
+      let blocks = (!snap).Csr.blocks in
+      Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
+          let b = blocks.(i) in
+          Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))))

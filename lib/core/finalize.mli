@@ -1,12 +1,13 @@
 (** CFG finalization — the correction phase (paper Section 5.4).
 
-    Four parallel steps, each deterministic given the expansion-phase graph:
+    Four steps, each deterministic given the expansion-phase graph:
 
     1. Jump-table cleanup: tables are sorted by base address; using the
        observation that compilers do not emit overlapping jump tables, a
-       table's entries are clamped at the next table's base (or the end of
-       its section), and indirect edges pointing outside the clamped entry
-       set are removed (O_ER).
+       table's entries are clamped at the next table's base — found by
+       binary search over the sorted base array — or the end of the
+       table's section, and indirect edges pointing outside the clamped
+       entry set are removed (O_ER).
     2. Unreachable-code removal: blocks no longer reachable from any
        function entry are dropped along with their edges.
     3. Tail-call correction and function boundaries: function bodies are
@@ -17,8 +18,33 @@
        up with no incoming inter-procedural edges (and are not in the
        symbol table) are removed.
 
+    {!run} executes these over an immutable {!Csr} snapshot of the live
+    graph: reachability is a frontier-based parallel BFS over dense block
+    indices, the correction rules scan the flat edge array in parallel
+    chunks (decisions are collected and applied serially — within a round
+    the rules read only state a flip cannot change, so this equals the
+    serial sorted pass), and fix rounds after the first recompute
+    boundaries only for the {e dirty} functions whose boundary contained
+    the source block of an edge flipped in the previous round. The
+    snapshot is rebuilt only when a step actually killed edges or removed
+    blocks; kind flips mutate the shared edge records in place and never
+    stale it.
+
+    {!run_legacy} is the pre-snapshot baseline — serial hash-table
+    reachability and whole-graph boundary/rule passes every round — kept
+    for the [bench finalize] comparison. Both paths produce
+    {!Cfg_diff}-identical graphs and record per-step wall timings into
+    the graph's [stats.finalize].
+
     Afterwards, [f_blocks] holds each function's body, every dead edge and
     block is gone from the maps, and the CFG is read-only for clients
     (paper Section 7.2). *)
 
 val run : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> unit
+(** Snapshot-indexed finalization (the default path). *)
+
+val run_legacy : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> unit
+(** Whole-graph baseline, semantically identical to {!run}. *)
+
+val clean_jump_tables : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> unit
+(** Step 1 alone (exposed for direct unit testing of the clamp rule). *)

@@ -133,4 +133,19 @@ let pp_stats fmt (g : Cfg.t) =
     (Pbca_binfmt.Decode_cache.hit_rate dc)
     pool.Pbca_concurrent.Task_pool.steals
     pool.Pbca_concurrent.Task_pool.steal_attempts
-    pool.Pbca_concurrent.Task_pool.idle_sleeps
+    pool.Pbca_concurrent.Task_pool.idle_sleeps;
+  let fz = s.finalize in
+  if fz.Cfg.fz_rounds > 0 then
+    Format.fprintf fmt
+      "@ finalize: rounds=%d snapshots=%d dirty=[%s]@ finalize_wall_ms: \
+       jt=%.2f reach=%.2f bounds=%.2f rules=%.2f prune=%.2f recount=%.2f \
+       snapshot=%.2f"
+      fz.Cfg.fz_rounds fz.Cfg.fz_snapshots
+      (String.concat ";" (List.map string_of_int fz.Cfg.fz_dirty))
+      (1000. *. fz.Cfg.fz_jt_wall)
+      (1000. *. fz.Cfg.fz_reach_wall)
+      (1000. *. fz.Cfg.fz_bounds_wall)
+      (1000. *. fz.Cfg.fz_rules_wall)
+      (1000. *. fz.Cfg.fz_prune_wall)
+      (1000. *. fz.Cfg.fz_recount_wall)
+      (1000. *. fz.Cfg.fz_snapshot_wall)

@@ -45,4 +45,6 @@ val pp_stats : Format.formatter -> Cfg.t -> unit
 (** One-line-per-group parse statistics: graph counts, the graph's
     {!Pbca_concurrent.Contention} counters, the image's decode-cache hit
     rate, and the cumulative {!Pbca_concurrent.Task_pool} scheduler
-    counters. *)
+    counters. When the graph has been finalized ([fz_rounds > 0]), also
+    the finalization round/snapshot counts, per-round dirty-set sizes and
+    per-step wall times in milliseconds from [stats.finalize]. *)
