@@ -8,9 +8,9 @@
    of that phase's task trace.
 
    Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
-   micro contention finalize all (default: all); plus microsmoke, a
-   seconds-long self-checking slice of the contention and finalize reports
-   wired into `dune runtest`. *)
+   micro contention finalize robustness all (default: all); plus
+   microsmoke, a seconds-long self-checking slice of the contention,
+   finalize and robustness reports wired into `dune runtest`. *)
 
 module Profile = Pbca_codegen.Profile
 module Emit = Pbca_codegen.Emit
@@ -1088,6 +1088,156 @@ let finalize_bench () =
   close_out oc;
   print_endline "wrote BENCH_pr2.json"
 
+(* ---------------------------------------------------------------- *)
+(* `bench robustness`: PR3 — mutation-fuzz survival, degraded-vs-crash
+   accounting, budget-exhaustion rates, and fault-injection recovery wall
+   time. Writes BENCH_pr3.json unless ~smoke.                         *)
+
+let robustness_report ~smoke () =
+  let module Mutate = Pbca_codegen.Mutate in
+  let module Rng = Pbca_codegen.Rng in
+  let module Fault = Pbca_concurrent.Fault in
+  let module Cfg = Pbca_core.Cfg in
+  let seeds = if smoke then 60 else 400 in
+  let threads = if smoke then 2 else 4 in
+  let pool = TP.create ~threads in
+  let config =
+    { Pbca_core.Config.default with Pbca_core.Config.deadline_s = 2.0 }
+  in
+  let bases =
+    List.map
+      (fun p -> (Emit.generate p).Emit.image)
+      [ Profile.coreutils_like 1; Profile.coreutils_like 2 ]
+  in
+  let clean = ref 0
+  and degraded = ref 0
+  and malformed = ref 0
+  and crash = ref 0 in
+  let b_block = ref 0
+  and b_slice = ref 0
+  and b_table = ref 0
+  and b_deadline = ref 0 in
+  let parsed = ref 0 in
+  let t0 = Unix.gettimeofday () in
+  for s = 1 to seeds do
+    let rng = Rng.create s in
+    let img = List.nth bases (s mod List.length bases) in
+    let _kind, bytes = Mutate.mutate ~rng img in
+    match Image.read_result bytes with
+    | Error _ -> incr malformed
+    | Ok m -> (
+      match Pbca_core.Parallel.parse_and_finalize ~config ~pool m with
+      | g ->
+        incr parsed;
+        let st = g.Cfg.stats in
+        b_block := !b_block + Atomic.get st.Cfg.budget_block;
+        b_slice := !b_slice + Atomic.get st.Cfg.budget_slice;
+        b_table := !b_table + Atomic.get st.Cfg.budget_table;
+        b_deadline := !b_deadline + Atomic.get st.Cfg.budget_deadline;
+        if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
+          incr degraded
+        else incr clean
+      | exception _ -> incr crash)
+  done;
+  let fuzz_wall = Unix.gettimeofday () -. t0 in
+  (* fault-injection recovery: wall time of a parse that absorbs injected
+     task crashes, vs the clean parse of the same image *)
+  let fi_image = List.hd bases in
+  let time_parse () =
+    let p1 = TP.create ~threads:1 in
+    let t0 = Unix.gettimeofday () in
+    let g = Pbca_core.Parallel.parse_and_finalize ~pool:p1 fi_image in
+    (g, Unix.gettimeofday () -. t0)
+  in
+  let g_clean, w_clean = time_parse () in
+  Fault.arm_at [ 5; 9; 13 ] Fault.Raise;
+  let g_fault, w_fault =
+    Fun.protect ~finally:Fault.disarm (fun () -> time_parse ())
+  in
+  let d = Pbca_core.Cfg_diff.diff g_clean g_fault in
+  let total_funcs =
+    Pbca_core.Addr_map.length g_clean.Pbca_core.Cfg.funcs
+  in
+  let rate n = float_of_int n /. float_of_int (max 1 !parsed) in
+  J_obj
+    [
+      ("bench", J_str "pr3_hostile_binary_hardening");
+      ("smoke", J_bool smoke);
+      ( "mutation_fuzz",
+        J_obj
+          [
+            ("mutants", J_int seeds);
+            ("survived", J_int (seeds - !crash));
+            ("clean", J_int !clean);
+            ("degraded", J_int !degraded);
+            ("malformed", J_int !malformed);
+            ("crash", J_int !crash);
+            ("wall_s", J_float fuzz_wall);
+          ] );
+      ( "budget_exhaustion_per_parsed_mutant",
+        J_obj
+          [
+            ("parsed", J_int !parsed);
+            ("block", J_float (rate !b_block));
+            ("slice", J_float (rate !b_slice));
+            ("table", J_float (rate !b_table));
+            ("deadline", J_float (rate !b_deadline));
+          ] );
+      ( "fault_injection",
+        J_obj
+          [
+            ("injected_faults", J_int 3);
+            ("task_failures_recorded",
+             J_int (Pbca_core.Cfg.task_failure_count g_fault));
+            ("clean_wall_s", J_float w_clean);
+            ("faulted_wall_s", J_float w_fault);
+            ("recovery_overhead", J_float (w_fault /. w_clean));
+            ("funcs_total", J_int total_funcs);
+            ("funcs_unchanged", J_int d.Pbca_core.Cfg_diff.unchanged);
+          ] );
+    ]
+
+let robustness_checks j =
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  let num path = json_num j path in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  check "zero crashes across the mutant corpus"
+    (num [ "mutation_fuzz"; "crash" ] = 0.0);
+  check "every mutant survived"
+    (num [ "mutation_fuzz"; "survived" ] = num [ "mutation_fuzz"; "mutants" ]);
+  check "every mutant classified"
+    (num [ "mutation_fuzz"; "clean" ]
+     +. num [ "mutation_fuzz"; "degraded" ]
+     +. num [ "mutation_fuzz"; "malformed" ]
+     = num [ "mutation_fuzz"; "mutants" ]);
+  check "faulted parse finished"
+    (num [ "fault_injection"; "faulted_wall_s" ] > 0.0);
+  (* cross-calls cascade a killed task's damage to its callers, so on a
+     connected binary the bound is a fraction, not fault-count; the strict
+     "untouched functions are Cfg_diff-equal" proof runs on independent
+     functions in test_robustness *)
+  check "majority of functions untouched by injected faults"
+    (num [ "fault_injection"; "funcs_unchanged" ]
+     >= 0.5 *. num [ "fault_injection"; "funcs_total" ]);
+  List.rev !failures
+
+let robustness_bench () =
+  header "Hostile-binary hardening: fuzz survival + fault recovery (PR3)";
+  let j = robustness_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match robustness_checks j with
+  | [] -> print_endline "all robustness checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr3.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr3.json"
+
 (* seconds-long slice of the same reports, self-checking, for `dune
    runtest`; prints to stdout only (the test sandbox is read-only) *)
 let microsmoke () =
@@ -1100,8 +1250,15 @@ let microsmoke () =
     exit 1);
   let jf = finalize_report ~smoke:true () in
   print_endline (json_to_string jf);
-  match finalize_checks ~smoke:true jf with
+  (match finalize_checks ~smoke:true jf with
   | [] -> print_endline "microsmoke finalize: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let jr = robustness_report ~smoke:true () in
+  print_endline (json_to_string jr);
+  match robustness_checks jr with
+  | [] -> print_endline "microsmoke robustness: ok"
   | fs ->
     List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
     exit 1
@@ -1130,6 +1287,7 @@ let () =
   if want "micro" then micro ();
   if want "contention" then contention ();
   if want "finalize" then finalize_bench ();
+  if want "robustness" then robustness_bench ();
   (* microsmoke is runtest plumbing, not part of "all" *)
   if List.mem "microsmoke" cmds then microsmoke ();
   line ()

@@ -1,0 +1,169 @@
+(* Mutation fuzzer for the SBF parser and the CFG analyses.
+
+   Generates well-formed binaries, mutates them (header bits, truncation,
+   byte flips, code splices, table smashes, symbol lies) and checks the
+   robustness contract on every mutant: the parser never crashes, never
+   runs past the deadline, and always returns either a clean CFG, a partial
+   CFG with degradation marks, or a structured parse error.
+
+   Exit codes (corpus mode): 0 when every mutant upheld the contract,
+   3 when any crashed or hung. With a positional FILE the same codes as
+   bparse apply: 0 clean, 1 degraded, 2 malformed, 3 internal bug. *)
+
+open Cmdliner
+module Image = Pbca_binfmt.Image
+module Parse_error = Pbca_binfmt.Parse_error
+module Cfg = Pbca_core.Cfg
+module Config = Pbca_core.Config
+module Mutate = Pbca_codegen.Mutate
+module Rng = Pbca_codegen.Rng
+module Profile = Pbca_codegen.Profile
+
+type outcome = Clean | Degraded | Malformed of string | Crash of string
+
+let classify ~pool ~config bytes =
+  match Image.read_result bytes with
+  | Error e -> Malformed (Parse_error.to_string e)
+  | Ok img -> (
+    try
+      let g = Pbca_core.Parallel.parse_and_finalize ~config ~pool img in
+      if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then Degraded
+      else Clean
+    with e -> Crash (Printexc.to_string e))
+
+let base_images () =
+  List.map
+    (fun p -> (Pbca_codegen.Emit.generate p).Pbca_codegen.Emit.image)
+    [ Profile.coreutils_like 1; Profile.coreutils_like 2 ]
+
+type tally = {
+  mutable clean : int;
+  mutable degraded : int;
+  mutable malformed : int;
+  mutable crash : int;
+}
+
+let run_corpus ~threads ~seeds ~base_seed ~deadline =
+  let pool = Pbca_concurrent.Task_pool.create ~threads in
+  let config = { Config.default with Config.deadline_s = deadline } in
+  let bases = base_images () in
+  let nb = List.length bases in
+  let per_kind = Hashtbl.create 8 in
+  let tally_of kind =
+    let name = Mutate.kind_name kind in
+    match Hashtbl.find_opt per_kind name with
+    | Some t -> t
+    | None ->
+      let t = { clean = 0; degraded = 0; malformed = 0; crash = 0 } in
+      Hashtbl.add per_kind name t;
+      t
+  in
+  let crashes = ref [] in
+  let hangs = ref [] in
+  (* the deadline is best-effort (checked between work units), so allow a
+     generous grace before calling a run hung *)
+  let grace = 3.0 in
+  for s = 0 to seeds - 1 do
+    let rng = Rng.create (base_seed + s) in
+    let img = List.nth bases (s mod nb) in
+    let kind, bytes = Mutate.mutate ~rng img in
+    let t0 = Unix.gettimeofday () in
+    let outcome = classify ~pool ~config bytes in
+    let dt = Unix.gettimeofday () -. t0 in
+    let t = tally_of kind in
+    (match outcome with
+    | Clean -> t.clean <- t.clean + 1
+    | Degraded -> t.degraded <- t.degraded + 1
+    | Malformed _ -> t.malformed <- t.malformed + 1
+    | Crash e ->
+      t.crash <- t.crash + 1;
+      crashes := (base_seed + s, Mutate.kind_name kind, e) :: !crashes);
+    if deadline > 0.0 && dt > deadline +. grace then
+      hangs := (base_seed + s, Mutate.kind_name kind, dt) :: !hangs
+  done;
+  let names = Array.map Mutate.kind_name Mutate.all_kinds in
+  Array.iter
+    (fun name ->
+      match Hashtbl.find_opt per_kind name with
+      | None -> ()
+      | Some t ->
+        Printf.printf "%-12s clean=%-5d degraded=%-5d malformed=%-5d crash=%d\n"
+          name t.clean t.degraded t.malformed t.crash)
+    names;
+  List.iter
+    (fun (seed, kind, e) ->
+      Printf.printf "CRASH seed=%d kind=%s: %s\n" seed kind e)
+    (List.rev !crashes);
+  List.iter
+    (fun (seed, kind, dt) ->
+      Printf.printf "HANG seed=%d kind=%s: %.2fs past a %.2fs deadline\n" seed
+        kind dt deadline)
+    (List.rev !hangs);
+  Printf.printf "%d mutants: %d crashes, %d deadline violations\n" seeds
+    (List.length !crashes) (List.length !hangs);
+  if !crashes = [] && !hangs = [] then 0 else 3
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let run_file ~threads ~deadline path =
+  let pool = Pbca_concurrent.Task_pool.create ~threads in
+  let config = { Config.default with Config.deadline_s = deadline } in
+  match classify ~pool ~config (read_file path) with
+  | Clean ->
+    Printf.printf "%s: clean\n" path;
+    0
+  | Degraded ->
+    Printf.printf "%s: degraded (partial CFG, see marks)\n" path;
+    1
+  | Malformed e ->
+    Printf.printf "%s: malformed: %s\n" path e;
+    2
+  | Crash e ->
+    Printf.eprintf "%s: internal error: %s\n" path e;
+    3
+
+let run file smoke seeds seed threads deadline =
+  match file with
+  | Some path -> run_file ~threads ~deadline path
+  | None ->
+    let seeds = if smoke then 200 else seeds in
+    run_corpus ~threads ~seeds ~base_seed:seed ~deadline
+
+let file =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"Classify one binary instead of fuzzing")
+
+let smoke =
+  Arg.(
+    value & flag
+    & info [ "smoke" ] ~doc:"Quick fixed-seed run (200 mutants), for CI")
+
+let seeds =
+  Arg.(value & opt int 1000 & info [ "seeds" ] ~doc:"Number of mutants")
+
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Base seed")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
+
+let deadline =
+  Arg.(
+    value & opt float 2.0
+    & info [ "deadline" ] ~doc:"Per-mutant work-unit deadline in seconds")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bfuzz" ~doc:"Mutation-fuzz the binary parser")
+    Term.(const run $ file $ smoke $ seeds $ seed $ threads $ deadline)
+
+let () = exit (Cmd.eval' cmd)

@@ -2,8 +2,7 @@
 
 open Cmdliner
 
-let run path threads dump_funcs serial diff_with =
-  let image = Pbca_binfmt.Image.load path in
+let run_parsed path threads dump_funcs serial diff_with image =
   let t0 = Unix.gettimeofday () in
   let g =
     if serial then Pbca_core.Serial.parse_and_finalize image
@@ -36,7 +35,30 @@ let run path threads dump_funcs serial diff_with =
           (List.length f.f_blocks)
           (String.concat ","
              (List.map (fun (a, b) -> Printf.sprintf "[0x%x,0x%x)" a b) ranges)))
-      (Pbca_core.Cfg.funcs_list g)
+      (Pbca_core.Cfg.funcs_list g);
+  if
+    Pbca_core.Cfg.degraded_count g > 0
+    || Pbca_core.Cfg.task_failure_count g > 0
+  then 1
+  else 0
+
+(* Exit codes: 0 clean parse, 1 degraded (budgets hit or tasks contained:
+   the CFG is a partial over-approximation), 2 malformed input, 3 internal
+   bug. Malformed input is the binary's fault; exit 3 is ours. *)
+let run path threads dump_funcs serial diff_with =
+  match
+    try Ok (Pbca_binfmt.Image.load path)
+    with Pbca_binfmt.Parse_error.Error e -> Error e
+  with
+  | Error e ->
+    Format.eprintf "%s: malformed: %s@." path
+      (Pbca_binfmt.Parse_error.to_string e);
+    2
+  | Ok image -> (
+    try run_parsed path threads dump_funcs serial diff_with image
+    with e ->
+      Format.eprintf "%s: internal error: %s@." path (Printexc.to_string e);
+      3)
 
 let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY")
 let threads = Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
@@ -54,4 +76,4 @@ let cmd =
     (Cmd.info "bparse" ~doc:"Construct and summarize a binary's CFG")
     Term.(const run $ path $ threads $ dump $ serial $ diff_with)
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

@@ -16,8 +16,15 @@ let make ~name ?(entry = 0) ~sections symtab =
 
 let section t n = List.find_opt (fun s -> s.Section.name = n) t.sections
 
+let text_opt t = section t ".text"
+
 let text t =
-  match section t ".text" with Some s -> s | None -> raise Not_found
+  match section t ".text" with
+  | Some s -> s
+  | None ->
+    raise
+      (Parse_error.Error
+         (Parse_error.Bad_section { name = ".text"; reason = "missing" }))
 
 let find_section_at t a = List.find_opt (fun s -> Section.contains s a) t.sections
 
@@ -66,30 +73,81 @@ let write t =
   Bio.W.bytes w (Bio.W.contents symw);
   Bio.W.contents w
 
-let read ?name data =
+(* Addresses above this bound (or negative ones: a hostile u64 with bit 63
+   set reads back as a negative OCaml int) would poison downstream integer
+   sets and allocators, so the reader rejects them up front. *)
+let max_valid_addr = 1 lsl 52
+
+let read_result ?name data =
   let r = Bio.R.of_bytes data in
-  (try if Bio.R.str r <> magic then failwith "Image.read: bad magic"
-   with Bio.R.Truncated -> failwith "Image.read: truncated header");
+  let fail e = raise (Parse_error.Error e) in
   try
+    let m = try Bio.R.str r with Bio.R.Truncated -> "" in
+    if m <> magic then fail (Parse_error.Bad_magic { got = m });
     let stored_name = Bio.R.str r in
     let entry = Bio.R.u64 r in
+    if entry < 0 || entry >= max_valid_addr then
+      fail
+        (Parse_error.Bad_section
+           {
+             name = "header";
+             reason = Printf.sprintf "entry 0x%x out of range" entry;
+           });
     let n = Bio.R.u32 r in
+    if n > Bytes.length data then
+      fail
+        (Parse_error.Bad_section
+           {
+             name = "header";
+             reason =
+               Printf.sprintf "section count %d exceeds container size" n;
+           });
     let sections =
       List.init n (fun _ ->
           let sname = Bio.R.str r in
           let addr = Bio.R.u64 r in
-          let data = Bio.R.bytes r in
-          Section.make ~name:sname ~addr data)
+          let sdata = Bio.R.bytes r in
+          if addr < 0 || addr + Bytes.length sdata > max_valid_addr then
+            fail
+              (Parse_error.Bad_section
+                 {
+                   name = sname;
+                   reason =
+                     Printf.sprintf "range [0x%x,0x%x) out of bounds" addr
+                       (addr + Bytes.length sdata);
+                 });
+          Section.make ~name:sname ~addr sdata)
     in
     let symtab = Symtab.read (Bio.R.of_bytes (Bio.R.bytes r)) in
-    {
-      name = Option.value name ~default:stored_name;
-      sections;
-      symtab;
-      entry;
-      dcache = dcache_of_sections sections;
-    }
-  with Bio.R.Truncated -> failwith "Image.read: truncated container"
+    Symtab.fold
+      (fun (s : Symbol.t) () ->
+        if s.offset < 0 || s.offset >= max_valid_addr then
+          fail
+            (Parse_error.Bad_section
+               {
+                 name = ".symtab";
+                 reason =
+                   Printf.sprintf "symbol %s offset 0x%x out of range"
+                     s.mangled s.offset;
+               }))
+      symtab ();
+    Ok
+      {
+        name = Option.value name ~default:stored_name;
+        sections;
+        symtab;
+        entry;
+        dcache = dcache_of_sections sections;
+      }
+  with
+  | Bio.R.Truncated ->
+    Error (Parse_error.Truncated { what = "container"; pos = Bio.R.pos r })
+  | Parse_error.Error e -> Error e
+
+let read ?name data =
+  match read_result ?name data with
+  | Ok t -> t
+  | Error e -> raise (Parse_error.Error e)
 
 let strip ?keep t =
   let keep =

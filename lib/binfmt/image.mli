@@ -21,8 +21,13 @@ val make :
   name:string -> ?entry:int -> sections:Section.t list -> Symtab.t -> t
 
 val section : t -> string -> Section.t option
+
+val text_opt : t -> Section.t option
+(** The [.text] section, when the image has one. *)
+
 val text : t -> Section.t
-(** The [.text] section. Raises [Not_found] if the image has none. *)
+(** The [.text] section. Raises [Parse_error.Error (Bad_section _)] if the
+    image has none. *)
 
 val find_section_at : t -> int -> Section.t option
 val u8 : t -> int -> int option
@@ -41,8 +46,14 @@ val total_size : t -> int
 val write : t -> Bytes.t
 (** Serialize to the SBF byte format. *)
 
+val read_result : ?name:string -> Bytes.t -> (t, Parse_error.t) result
+(** Parse an SBF byte image. Malformed input — wrong magic, truncation
+    anywhere, or out-of-range section/symbol/entry addresses — yields a
+    structured [Error]; no other exception escapes for any input bytes. *)
+
 val read : ?name:string -> Bytes.t -> t
-(** Parse an SBF byte image. Raises [Failure] on a malformed container. *)
+(** Like {!read_result} but raises [Parse_error.Error] on malformed
+    input. *)
 
 val strip : ?keep:(Symbol.t -> bool) -> t -> t
 (** Remove symbols, as [strip] does to a real binary (paper Section 9:

@@ -1,0 +1,28 @@
+type t =
+  | Truncated of { what : string; pos : int }
+  | Bad_magic of { got : string }
+  | Bad_section of { name : string; reason : string }
+  | Decode_fault of { addr : int; section : string }
+  | Budget_exhausted of { site : string; addr : int; limit : int }
+  | Task_failed of { site : string; detail : string }
+
+exception Error of t
+
+let to_string = function
+  | Truncated { what; pos } -> Printf.sprintf "truncated %s at byte %d" what pos
+  | Bad_magic { got } -> Printf.sprintf "bad magic %S" got
+  | Bad_section { name; reason } ->
+    Printf.sprintf "bad section %s: %s" name reason
+  | Decode_fault { addr; section } ->
+    Printf.sprintf "decode fault at 0x%x in %s" addr section
+  | Budget_exhausted { site; addr; limit } ->
+    Printf.sprintf "budget exhausted at 0x%x (%s, limit %d)" addr site limit
+  | Task_failed { site; detail } ->
+    Printf.sprintf "task failed (%s): %s" site detail
+
+let pp fmt e = Format.pp_print_string fmt (to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Parse_error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,30 @@
+(** Structured parse and analysis errors.
+
+    One taxonomy shared by every layer that touches untrusted bytes: the
+    container reader ({!Image}), section byte accessors ({!Section}), the
+    symbol table ({!Symtab}) and the downstream analyses. Malformed input
+    must surface as a value of this type — never as [Failure _],
+    [Not_found] or [Invalid_argument _] — so that tools can distinguish
+    "hostile binary" (expected, exit code 2) from "internal bug" (exit
+    code 3), and so a fuzzer can assert that no other exception ever
+    escapes. *)
+
+type t =
+  | Truncated of { what : string; pos : int }
+      (** input ended inside [what]; [pos] is the reader offset *)
+  | Bad_magic of { got : string }
+  | Bad_section of { name : string; reason : string }
+      (** a structurally invalid section, symbol or header field *)
+  | Decode_fault of { addr : int; section : string }
+      (** a byte read outside section bounds, at the faulting address *)
+  | Budget_exhausted of { site : string; addr : int; limit : int }
+      (** an analysis budget ran out at [addr]; the analysis degraded to
+          its safe over-approximation rather than aborting *)
+  | Task_failed of { site : string; detail : string }
+      (** a parallel task died; the region drained and the result is a
+          partial CFG *)
+
+exception Error of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit

@@ -5,7 +5,8 @@ let size t = Bytes.length t.data
 let contains t a = a >= t.addr && a < t.addr + Bytes.length t.data
 
 let u8 t a =
-  if not (contains t a) then invalid_arg ("Section.u8: " ^ t.name);
+  if not (contains t a) then
+    raise (Parse_error.Error (Parse_error.Decode_fault { addr = a; section = t.name }));
   Char.code (Bytes.get t.data (a - t.addr))
 
 let u32 t a = u8 t a lor (u8 t (a + 1) lsl 8) lor (u8 t (a + 2) lsl 16)

@@ -9,7 +9,8 @@ val contains : t -> int -> bool
 
 val u8 : t -> int -> int
 (** [u8 s a] reads the byte at virtual address [a]. Raises
-    [Invalid_argument] when out of range. *)
+    [Parse_error.Error (Decode_fault _)] carrying the faulting address when
+    [a] is out of range. *)
 
 val u32 : t -> int -> int
 (** Little-endian 32-bit read at virtual address [a]. *)

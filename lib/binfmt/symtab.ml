@@ -88,7 +88,12 @@ let write w t =
 let read r =
   let n = Bio.R.u32 r in
   let t = create () in
-  for _ = 1 to n do
-    ignore (insert t (Symbol.read r))
-  done;
+  (try
+     for _ = 1 to n do
+       ignore (insert t (Symbol.read r))
+     done
+   with Bio.R.Truncated ->
+     raise
+       (Parse_error.Error
+          (Parse_error.Truncated { what = "symbol table"; pos = Bio.R.pos r })));
   t

@@ -29,4 +29,7 @@ val functions : t -> Symbol.t list
 
 val fold : (Symbol.t -> 'a -> 'a) -> t -> 'a -> 'a
 val write : Bio.W.t -> t -> unit
+
 val read : Bio.R.t -> t
+(** Raises [Parse_error.Error (Truncated _)] when the reader runs dry
+    mid-table. *)

@@ -87,12 +87,36 @@ let compute_taint (g : Cfg.t) (gt : GT.t) =
   done;
   taint
 
+(* Degradation marks (budget cuts, deadline skips, contained task crashes)
+   explain differences the same way taint does: the parser announced it gave
+   up on that territory, so a divergence there is the documented safe
+   over-approximation, not a silent error. *)
+let gf_degraded g (gf : GT.gfun) =
+  Cfg.degraded_at g gf.gf_entry
+  || List.exists (fun (lo, hi) -> Cfg.degraded_within g ~lo ~hi) gf.gf_ranges
+
+let degraded_verdict g ?f (gf : GT.gfun) =
+  if
+    gf_degraded g gf
+    || (match f with Some f -> Cfg.func_degraded g f | None -> false)
+  then Some (Expected "budget-degraded")
+  else if Atomic.get g.Cfg.stats.Cfg.budget_deadline > 0 then
+    (* past the deadline, function *discovery* itself is incomplete: a
+       traversal that was skipped can no longer find tail-called entries,
+       so even unmarked absences are the deadline's doing *)
+    Some (Expected "deadline-degraded")
+  else if Cfg.task_failure_count g > 0 then Some (Expected "task-failure")
+  else None
+
 let check_function g taint (gf : GT.gfun) : verdict =
   match Pbca_core.Addr_map.find g.Cfg.funcs gf.gf_entry with
   | None -> (
     match Hashtbl.find_opt taint gf.gf_entry with
     | Some cls -> Expected cls
-    | None -> Mismatch "function not found")
+    | None -> (
+      match degraded_verdict g gf with
+      | Some v -> v
+      | None -> Mismatch "function not found"))
   | Some f ->
     let ranges = Summary.func_ranges g f in
     let returns = Atomic.get f.Cfg.f_ret = Cfg.Returns in
@@ -100,18 +124,21 @@ let check_function g taint (gf : GT.gfun) : verdict =
     else begin
       match Hashtbl.find_opt taint gf.gf_entry with
       | Some cls -> Expected cls
-      | None ->
-        let show rs =
-          String.concat " "
-            (List.map (fun (a, b) -> Printf.sprintf "[0x%x,0x%x)" a b) rs)
-        in
-        if ranges <> gf.gf_ranges then
-          Mismatch
-            (Printf.sprintf "ranges gt=%s got=%s" (show gf.gf_ranges)
-               (show ranges))
-        else
-          Mismatch
-            (Printf.sprintf "returns gt=%b got=%b" gf.gf_returns returns)
+      | None -> (
+        match degraded_verdict g ~f gf with
+        | Some v -> v
+        | None ->
+          let show rs =
+            String.concat " "
+              (List.map (fun (a, b) -> Printf.sprintf "[0x%x,0x%x)" a b) rs)
+          in
+          if ranges <> gf.gf_ranges then
+            Mismatch
+              (Printf.sprintf "ranges gt=%s got=%s" (show gf.gf_ranges)
+                 (show ranges))
+          else
+            Mismatch
+              (Printf.sprintf "returns gt=%b got=%b" gf.gf_returns returns))
     end
 
 (* is the address inside a tainted function's true ranges? then any local
@@ -123,6 +150,15 @@ let addr_tainted taint (gt : GT.t) addr =
     (fun (gf : GT.gfun) ->
       Hashtbl.mem taint gf.gf_entry && in_ranges gf.gf_ranges addr)
     gt.gt_funcs
+
+(* the address sits in degraded territory, or a contained task crash left
+   the whole parse partial *)
+let addr_degraded g (gt : GT.t) addr =
+  Cfg.degraded_at g addr
+  || Cfg.task_failure_count g > 0
+  || List.exists
+       (fun (gf : GT.gfun) -> in_ranges gf.gf_ranges addr && gf_degraded g gf)
+       gt.gt_funcs
 
 let check_tables g taint (gt : GT.t) =
   let parsed = Pbca_concurrent.Conc_bag.to_list g.Cfg.tables in
@@ -136,12 +172,18 @@ let check_tables g taint (gt : GT.t) =
         (* the stack-spilled computation must defeat the slicer *)
         match found with
         | None -> incr expected
-        | Some p -> if p.Cfg.jt_count = 0 then incr expected else incr bad
+        | Some p ->
+          if p.Cfg.jt_count = 0 || addr_degraded g gt t.jt_jump_addr then
+            incr expected
+          else incr bad
       end
       else begin
         match found with
         | None ->
-          if addr_tainted taint gt t.jt_jump_addr then incr expected
+          if
+            addr_tainted taint gt t.jt_jump_addr
+            || addr_degraded g gt t.jt_jump_addr
+          then incr expected
           else incr bad
         | Some p ->
           (* the paper evaluates jump-table *sizes*; we also require the
@@ -159,9 +201,13 @@ let check_tables g taint (gt : GT.t) =
             p.Cfg.jt_count = List.length t.jt_targets
             && gt_targets = live_targets
           then incr ok
-          else if addr_tainted taint gt t.jt_jump_addr then
+          else if
+            addr_tainted taint gt t.jt_jump_addr
+            || addr_degraded g gt t.jt_jump_addr
+          then
             (* class 4: bogus control flow from a tainted region reached
-               the slice and perturbed the table *)
+               the slice and perturbed the table — or a budget cut left
+               the table in its unresolved over-approximation *)
             incr expected
           else incr bad
       end)
@@ -187,7 +233,10 @@ let check_nr_calls g taint (gt : GT.t) =
       in
       if c.nc_matchable then
         if not has_ft then incr ok
-        else if addr_tainted taint gt c.nc_call_addr then incr expected
+        else if
+          addr_tainted taint gt c.nc_call_addr
+          || addr_degraded g gt c.nc_call_addr
+        then incr expected
         else incr bad
       else if has_ft then incr expected (* paper difference 1 *)
       else incr ok)
@@ -233,6 +282,11 @@ let check (gt : GT.t) (g : Cfg.t) : report =
             | Some _ -> explained
             | None ->
               if Hashtbl.length taint > 0 then Some "cascade:discovery"
+              else if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0
+              then
+                (* a degraded parse may discover entries the clean one
+                   would not (or vice versa); the marks own the blame *)
+                Some "degraded-discovery"
               else None
           in
           match explained with

@@ -1,0 +1,117 @@
+module Image = Pbca_binfmt.Image
+module Section = Pbca_binfmt.Section
+module Symtab = Pbca_binfmt.Symtab
+module Symbol = Pbca_binfmt.Symbol
+
+type kind =
+  | Header_bits
+  | Truncate
+  | Byte_flips
+  | Code_splice
+  | Table_smash
+  | Symbol_lies
+
+let all_kinds =
+  [| Header_bits; Truncate; Byte_flips; Code_splice; Table_smash; Symbol_lies |]
+
+let kind_name = function
+  | Header_bits -> "header-bits"
+  | Truncate -> "truncate"
+  | Byte_flips -> "byte-flips"
+  | Code_splice -> "code-splice"
+  | Table_smash -> "table-smash"
+  | Symbol_lies -> "symbol-lies"
+
+let flip_bit b i bit =
+  Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
+
+let flip_random ~rng b n =
+  if Bytes.length b > 0 then
+    for _ = 1 to n do
+      flip_bit b (Rng.int rng (Bytes.length b)) (Rng.int rng 8)
+    done
+
+(* Rebuild the image with one section's bytes replaced, and re-serialize.
+   Structural mutations (splices, table smashes) operate here so the
+   container stays parseable and the damage lands in the analysis layers. *)
+let rewrite_section img sname f =
+  let sections =
+    List.map
+      (fun (s : Section.t) ->
+        if s.Section.name = sname then
+          Section.make ~name:s.Section.name ~addr:s.Section.addr
+            (f (Bytes.copy s.Section.data))
+        else s)
+      img.Image.sections
+  in
+  Image.write
+    (Image.make ~name:img.Image.name ~entry:img.Image.entry ~sections
+       img.Image.symtab)
+
+let apply ~rng kind img =
+  let base () = Image.write img in
+  match kind with
+  | Header_bits ->
+    (* magic, counts, entry: the container parser's first line of defense *)
+    let b = base () in
+    if Bytes.length b > 0 then begin
+      let window = min 24 (Bytes.length b) in
+      for _ = 1 to 1 + Rng.int rng 4 do
+        flip_bit b (Rng.int rng window) (Rng.int rng 8)
+      done
+    end;
+    b
+  | Truncate ->
+    let b = base () in
+    Bytes.sub b 0 (Rng.int rng (Bytes.length b + 1))
+  | Byte_flips ->
+    let b = base () in
+    flip_random ~rng b (1 + Rng.int rng 24);
+    b
+  | Code_splice ->
+    (* overwrite a code window with garbage: yields overlapping / bogus
+       instruction sequences and straight lines with no terminator *)
+    rewrite_section img ".text" (fun data ->
+        if Bytes.length data > 0 then begin
+          let off = Rng.int rng (Bytes.length data) in
+          let len = min (1 + Rng.int rng 32) (Bytes.length data - off) in
+          for i = off to off + len - 1 do
+            Bytes.set data i (Char.chr (Rng.int rng 256))
+          done
+        end;
+        data)
+  | Table_smash ->
+    (* jump-table entries live in .rodata; smash whole 32-bit words so
+       table reads return wild addresses *)
+    rewrite_section img ".rodata" (fun data ->
+        let words = Bytes.length data / 4 in
+        if words > 0 then
+          for _ = 1 to 1 + Rng.int rng 8 do
+            let w = Rng.int rng words in
+            Bytes.set_int32_le data (4 * w)
+              (Int32.of_int (Rng.int rng 0x3fffffff))
+          done;
+        data)
+  | Symbol_lies ->
+    (* keep the container intact but make the symbol table lie about
+       function offsets, pointing parses into data or mid-instruction *)
+    let text_size = Image.text_size img in
+    let bound = max 1 (2 * max 1 text_size) in
+    let st = Symtab.create () in
+    Symtab.fold
+      (fun (s : Symbol.t) () ->
+        let s =
+          if Rng.bool rng 0.3 then
+            Symbol.make ~size:s.Symbol.size ~kind:s.Symbol.kind
+              ~global:s.Symbol.global s.Symbol.mangled (Rng.int rng bound)
+          else s
+        in
+        ignore (Symtab.insert st s))
+      img.Image.symtab ();
+    Image.write
+      (Image.make ~name:img.Image.name ~entry:img.Image.entry
+         ~sections:img.Image.sections st)
+
+let mutate ~rng img =
+  let k = Rng.choose_arr rng all_kinds in
+  (k, apply ~rng k img)

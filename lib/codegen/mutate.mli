@@ -1,0 +1,29 @@
+(** Mutation fuzzing for the SBF parser and the CFG analyses.
+
+    Each mutation takes a well-formed generated image and produces hostile
+    bytes aimed at a specific layer: the container parser (header bit
+    flips, truncation), the decoder (random byte flips, instruction
+    splices), the jump-table analysis (smashed table words) and the
+    function seeding (lying symbol offsets).
+
+    All mutations are deterministic functions of the {!Rng.t} stream, so a
+    seed reproduces a mutant bit for bit. *)
+
+type kind =
+  | Header_bits  (** flip bits in the container header region *)
+  | Truncate  (** cut the byte image at a random point *)
+  | Byte_flips  (** flip random bits anywhere in the image *)
+  | Code_splice
+      (** overwrite a [.text] window with garbage: overlapping and
+          non-terminating instruction sequences *)
+  | Table_smash  (** replace [.rodata] words with wild addresses *)
+  | Symbol_lies  (** re-point symbol offsets at arbitrary addresses *)
+
+val all_kinds : kind array
+val kind_name : kind -> string
+
+val apply : rng:Rng.t -> kind -> Pbca_binfmt.Image.t -> Bytes.t
+(** Produce the mutated byte image for one specific [kind]. *)
+
+val mutate : rng:Rng.t -> Pbca_binfmt.Image.t -> kind * Bytes.t
+(** Pick a kind from the stream and apply it. *)

@@ -1,0 +1,76 @@
+type mode = Raise | Delay of float | Starve
+
+exception Injected of int
+
+type plan = { ordinals : (int, unit) Hashtbl.t; mode : mode }
+
+(* Process-wide armed state. The ordinal table is built once at arm time and
+   only read afterwards, so concurrent [Hashtbl.mem] from worker domains is
+   safe. *)
+let plan : plan option Atomic.t = Atomic.make None
+let counter = Atomic.make 0
+let starved_flag = Atomic.make false
+let injected = Atomic.make 0
+
+let disarm () =
+  Atomic.set plan None;
+  Atomic.set counter 0;
+  Atomic.set starved_flag false;
+  Atomic.set injected 0
+
+let armed () = Atomic.get plan <> None
+
+let arm_at ordinals mode =
+  disarm ();
+  let h = Hashtbl.create 8 in
+  List.iter (fun o -> Hashtbl.replace h o ()) ordinals;
+  Atomic.set plan (Some { ordinals = h; mode })
+
+(* SplitMix64-style stream: the same seed always selects the same ordinals,
+   so an injected-fault run is reproducible bit for bit. *)
+let arm ~seed ~n ~window mode =
+  if window <= 0 then invalid_arg "Fault.arm: window must be positive";
+  let state = ref (Int64.of_int seed) in
+  let next () =
+    state := Int64.add !state 0x9E3779B97F4A7C15L;
+    let z = !state in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.to_int (Int64.shift_right_logical (Int64.logxor z (Int64.shift_right_logical z 31)) 1)
+  in
+  let h = Hashtbl.create 8 in
+  let rec pick k =
+    if k > 0 then begin
+      let o = next () mod window in
+      if Hashtbl.mem h o then pick k
+      else begin
+        Hashtbl.replace h o ();
+        pick (k - 1)
+      end
+    end
+  in
+  disarm ();
+  pick (min n window);
+  Atomic.set plan (Some { ordinals = h; mode })
+
+let starved () = Atomic.get starved_flag
+let injected_count () = Atomic.get injected
+
+let on_task () =
+  match Atomic.get plan with
+  | None -> ()
+  | Some p ->
+    let k = Atomic.fetch_and_add counter 1 in
+    if Hashtbl.mem p.ordinals k then begin
+      Atomic.incr injected;
+      match p.mode with
+      | Raise -> raise (Injected k)
+      | Delay d -> Unix.sleepf d
+      | Starve -> Atomic.set starved_flag true
+    end

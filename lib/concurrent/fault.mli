@@ -1,0 +1,46 @@
+(** Deterministic fault injection for the task runtime.
+
+    While armed, {!Task_pool} consults this module at the start of every
+    task execution. The task whose process-wide ordinal (0-based, counted
+    from arming) is in the armed set suffers the configured fault:
+
+    - [Raise] — the task dies with {!Injected}; the pool must collect the
+      exception and still drain the region.
+    - [Delay d] — the task is stalled for [d] seconds before running,
+      exercising deadline budgets.
+    - [Starve] — analysis budgets collapse to 1 from this point on
+      (consumers read {!starved}), forcing degradation paths.
+
+    With a single-threaded pool, task execution order — and therefore which
+    logical task is hit — is fully deterministic; with more threads the
+    ordinal is still deterministic in count but maps to whichever task a
+    worker picked up Nth. Tests arm, run, assert, then {!disarm} in a
+    [Fun.protect] finalizer so no state leaks between cases. *)
+
+type mode = Raise | Delay of float | Starve
+
+exception Injected of int
+(** Carries the ordinal of the murdered task. *)
+
+val arm_at : int list -> mode -> unit
+(** Fault exactly the given task ordinals (resets the ordinal counter). *)
+
+val arm : seed:int -> n:int -> window:int -> mode -> unit
+(** Seed-driven: fault [n] distinct ordinals drawn uniformly from
+    [\[0, window)]. The same seed always picks the same ordinals. *)
+
+val disarm : unit -> unit
+(** Clear the plan, the ordinal counter, the starvation flag and the
+    injection count. *)
+
+val armed : unit -> bool
+
+val on_task : unit -> unit
+(** Called by the pool before each task body. May raise {!Injected}. *)
+
+val starved : unit -> bool
+(** True once a [Starve] fault has fired. Budget consumers treat their
+    limit as 1 while set. *)
+
+val injected_count : unit -> int
+(** Faults fired since arming. *)

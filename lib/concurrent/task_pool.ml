@@ -27,11 +27,18 @@ let reset_stats () =
   Atomic.set steal_attempts_ctr 0;
   Atomic.set idle_sleeps_ctr 0
 
+exception Task_failures of exn list
+
 type region = {
   deques : (unit -> unit) Wsdeque.t array;
   pending : int Atomic.t; (* spawned-but-unfinished tasks *)
-  failure : exn option Atomic.t;
+  failures : exn list Atomic.t;
 }
+
+let rec push_failure region e =
+  let cur = Atomic.get region.failures in
+  if not (Atomic.compare_and_set region.failures cur (e :: cur)) then
+    push_failure region e
 
 (* Worker slot of the current domain within the active region. *)
 let slot_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
@@ -44,12 +51,15 @@ let spawn_in region task =
   Wsdeque.push region.deques.(me) task
 
 let run_task region task =
-  (match task () with
+  (* A crashing task must not wedge the region: every failure (including a
+     fault injected by [Fault.on_task]) is collected, the pending count
+     still drops, and every sibling still runs. *)
+  (match
+     Fault.on_task ();
+     task ()
+   with
   | () -> ()
-  | exception e ->
-    (* Keep the first failure; later tasks still drain so the region can
-       terminate cleanly. *)
-    ignore (Atomic.compare_and_set region.failure None (Some e)));
+  | exception e -> push_failure region e);
   Atomic.decr region.pending
 
 (* Find work: own deque first, then steal round-robin from the others. *)
@@ -103,12 +113,12 @@ let worker_loop region me =
   in
   loop ()
 
-let run t root =
+let run_collect t root =
   let region =
     {
       deques = Array.init t.n (fun _ -> Wsdeque.create ());
       pending = Atomic.make 0;
-      failure = Atomic.make None;
+      failures = Atomic.make [];
     }
   in
   let spawn task = spawn_in region task in
@@ -121,7 +131,14 @@ let run t root =
   worker_loop region 0;
   Array.iter Domain.join helpers;
   Domain.DLS.set slot_key 0;
-  match Atomic.get region.failure with None -> () | Some e -> raise e
+  List.rev (Atomic.get region.failures)
+
+let raise_failures = function
+  | [] -> ()
+  | [ e ] -> raise e
+  | es -> raise (Task_failures es)
+
+let run t root = raise_failures (run_collect t root)
 
 let parallel_for t ?chunk lo hi f =
   if hi > lo then begin
@@ -132,13 +149,21 @@ let parallel_for t ?chunk lo hi f =
       | None -> max 1 (count / (t.n * 8))
     in
     let next = Atomic.make lo in
+    (* Per-index containment: an [f i] that raises must not take the rest
+       of its chunk (or its worker's whole grab loop) down with it — every
+       other index is still visited, and all failures are reported. *)
+    let errs = Atomic.make [] in
+    let rec push e =
+      let cur = Atomic.get errs in
+      if not (Atomic.compare_and_set errs cur (e :: cur)) then push e
+    in
     let body () =
       let rec grab () =
         let start = Atomic.fetch_and_add next chunk in
         if start < hi then begin
           let stop = min hi (start + chunk) in
           for i = start to stop - 1 do
-            f i
+            try f i with e -> push e
           done;
           grab ()
         end
@@ -149,7 +174,8 @@ let parallel_for t ?chunk lo hi f =
         for _ = 2 to t.n do
           spawn body
         done;
-        body ())
+        body ());
+    raise_failures (List.rev (Atomic.get errs))
   end
 
 let parallel_for_reduce t ?chunk lo hi ~init ~map ~combine =

@@ -21,15 +21,32 @@ val create : threads:int -> t
 
 val threads : t -> int
 
+exception Task_failures of exn list
+(** Raised when more than one task of a region failed; carries every
+    collected exception in roughly completion order. A single failure is
+    re-raised as itself. *)
+
 (** [run t root] opens a parallel region. [root] receives [spawn], which may
     be called from any task in the region to add work. [run] returns when the
-    root and all spawned tasks have finished. The first exception raised by
-    any task is re-raised after the region drains. *)
+    root and all spawned tasks have finished. A crashing task never wedges
+    the region: every sibling still runs, the region always drains, and
+    all collected exceptions are re-raised afterwards (one failure as
+    itself, several as {!Task_failures}). While {!Fault} is armed, each
+    task execution first passes through [Fault.on_task]. *)
 val run : t -> (((unit -> unit) -> unit) -> unit) -> unit
+
+(** [run_collect t root] is [run] but returns the collected task failures
+    instead of raising, for callers that degrade gracefully (the parallel
+    parser records them as [Task_failed] diagnostics and keeps the partial
+    CFG). *)
+val run_collect : t -> (((unit -> unit) -> unit) -> unit) -> exn list
 
 (** [parallel_for t ?chunk lo hi f] applies [f] to every [i] in [lo, hi)
     using dynamic (guided-by-chunk) scheduling, as in
-    [#pragma omp parallel for schedule(dynamic)] of paper Listing 7. *)
+    [#pragma omp parallel for schedule(dynamic)] of paper Listing 7.
+    A raising [f i] does not prevent any other index from being visited;
+    failures are re-raised after the loop completes (several as
+    {!Task_failures}). *)
 val parallel_for : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
 
 (** [parallel_for_reduce t ?chunk lo hi ~init ~map ~combine] folds [map i]

@@ -78,6 +78,10 @@ let fresh_finalize_stats () =
     fz_dirty = [];
   }
 
+(* Which budget a degradation charged against; [B_deadline] also covers
+   work skipped because the global deadline passed. *)
+type budget_site = B_block | B_slice | B_table | B_deadline
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -85,6 +89,12 @@ type stats = {
   edges_created : int Atomic.t;
   jt_analyses : int Atomic.t;
   jt_unresolved : int Atomic.t;
+  budget_block : int Atomic.t;
+  budget_slice : int Atomic.t;
+  budget_table : int Atomic.t;
+  budget_deadline : int Atomic.t;
+  task_failures : (string * string) Pbca_concurrent.Conc_bag.t;
+      (* (site label, exception text) per contained task crash *)
   contention : Pbca_concurrent.Contention.t;
       (* shared by every Addr_map and visited-set of this graph *)
   finalize : finalize_stats;
@@ -100,6 +110,10 @@ type t = {
   next_table_id : int Atomic.t;
   static_entries : unit Addr_map.t;
   ft_guard : unit Addr_map.t;
+  degraded : unit Addr_map.t;
+      (* addresses where a budget cut or task failure forced the safe
+         over-approximation; consulted by the checker and diff tooling *)
+  deadline : float; (* absolute wall-clock bound, [infinity] when off *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
 }
@@ -123,6 +137,11 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     next_table_id = Atomic.make 0;
     static_entries;
     ft_guard = amap ();
+    degraded = amap ();
+    deadline =
+      (if config.Config.deadline_s > 0.0 then
+         Unix.gettimeofday () +. config.Config.deadline_s
+       else infinity);
     stats =
       {
         insns_decoded = Atomic.make 0;
@@ -131,11 +150,63 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
         edges_created = Atomic.make 0;
         jt_analyses = Atomic.make 0;
         jt_unresolved = Atomic.make 0;
+        budget_block = Atomic.make 0;
+        budget_slice = Atomic.make 0;
+        budget_table = Atomic.make 0;
+        budget_deadline = Atomic.make 0;
+        task_failures = Pbca_concurrent.Conc_bag.create ();
         contention = counters;
         finalize = fresh_finalize_stats ();
       };
     trace;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Robustness bookkeeping: budgets, degradation marks, task failures.  *)
+
+let budget_counter t = function
+  | B_block -> t.stats.budget_block
+  | B_slice -> t.stats.budget_slice
+  | B_table -> t.stats.budget_table
+  | B_deadline -> t.stats.budget_deadline
+
+let mark_degraded t addr =
+  if addr >= 0 then ignore (Addr_map.insert_if_absent t.degraded addr ())
+
+let note_budget t site = Atomic.incr (budget_counter t site)
+
+let record_degraded t site addr =
+  note_budget t site;
+  mark_degraded t addr
+
+let record_task_failure t ~site ~detail =
+  Pbca_concurrent.Conc_bag.add t.stats.task_failures (site, detail)
+
+let degraded_at t addr = Addr_map.mem t.degraded addr
+let degraded_count t = Addr_map.length t.degraded
+
+let degraded_within t ~lo ~hi =
+  Addr_map.fold
+    (fun a () acc -> acc || (a >= lo && a < hi))
+    t.degraded false
+
+let func_degraded t (f : func) =
+  degraded_at t f.f_entry_addr
+  || List.exists (fun (b : block) -> degraded_at t b.b_start) f.f_blocks
+  || List.exists (degraded_at t)
+       (Pbca_concurrent.Atomic_intset.to_list f.f_visited)
+
+let task_failure_count t =
+  Pbca_concurrent.Conc_bag.length t.stats.task_failures
+
+let task_failures t = Pbca_concurrent.Conc_bag.to_list t.stats.task_failures
+let past_deadline t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+
+(* Budget-starvation fault injection: while a [Starve] fault is live, every
+   enabled budget reads as 1, forcing the degradation paths without any
+   hostile input. *)
+let effective_budget v =
+  if v > 0 && Pbca_concurrent.Fault.starved () then 1 else v
 
 let is_candidate b = Atomic.get b.b_end < 0
 let block_end b = Atomic.get b.b_end

@@ -106,6 +106,10 @@ type finalize_stats = {
   mutable fz_dirty : int list;  (** boundary recomputations per fix round *)
 }
 
+(** Which budget a degradation charged against. [B_deadline] also covers
+    work skipped because the global work-unit deadline passed. *)
+type budget_site = B_block | B_slice | B_table | B_deadline
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -113,6 +117,17 @@ type stats = {
   edges_created : int Atomic.t;
   jt_analyses : int Atomic.t;
   jt_unresolved : int Atomic.t;
+  budget_block : int Atomic.t;
+      (** block scans cut by [Config.max_block_bytes] *)
+  budget_slice : int Atomic.t;
+      (** jump-table slices cut by [Config.max_slice_steps] *)
+  budget_table : int Atomic.t;
+      (** table reads cut by [Config.max_table_entries] *)
+  budget_deadline : int Atomic.t;
+      (** work units skipped past [Config.deadline_s] *)
+  task_failures : (string * string) Pbca_concurrent.Conc_bag.t;
+      (** (site label, exception text) for every contained task crash; the
+          parse survives these and reports them as diagnostics *)
   contention : Pbca_concurrent.Contention.t;
       (** probe / CAS-retry / resize / frozen-wait counters shared by every
           address map and visited-set of this graph — the direct measure of
@@ -138,6 +153,14 @@ type t = {
       (** once-guard per call site: the call-fall-through edge of a given
           call end address is created exactly once even when the waiter
           registration races with the callee's status transition *)
+  degraded : unit Addr_map.t;
+      (** addresses at which a budget cut, deadline skip or task failure
+          forced the safe over-approximation (block kept but truncated,
+          table left unresolved, traversal abandoned); the checker treats
+          differences explained by these marks as [Expected] *)
+  deadline : float;
+      (** absolute wall-clock bound derived from [Config.deadline_s] at
+          {!create} time; [infinity] when the deadline is off *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
 }
@@ -147,6 +170,41 @@ val create :
   ?trace:Pbca_simsched.Trace.t ->
   Pbca_binfmt.Image.t ->
   t
+
+(** {2 Robustness bookkeeping}
+
+    Budgets, degradation marks and contained task failures. All operations
+    are safe from any task; reads are wait-free. *)
+
+val note_budget : t -> budget_site -> unit
+(** Bump the counter for [site] without marking an address. *)
+
+val mark_degraded : t -> int -> unit
+(** Mark an address degraded without charging a budget (negative addresses
+    — hostile jump targets — are counted nowhere and silently dropped). *)
+
+val record_degraded : t -> budget_site -> int -> unit
+(** [note_budget] + [mark_degraded]. *)
+
+val record_task_failure : t -> site:string -> detail:string -> unit
+val degraded_at : t -> int -> bool
+val degraded_count : t -> int
+val degraded_within : t -> lo:int -> hi:int -> bool
+
+val func_degraded : t -> func -> bool
+(** True when the function's entry, any visited block or any finalized
+    block start carries a degradation mark. *)
+
+val task_failure_count : t -> int
+val task_failures : t -> (string * string) list
+
+val past_deadline : t -> bool
+(** True once the work-unit deadline has passed (never true when off). *)
+
+val effective_budget : int -> int
+(** The budget value analyses should obey: the configured value, or 1 when
+    a {!Pbca_concurrent.Fault} [Starve] fault is live (0 = disabled stays
+    0). *)
 
 val is_candidate : block -> bool
 val block_end : block -> int

@@ -4,6 +4,10 @@ type t = {
   jt_union : bool;
   jt_max_scan : int;
   shards : int;
+  max_block_bytes : int;
+  max_slice_steps : int;
+  max_table_entries : int;
+  deadline_s : float;
 }
 
 let default =
@@ -13,4 +17,8 @@ let default =
     jt_union = true;
     jt_max_scan = 128;
     shards = 128;
+    max_block_bytes = 65536;
+    max_slice_steps = 4096;
+    max_table_entries = 4096;
+    deadline_s = 0.0;
   }

@@ -18,6 +18,23 @@ type t = {
   jt_max_scan : int;
       (** over-approximation cap when no bound is recoverable *)
   shards : int;  (** shard count for the concurrent maps *)
+  max_block_bytes : int;
+      (** decode-byte budget per block scan; a block that keeps decoding
+          past this many bytes (hostile input: no terminator in sight) is
+          cut there and marked degraded. 0 disables. *)
+  max_slice_steps : int;
+      (** instruction-visit budget for one jump-table backward slice; on
+          exhaustion the table degrades to unresolved. 0 disables. *)
+  max_table_entries : int;
+      (** cap on materialized entries per jump table, below which
+          [jt_max_scan] and recovered bounds operate normally; a table cut
+          by this cap degrades to unresolved. 0 disables. *)
+  deadline_s : float;
+      (** global work-unit deadline in seconds, measured from [Cfg.create];
+          once past, remaining parse/traversal/table work is skipped and
+          the affected sites marked degraded. 0 disables. *)
 }
 
 val default : t
+(** The paper's design with generous robustness budgets: correct binaries
+    never hit them; hostile ones degrade instead of wedging. *)

@@ -29,34 +29,49 @@ let slice_preds (b : Cfg.block) =
 
 (* Backward chase of [reg]'s definition, starting just above instruction
    index [idx] of [block]. Returns the possible values and whether every
-   explored path produced one. *)
-let rec resolve g (block : Cfg.block) insns idx reg depth : value list * bool =
+   explored path produced one. [steps] is the remaining slice budget
+   (decremented per instruction visited across the whole slice, all paths
+   included); when it runs dry [exhausted] is set and the slice gives up,
+   which the caller records as a [B_slice] degradation. *)
+let rec resolve g ~steps ~exhausted (block : Cfg.block) insns idx reg depth :
+    value list * bool =
   Pbca_simsched.Trace.tick g.Cfg.trace 1;
   if depth <= 0 then ([], false)
   else begin
     let rec scan i =
-      if i < 0 then from_preds ()
-      else
-        let _, insn, _ = List.nth insns i in
-        if defines reg insn then
-          match insn with
-          | Insn.Mov_ri (_, v) -> ([ V_const v ], true)
-          | Insn.Lea (_, disp) ->
-            let a, _, len = List.nth insns i in
-            ([ V_const (a + len + disp) ], true)
-          | Insn.Mov_rr (_, src) -> resolve g block insns i src depth
-          | Insn.Load_idx (_, base_r, idx_r, sc) ->
-            let bases, ok = resolve g block insns i base_r depth in
-            let tables =
-              List.filter_map
-                (function
-                  | V_const b -> Some (V_table { base = b; scale = sc; index = idx_r })
-                  | V_table _ -> None)
-                bases
-            in
-            (tables, ok && List.length tables = List.length bases)
-          | _ -> ([], false) (* arithmetic, pop, load...: give up on this path *)
-        else scan (i - 1)
+      if !exhausted then ([], false)
+      else if i < 0 then from_preds ()
+      else begin
+        decr steps;
+        if !steps < 0 then begin
+          exhausted := true;
+          ([], false)
+        end
+        else
+          let _, insn, _ = List.nth insns i in
+          if defines reg insn then
+            match insn with
+            | Insn.Mov_ri (_, v) -> ([ V_const v ], true)
+            | Insn.Lea (_, disp) ->
+              let a, _, len = List.nth insns i in
+              ([ V_const (a + len + disp) ], true)
+            | Insn.Mov_rr (_, src) ->
+              resolve g ~steps ~exhausted block insns i src depth
+            | Insn.Load_idx (_, base_r, idx_r, sc) ->
+              let bases, ok =
+                resolve g ~steps ~exhausted block insns i base_r depth
+              in
+              let tables =
+                List.filter_map
+                  (function
+                    | V_const b -> Some (V_table { base = b; scale = sc; index = idx_r })
+                    | V_table _ -> None)
+                  bases
+              in
+              (tables, ok && List.length tables = List.length bases)
+            | _ -> ([], false) (* arithmetic, pop, load...: give up on this path *)
+          else scan (i - 1)
+      end
     and from_preds () =
       match slice_preds block with
       | [] -> ([], false)
@@ -65,7 +80,8 @@ let rec resolve g (block : Cfg.block) insns idx reg depth : value list * bool =
           (fun (acc, ok) (p : Cfg.block) ->
             let pinsns = Disasm.block_insns g p in
             let vs, pok =
-              resolve g p pinsns (List.length pinsns) reg (depth - 1)
+              resolve g ~steps ~exhausted p pinsns (List.length pinsns) reg
+                (depth - 1)
             in
             (vs @ acc, ok && pok))
           ([], true) preds
@@ -123,17 +139,23 @@ let valid_unbounded_target g addr =
   && (not (is_static_entry g addr))
   && Option.is_some (Image.decode_at g.Cfg.image addr)
 
+(* The third result is true when the scan was cut by the
+   [max_table_entries] budget while entries were still flowing — as opposed
+   to stopping at the recovered bound or the [jt_max_scan]
+   over-approximation cap, which are normal outcomes. *)
 let read_table g ~base ~scale ~bound =
   let image = g.Cfg.image in
   let read i = Image.u32 image (base + (i * scale)) in
+  let budget = Cfg.effective_budget g.Cfg.config.Config.max_table_entries in
+  let limit = if budget > 0 then budget else max_int in
   match bound with
   | Some k ->
     let rec go i acc =
-      if i >= k then (List.rev acc, i)
+      if i >= min k limit then (List.rev acc, i, i >= limit && limit < k)
       else
         match read i with
         | Some t when Image.in_text image t -> go (i + 1) (t :: acc)
-        | _ -> (List.rev acc, i)
+        | _ -> (List.rev acc, i, false)
     in
     go 0 []
   | None ->
@@ -141,20 +163,34 @@ let read_table g ~base ~scale ~bound =
        addresses that are not known function entries *)
     let cap = g.Cfg.config.Config.jt_max_scan in
     let rec go i acc =
-      if i >= cap then (List.rev acc, i)
+      if i >= min cap limit then
+        (List.rev acc, i, i >= limit && limit < cap)
       else
         match read i with
         | Some t when valid_unbounded_target g t -> go (i + 1) (t :: acc)
-        | _ -> (List.rev acc, i)
+        | _ -> (List.rev acc, i, false)
     in
     go 0 []
+
+(* Mark the table's block and jump-instruction addresses degraded so the
+   checker can attribute the resulting unresolved table (and any function
+   shape change downstream of it) to the budget cut. *)
+let degrade_table g (block : Cfg.block) site =
+  Cfg.record_degraded g site block.Cfg.b_start;
+  (match Disasm.terminator g block with
+  | Some (a, _, _) -> Cfg.mark_degraded g a
+  | None -> ())
 
 let analyze g (block : Cfg.block) reg : outcome =
   Atomic.incr g.Cfg.stats.jt_analyses;
   let insns = Disasm.block_insns g block in
   let n = List.length insns in
   Pbca_simsched.Trace.tick g.Cfg.trace (8 * n);
-  let values, all_ok = resolve g block insns n reg 4 in
+  let budget = Cfg.effective_budget g.Cfg.config.Config.max_slice_steps in
+  let steps = ref (if budget > 0 then budget else max_int) in
+  let exhausted = ref false in
+  let values, all_ok = resolve g ~steps ~exhausted block insns n reg 4 in
+  if !exhausted then degrade_table g block Cfg.B_slice;
   let values = if all_ok || g.Cfg.config.Config.jt_union then values else [] in
   let tables =
     List.filter_map
@@ -172,22 +208,33 @@ let analyze g (block : Cfg.block) reg : outcome =
     let first_base = ref None in
     let any_bounded = ref false in
     let max_entries = ref 0 in
+    let capped = ref false in
     List.iter
       (fun (base, scale, index) ->
         if scale = 4 then begin
           let bound = find_bound g block insns index in
           if bound <> None then any_bounded := true;
-          let ts, entries = read_table g ~base ~scale ~bound in
+          let ts, entries, cut = read_table g ~base ~scale ~bound in
           Pbca_simsched.Trace.tick g.Cfg.trace (4 * entries);
+          if cut then capped := true;
           if !first_base = None then first_base := Some base;
           max_entries := max !max_entries entries;
           targets := !targets @ ts
         end)
       tables;
-    if !targets = [] then Atomic.incr g.Cfg.stats.jt_unresolved;
-    {
-      targets = !targets;
-      base = !first_base;
-      bounded = !any_bounded;
-      entries = !max_entries;
-    }
+    if !capped then begin
+      (* a truncated target list is not a safe answer; degrade the whole
+         table to the unresolved over-approximation *)
+      degrade_table g block Cfg.B_table;
+      Atomic.incr g.Cfg.stats.jt_unresolved;
+      empty_outcome
+    end
+    else begin
+      if !targets = [] then Atomic.incr g.Cfg.stats.jt_unresolved;
+      {
+        targets = !targets;
+        base = !first_base;
+        bounded = !any_bounded;
+        entries = !max_entries;
+      }
+    end

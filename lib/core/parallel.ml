@@ -76,6 +76,15 @@ and ensure_func ctx addr =
 
 and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
   let g = ctx.g in
+  if Cfg.past_deadline g then
+    (* abandon the walk; the function keeps whatever was discovered *)
+    Cfg.record_degraded g Cfg.B_deadline f.Cfg.f_entry_addr
+  else begin
+    process_block_loop ctx f b0
+  end
+
+and process_block_loop ctx (f : Cfg.func) (b0 : Cfg.block) =
+  let g = ctx.g in
   let stack = ref [ b0 ] in
   let fire = fire_fallthrough ctx in
   while !stack <> [] do
@@ -114,7 +123,16 @@ and process_block ctx (f : Cfg.func) (b0 : Cfg.block) =
 
 and parse_block ctx (b : Cfg.block) =
   let g = ctx.g in
-  if Cfg.is_candidate b then begin
+  if Cfg.past_deadline g then begin
+    (* out of time: leave the block degenerate (same shape as "nothing
+       decodable") so watchers unblock and the region can drain *)
+    if Cfg.is_candidate b then begin
+      Cfg.record_degraded g Cfg.B_deadline b.Cfg.b_start;
+      Atomic.set b.Cfg.b_end b.Cfg.b_start;
+      notify_watchers ctx b
+    end
+  end
+  else if Cfg.is_candidate b then begin
     let post : (unit -> unit) list ref = ref [] in
     let add_post a = post := a :: !post in
     (* terminator-edge creation, run under the ends-entry lock when this
@@ -122,11 +140,17 @@ and parse_block ctx (b : Cfg.block) =
     let on_win_cf insn ~addr ~len ~prev (blk : Cfg.block) =
       Atomic.set blk.Cfg.b_term (Some insn);
       let target kind t =
-        let dst, created = Cfg.find_or_create_block g t in
-        ignore (Cfg.add_edge g blk dst kind);
-        if created then
-          add_post (fun () ->
-              spawn_traced ctx "parse" (fun () -> parse_block ctx dst))
+        (* A hostile relative branch can aim below address zero; no block
+           can live there, so drop the edge and flag the site instead of
+           poisoning the address-keyed structures. *)
+        if t < 0 then Cfg.mark_degraded g blk.Cfg.b_start
+        else begin
+          let dst, created = Cfg.find_or_create_block g t in
+          ignore (Cfg.add_edge g blk dst kind);
+          if created then
+            add_post (fun () ->
+                spawn_traced ctx "parse" (fun () -> parse_block ctx dst))
+        end
       in
       let is_tail t =
         Addr_map.mem g.Cfg.static_entries t
@@ -138,13 +162,13 @@ and parse_block ctx (b : Cfg.block) =
       | Semantics.Jump t ->
         if is_tail t then begin
           target Cfg.Tail_call t;
-          add_post (fun () -> ignore (ensure_func ctx t))
+          if t >= 0 then add_post (fun () -> ignore (ensure_func ctx t))
         end
         else target Cfg.Jump t
       | Semantics.Cond_jump t ->
         if Addr_map.mem g.Cfg.static_entries t then begin
           target Cfg.Tail_call t;
-          add_post (fun () -> ignore (ensure_func ctx t))
+          if t >= 0 then add_post (fun () -> ignore (ensure_func ctx t))
         end
         else target Cfg.Cond_taken t;
         target Cfg.Cond_fall (addr + len)
@@ -156,23 +180,37 @@ and parse_block ctx (b : Cfg.block) =
       | Semantics.Call_direct t ->
         target Cfg.Call t;
         let call_end = addr + len in
-        add_post (fun () ->
-            let callee = ensure_func ctx t in
-            Noreturn.request_fallthrough g ~callee ~call_end
-              ~fire:(fire_fallthrough ctx))
+        if t >= 0 then
+          add_post (fun () ->
+              let callee = ensure_func ctx t in
+              Noreturn.request_fallthrough g ~callee ~call_end
+                ~fire:(fire_fallthrough ctx))
       | Semantics.Call_indirect ->
         (* no static callee: assume it returns (standard practice) *)
         target Cfg.Call_fallthrough (addr + len)
       | Semantics.Return | Semantics.Stop -> ()
       | Semantics.Fallthrough -> assert false
     in
+    let max_bytes =
+      Cfg.effective_budget g.Cfg.config.Config.max_block_bytes
+    in
     let rec scan a n prev =
+      (* Decode-byte budget: hostile bytes can form one endless straight
+         line (no terminator before the section edge). Cut the scan here,
+         keep the block (safe over-approximation) and mark it degraded. *)
+      if max_bytes > 0 && a - b.Cfg.b_start >= max_bytes then begin
+        Cfg.record_degraded g Cfg.B_block b.Cfg.b_start;
+        Atomic.set b.Cfg.b_ninsns n;
+        Cfg.register_end g b ~end_:a
+          ~on_win:(fun _ -> ())
+          ~on_done:(fun blk -> notify_watchers ctx blk)
+      end
       (* Early stop at any already-known block start: the split protocol
          would produce the identical Fallthrough edge if we scanned on, so
          stopping here saves the work without changing the CFG. Now that
          [blocks] reads are wait-free this consults the *global* map — the
          old thread-local set only saw this thread's own parses. *)
-      if
+      else if
         g.Cfg.config.Config.decode_cache
         && a <> b.Cfg.b_start
         && Addr_map.mem g.Cfg.blocks a
@@ -221,6 +259,13 @@ let run_jt_analysis ctx end_addr reg =
   let g = ctx.g in
   match Addr_map.find g.Cfg.ends end_addr with
   | None -> ()
+  | Some blk when Cfg.past_deadline g ->
+    (* skip the analysis: the table stays unresolved, which is the safe
+       over-approximation; mark the site so the checker can explain it *)
+    Cfg.record_degraded g Cfg.B_deadline blk.Cfg.b_start;
+    (match Disasm.terminator g blk with
+    | Some (a, _, _) -> Cfg.mark_degraded g a
+    | None -> ())
   | Some blk ->
     let outcome = Jump_table.analyze g blk reg in
     Addr_map.update ctx.jt_last end_addr (fun _ -> (Some outcome, ()));
@@ -287,9 +332,19 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     in
     Array.of_list entries
   in
+  (* Fault containment: a crashing task must not take the parse down with
+     it. Every region runs in collect mode; failures become diagnostics in
+     [stats.task_failures] and the affected work degrades like any other
+     budget cut. *)
+  let run_contained site root =
+    List.iter
+      (fun e ->
+        Cfg.record_task_failure g ~site ~detail:(Printexc.to_string e))
+      (Task_pool.run_collect pool root)
+  in
   (* Stage 1: initialize functions from the symbol table, in parallel
      (Listing 2 line 1), then drain the traversal. *)
-  Task_pool.run pool (fun spawn ->
+  run_contained "init" (fun spawn ->
       ctx.spawn <- spawn;
       Trace.run trace ~label:"init" ~deps:[] (fun () ->
           let chunk = 64 in
@@ -311,7 +366,7 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
   let rec rounds n =
     let edges_before = Atomic.get g.Cfg.stats.edges_created in
     Trace.barrier trace;
-    Task_pool.run pool (fun spawn ->
+    run_contained "jt-round" (fun spawn ->
         ctx.spawn <- spawn;
         Trace.run trace ~label:"jt-round" ~deps:[] (fun () ->
             Addr_map.iter
@@ -322,7 +377,7 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     let fired =
       if not config.Config.eager_noreturn then begin
         let fired = ref false in
-        Task_pool.run pool (fun spawn ->
+        run_contained "noreturn-drain" (fun spawn ->
             ctx.spawn <- spawn;
             fired := Noreturn.drain_pending g ~fire:(fire_fallthrough ctx));
         !fired
@@ -332,7 +387,8 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     let progress =
       Atomic.get g.Cfg.stats.edges_created <> edges_before || fired
     in
-    if progress && n < 100_000 then rounds (n + 1)
+    if progress && n < 100_000 && not (Cfg.past_deadline g) then
+      rounds (n + 1)
   in
   rounds 0;
   (* Stage 3: unresolved statuses are non-returning (cyclic rule); no new

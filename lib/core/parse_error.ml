@@ -1,0 +1,4 @@
+(* Re-export: the taxonomy lives in [Pbca_binfmt] (the lowest layer that
+   touches untrusted bytes); core-level analyses raise the same type so a
+   caller only ever matches one exception. *)
+include Pbca_binfmt.Parse_error

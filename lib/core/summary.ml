@@ -134,6 +134,24 @@ let pp_stats fmt (g : Cfg.t) =
     pool.Pbca_concurrent.Task_pool.steals
     pool.Pbca_concurrent.Task_pool.steal_attempts
     pool.Pbca_concurrent.Task_pool.idle_sleeps;
+  let degraded = Cfg.degraded_count g in
+  let failures = Cfg.task_failure_count g in
+  if
+    degraded > 0 || failures > 0
+    || Atomic.get s.budget_block > 0
+    || Atomic.get s.budget_slice > 0
+    || Atomic.get s.budget_table > 0
+    || Atomic.get s.budget_deadline > 0
+  then
+    Format.fprintf fmt
+      "@ robustness: degraded=%d budget[block=%d slice=%d table=%d \
+       deadline=%d] task_failures=%d"
+      degraded
+      (Atomic.get s.budget_block)
+      (Atomic.get s.budget_slice)
+      (Atomic.get s.budget_table)
+      (Atomic.get s.budget_deadline)
+      failures;
   let fz = s.finalize in
   if fz.Cfg.fz_rounds > 0 then
     Format.fprintf fmt

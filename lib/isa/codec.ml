@@ -190,7 +190,9 @@ let encoded_length (i : Insn.t) =
 (* Decoding. Reads are bounds-checked; any failure yields None. *)
 
 let u8 buf pos =
-  if pos < Bytes.length buf then Some (Char.code (Bytes.get buf pos)) else None
+  if pos >= 0 && pos < Bytes.length buf then
+    Some (Char.code (Bytes.get buf pos))
+  else None
 
 let i16 buf pos =
   match (u8 buf pos, u8 buf (pos + 1)) with
@@ -200,7 +202,7 @@ let i16 buf pos =
   | _ -> None
 
 let i32 buf pos =
-  if pos + 3 < Bytes.length buf then begin
+  if pos >= 0 && pos + 3 < Bytes.length buf then begin
     let g i = Char.code (Bytes.get buf (pos + i)) in
     let v = g 0 lor (g 1 lsl 8) lor (g 2 lsl 16) lor (g 3 lsl 24) in
     Some (if v land 0x8000_0000 <> 0 then v - 0x1_0000_0000 else v)

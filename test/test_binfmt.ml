@@ -8,6 +8,7 @@ module Symbol = Pbca_binfmt.Symbol
 module Symtab = Pbca_binfmt.Symtab
 module Section = Pbca_binfmt.Section
 module Image = Pbca_binfmt.Image
+module Parse_error = Pbca_binfmt.Parse_error
 
 (* ------------------------------- bio ---------------------------------- *)
 
@@ -147,7 +148,12 @@ let test_image_bad_magic () =
     (try
        ignore (Image.read (Bytes.of_string "\x04\x00NOPE"));
        false
-     with Failure _ -> true)
+     with Parse_error.Error (Parse_error.Bad_magic { got = "NOPE" }) -> true);
+  (* and the non-raising entry point classifies it the same way *)
+  (match Image.read_result (Bytes.of_string "\x04\x00NOPE") with
+  | Error (Parse_error.Bad_magic _) -> ()
+  | Ok _ -> Alcotest.fail "read_result accepted bad magic"
+  | Error e -> Alcotest.failf "wrong class: %s" (Parse_error.to_string e))
 
 let test_image_lookups () =
   let r = Pbca_codegen.Emit.generate { Profile.default with n_funcs = 10 } in

@@ -391,6 +391,98 @@ let test_pool_exception () =
   TP.run pool (fun spawn -> spawn (fun () -> Atomic.incr ok));
   Alcotest.(check int) "pool reusable after failure" 1 (Atomic.get ok)
 
+(* A crashing task must not wedge the region: every sibling still runs and
+   the region drains. *)
+let test_pool_failure_drains () =
+  let pool = TP.create ~threads:4 in
+  let ran = Atomic.make 0 in
+  let raised =
+    try
+      TP.run pool (fun spawn ->
+          for i = 0 to 99 do
+            spawn (fun () ->
+                if i = 50 then failwith "boom" else Atomic.incr ran)
+          done);
+      false
+    with Failure _ -> true
+  in
+  Alcotest.(check bool) "failure reported" true raised;
+  Alcotest.(check int) "all siblings ran" 99 (Atomic.get ran)
+
+let test_pool_multiple_failures () =
+  let pool = TP.create ~threads:4 in
+  let msgs =
+    try
+      TP.run pool (fun spawn ->
+          for i = 0 to 9 do
+            spawn (fun () -> failwith (string_of_int i))
+          done);
+      []
+    with
+    | TP.Task_failures es ->
+      List.filter_map (function Failure m -> Some m | _ -> None) es
+    | Failure m -> [ m ]
+  in
+  (* at least one failure must surface; with >1 collected, all are kept *)
+  Alcotest.(check bool) "failures reported" true (msgs <> []);
+  Alcotest.(check bool) "no duplicates" true
+    (List.length (List.sort_uniq compare msgs) = List.length msgs)
+
+let test_pool_run_collect () =
+  let pool = TP.create ~threads:4 in
+  let ran = Atomic.make 0 in
+  let errs =
+    TP.run_collect pool (fun spawn ->
+        for i = 0 to 19 do
+          spawn (fun () ->
+              if i mod 5 = 0 then failwith "x" else Atomic.incr ran)
+        done)
+  in
+  Alcotest.(check int) "all failures collected" 4 (List.length errs);
+  Alcotest.(check int) "all other tasks ran" 16 (Atomic.get ran);
+  (* collect mode does not raise, and the pool stays usable *)
+  Alcotest.(check (list string)) "second region clean" []
+    (List.map Printexc.to_string (TP.run_collect pool (fun _ -> ())))
+
+let test_parallel_for_fault_containment () =
+  let pool = TP.create ~threads:4 in
+  let hits = Array.make 200 0 in
+  let raised =
+    try
+      TP.parallel_for pool 0 200 (fun i ->
+          if i = 77 then failwith "mid-range" else hits.(i) <- hits.(i) + 1);
+      false
+    with Failure m -> m = "mid-range"
+  in
+  Alcotest.(check bool) "fault propagated" true raised;
+  let others_ok = ref true in
+  Array.iteri (fun i h -> if i <> 77 && h <> 1 then others_ok := false) hits;
+  Alcotest.(check bool) "every other index visited once" true !others_ok;
+  Alcotest.(check int) "faulting index not completed" 0 hits.(77)
+
+let test_fault_injection () =
+  let module Fault = Pbca_concurrent.Fault in
+  let pool = TP.create ~threads:4 in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      Fault.arm_at [ 3; 7 ] Fault.Raise;
+      let ran = Atomic.make 0 in
+      let errs =
+        TP.run_collect pool (fun spawn ->
+            for _ = 0 to 19 do
+              spawn (fun () -> Atomic.incr ran)
+            done)
+      in
+      Alcotest.(check int) "two faults injected" 2 (List.length errs);
+      Alcotest.(check bool) "faults are Injected" true
+        (List.for_all (function Fault.Injected _ -> true | _ -> false) errs);
+      Alcotest.(check int) "injection counter" 2 (Fault.injected_count ());
+      Alcotest.(check int) "non-faulted tasks all ran" 18 (Atomic.get ran);
+      Fault.disarm ();
+      (* pool usable and clean after disarm *)
+      Alcotest.(check (list string)) "clean after disarm" []
+        (List.map Printexc.to_string
+           (TP.run_collect pool (fun spawn -> spawn (fun () -> ())))))
+
 let test_parallel_for_coverage () =
   let pool = TP.create ~threads:4 in
   let hits = Array.make 1000 0 in
@@ -484,6 +576,13 @@ let suite =
     quick "task_pool: nested spawns" test_pool_nested_spawn;
     quick "task_pool: single thread inline" test_pool_serial_inline;
     quick "task_pool: exception propagation" test_pool_exception;
+    quick "task_pool: failing task drains region" test_pool_failure_drains;
+    quick "task_pool: multiple failures all reported"
+      test_pool_multiple_failures;
+    quick "task_pool: run_collect contains failures" test_pool_run_collect;
+    quick "parallel_for: fault mid-range contained"
+      test_parallel_for_fault_containment;
+    quick "fault injection: deterministic ordinals" test_fault_injection;
     quick "parallel_for: exact coverage" test_parallel_for_coverage;
     quick "parallel_for: empty ranges" test_parallel_for_empty;
     quick "parallel_for_reduce: sum" test_parallel_for_reduce;

@@ -13,5 +13,6 @@ let () =
       ("invariants", Test_invariants.suite);
       ("analysis", Test_analysis.suite);
       ("simsched", Test_simsched.suite);
+      ("robustness", Test_robustness.suite);
       ("apps", Test_apps.suite);
     ]

@@ -1,0 +1,260 @@
+(* Hostile-binary hardening: structured parse errors, analysis budgets,
+   degradation to safe over-approximations, deterministic fault injection
+   and a mini mutation-fuzz loop. *)
+
+open Tutil
+module Cfg = Pbca_core.Cfg
+module Config = Pbca_core.Config
+module Spec = Pbca_codegen.Spec
+module Insn = Pbca_isa.Insn
+module Reg = Pbca_isa.Reg
+module Image = Pbca_binfmt.Image
+module Section = Pbca_binfmt.Section
+module Parse_error = Pbca_binfmt.Parse_error
+module Mutate = Pbca_codegen.Mutate
+module Rng = Pbca_codegen.Rng
+module Fault = Pbca_concurrent.Fault
+
+let emit_funcs ?stubs funcs = (emit_spec (mk_spec ?stubs funcs)).image
+
+let parse ?config ?(threads = 4) image =
+  let pool = Pbca_concurrent.Task_pool.create ~threads in
+  Pbca_core.Parallel.parse_and_finalize ?config ~pool image
+
+let jt_fun ?(spilled = false) ?(targets = [ 2; 3; 4 ]) name =
+  mk_fspec ~name
+    [
+      blk ~body:[ Insn.Mov_rr (Reg.of_int 2, Reg.r1) ]
+        (Spec.T_jumptable { targets; spilled });
+      blk Spec.T_ret; (* default *)
+      blk ~body:[ Insn.Mov_ri (Reg.r0, 1) ] (Spec.T_jmp 1);
+      blk ~body:[ Insn.Mov_ri (Reg.r0, 2) ] (Spec.T_jmp 1);
+      blk ~body:[ Insn.Mov_ri (Reg.r0, 3) ] (Spec.T_jmp 1);
+    ]
+
+(* --------------------- structured parse errors ------------------------ *)
+
+let test_missing_text () =
+  let img =
+    Image.make ~name:"no-text"
+      ~sections:[ Section.make ~name:".data" ~addr:0x100 (Bytes.create 8) ]
+      (Pbca_binfmt.Symtab.create ())
+  in
+  Alcotest.(check bool) "text_opt is None" true (Image.text_opt img = None);
+  match Image.text img with
+  | exception Parse_error.Error (Parse_error.Bad_section { name; _ }) ->
+    Alcotest.(check string) "names .text" ".text" name
+  | _ -> Alcotest.fail "missing .text must raise Bad_section"
+
+let test_truncated_container () =
+  let whole = Image.write (emit_funcs [ diamond_fun () ]) in
+  (* every proper prefix must yield a structured error, never an escape *)
+  List.iter
+    (fun len ->
+      match Image.read_result (Bytes.sub whole 0 len) with
+      | Ok _ when len = Bytes.length whole -> ()
+      | Ok _ -> Alcotest.failf "prefix %d parsed as Ok" len
+      | Error (Parse_error.Truncated _ | Parse_error.Bad_magic _) -> ()
+      | Error e ->
+        Alcotest.failf "prefix %d: unexpected class %s" len
+          (Parse_error.to_string e))
+    [ 0; 1; 3; 7; Bytes.length whole / 2; Bytes.length whole - 1 ]
+
+let test_section_decode_fault () =
+  let s = Section.make ~name:".text" ~addr:0x100 (Bytes.create 4) in
+  match Section.u8 s 0x200 with
+  | exception Parse_error.Error (Parse_error.Decode_fault { addr; section }) ->
+    Alcotest.(check int) "faulting address" 0x200 addr;
+    Alcotest.(check string) "faulting section" ".text" section
+  | _ -> Alcotest.fail "out-of-range read must raise Decode_fault"
+
+(* --------------------------- budgets ---------------------------------- *)
+
+let straight_fun n name =
+  mk_fspec ~name [ blk ~body:(List.init n (fun _ -> Insn.Nop)) Spec.T_ret ]
+
+let test_block_byte_budget () =
+  let image = emit_funcs [ straight_fun 60 "long" ] in
+  let config = { Config.default with Config.max_block_bytes = 16 } in
+  let g = parse ~config image in
+  Alcotest.(check bool) "budget charged" true
+    (Atomic.get g.Cfg.stats.Cfg.budget_block > 0);
+  (* the block was kept, truncated at the cut *)
+  let f = get_func g "long" in
+  Alcotest.(check bool) "entry block kept" true
+    (Cfg.block_end f.Cfg.f_entry > f.Cfg.f_entry_addr);
+  Alcotest.(check bool) "function marked degraded" true (Cfg.func_degraded g f)
+
+let test_slice_budget_degrades_table () =
+  let r = emit_spec (mk_spec [ jt_fun "sw"; diamond_fun () ]) in
+  let config = { Config.default with Config.max_slice_steps = 1 } in
+  let g = parse ~config r.image in
+  Alcotest.(check bool) "slice budget charged" true
+    (Atomic.get g.Cfg.stats.Cfg.budget_slice > 0);
+  Alcotest.(check bool) "table unresolved" true
+    (Atomic.get g.Cfg.stats.Cfg.jt_unresolved > 0);
+  (* the cut is announced, so the checker explains the difference as
+     Expected, not Mismatch *)
+  check_clean r.ground_truth g
+
+let test_table_budget_degrades_table () =
+  let r =
+    emit_spec (mk_spec [ jt_fun ~targets:[ 2; 3; 4; 2; 3; 4 ] "sw" ])
+  in
+  let config = { Config.default with Config.max_table_entries = 2 } in
+  let g = parse ~config r.image in
+  Alcotest.(check bool) "table budget charged" true
+    (Atomic.get g.Cfg.stats.Cfg.budget_table > 0);
+  Alcotest.(check bool) "table unresolved, not truncated" true
+    (Atomic.get g.Cfg.stats.Cfg.jt_unresolved > 0);
+  check_clean r.ground_truth g
+
+let test_deadline () =
+  let r = Pbca_codegen.Emit.generate (Profile.coreutils_like 1) in
+  let config = { Config.default with Config.deadline_s = 1e-6 } in
+  let g = parse ~config r.image in
+  (* the parse completed (no exception, region drained) but skipped work *)
+  Alcotest.(check bool) "deadline charged" true
+    (Atomic.get g.Cfg.stats.Cfg.budget_deadline > 0);
+  Alcotest.(check bool) "degradation marked" true (Cfg.degraded_count g > 0);
+  check_clean r.ground_truth g
+
+(* ------------------------ fault injection ----------------------------- *)
+
+let indep_funcs n =
+  List.init n (fun i ->
+      mk_fspec
+        ~name:(Printf.sprintf "leaf%02d" i)
+        [
+          blk ~body:[ Insn.Mov_ri (Reg.r0, i) ] Spec.T_fall;
+          blk ~body:[ Insn.Mov_ri (Reg.r1, i) ] Spec.T_ret;
+        ])
+
+let test_fault_injected_parse_survives () =
+  let n = 12 in
+  let image = emit_funcs (indep_funcs n) in
+  let clean_g = parse ~threads:1 image in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      (* single-threaded pool: task execution order, and therefore which
+         task each ordinal hits, is deterministic *)
+      Fault.arm_at [ 6 ] Fault.Raise;
+      let g = parse ~threads:1 image in
+      Fault.disarm ();
+      Alcotest.(check bool) "fault landed" true
+        (Cfg.task_failure_count g >= 1);
+      List.iter
+        (fun (site, detail) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "failure recorded verbatim (%s)" site)
+            true
+            (site <> "" && detail <> ""))
+        (Cfg.task_failures g);
+      (* every function whose tasks did not fault is Cfg_diff-equal *)
+      let d = Pbca_core.Cfg_diff.diff clean_g g in
+      let touched =
+        List.length d.Pbca_core.Cfg_diff.removed
+        + List.length d.Pbca_core.Cfg_diff.changed
+        + List.length d.Pbca_core.Cfg_diff.added
+      in
+      Alcotest.(check bool)
+        (Format.asprintf "at most one function touched:@ %a"
+           Pbca_core.Cfg_diff.pp d)
+        true (touched <= 1);
+      Alcotest.(check bool) "untouched functions diff-equal" true
+        (d.Pbca_core.Cfg_diff.unchanged >= n - 1))
+
+let test_fault_multiple_injections () =
+  let n = 12 in
+  let image = emit_funcs (indep_funcs n) in
+  let clean_g = parse ~threads:1 image in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      Fault.arm_at [ 4; 6; 8 ] Fault.Raise;
+      let g = parse ~threads:1 image in
+      Fault.disarm ();
+      Alcotest.(check bool) "all faults contained" true
+        (Cfg.task_failure_count g >= 1);
+      let d = Pbca_core.Cfg_diff.diff clean_g g in
+      Alcotest.(check bool) "most functions untouched" true
+        (d.Pbca_core.Cfg_diff.unchanged >= n - 3))
+
+let test_fault_seeded_arm () =
+  (* seed-driven arming picks the same ordinals every run: the injected
+     set is reproducible bit for bit *)
+  let pool = Pbca_concurrent.Task_pool.create ~threads:2 in
+  let one_run () =
+    Fault.arm ~seed:42 ~n:3 ~window:50 Fault.Raise;
+    let errs =
+      Pbca_concurrent.Task_pool.run_collect pool (fun spawn ->
+          for _ = 1 to 60 do
+            spawn (fun () -> ())
+          done)
+    in
+    Fault.disarm ();
+    List.sort compare
+      (List.filter_map
+         (function Fault.Injected k -> Some k | _ -> None)
+         errs)
+  in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      let a = one_run () in
+      let b = one_run () in
+      Alcotest.(check bool) "at least one injection" true (a <> []);
+      Alcotest.(check (list int)) "same ordinals across runs" a b)
+
+let test_fault_starvation_degrades () =
+  let r = emit_spec (mk_spec [ jt_fun "sw"; diamond_fun () ]) in
+  Fun.protect ~finally:Fault.disarm (fun () ->
+      Fault.arm_at [ 0 ] Fault.Starve;
+      let g = parse ~threads:1 r.image in
+      Fault.disarm ();
+      (* budgets collapsed to 1: the parse still finishes, degraded *)
+      Alcotest.(check bool) "degradation recorded" true
+        (Cfg.degraded_count g > 0);
+      check_clean r.ground_truth g)
+
+(* ------------------------- mutation fuzzing --------------------------- *)
+
+let test_mutate_deterministic () =
+  let img = emit_funcs [ diamond_fun (); jt_fun "sw" ] in
+  for seed = 1 to 10 do
+    let k1, b1 = Mutate.mutate ~rng:(Rng.create seed) img in
+    let k2, b2 = Mutate.mutate ~rng:(Rng.create seed) img in
+    Alcotest.(check bool) "same kind" true (k1 = k2);
+    Alcotest.(check bool) "same bytes" true (Bytes.equal b1 b2)
+  done
+
+let test_mini_fuzz () =
+  let img = emit_funcs (jt_fun "sw" :: diamond_fun () :: indep_funcs 4) in
+  let pool = Pbca_concurrent.Task_pool.create ~threads:4 in
+  let config = { Config.default with Config.deadline_s = 2.0 } in
+  for seed = 1 to 40 do
+    let rng = Rng.create seed in
+    let kind, bytes = Mutate.mutate ~rng img in
+    match Image.read_result bytes with
+    | Error _ -> () (* structured rejection is a valid outcome *)
+    | Ok m -> (
+      match Pbca_core.Parallel.parse_and_finalize ~config ~pool m with
+      | _g -> ()
+      | exception e ->
+        Alcotest.failf "seed %d kind %s crashed: %s" seed
+          (Mutate.kind_name kind) (Printexc.to_string e))
+  done
+
+let suite =
+  [
+    quick "structured error: missing .text" test_missing_text;
+    quick "structured error: truncated container" test_truncated_container;
+    quick "structured error: section decode fault" test_section_decode_fault;
+    quick "budget: block bytes" test_block_byte_budget;
+    quick "budget: slice steps degrade table" test_slice_budget_degrades_table;
+    quick "budget: table entries degrade table"
+      test_table_budget_degrades_table;
+    quick "budget: global deadline" test_deadline;
+    quick "fault: single injection, others diff-equal"
+      test_fault_injected_parse_survives;
+    quick "fault: multiple injections contained" test_fault_multiple_injections;
+    quick "fault: seeded arming deterministic" test_fault_seeded_arm;
+    quick "fault: budget starvation degrades" test_fault_starvation_degrades;
+    quick "mutate: deterministic per seed" test_mutate_deterministic;
+    slow "mini-fuzz: 40 mutants never crash" test_mini_fuzz;
+  ]
