@@ -8,9 +8,9 @@
    of that phase's task trace.
 
    Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
-   micro contention finalize robustness all (default: all); plus
+   micro contention finalize robustness recovery all (default: all); plus
    microsmoke, a seconds-long self-checking slice of the contention,
-   finalize and robustness reports wired into `dune runtest`. *)
+   finalize, robustness and recovery reports wired into `dune runtest`. *)
 
 module Profile = Pbca_codegen.Profile
 module Emit = Pbca_codegen.Emit
@@ -1117,6 +1117,7 @@ let robustness_report ~smoke () =
   and b_slice = ref 0
   and b_table = ref 0
   and b_deadline = ref 0 in
+  let dl_checks = ref 0 and dl_polls = ref 0 in
   let parsed = ref 0 in
   let t0 = Unix.gettimeofday () in
   for s = 1 to seeds do
@@ -1134,6 +1135,8 @@ let robustness_report ~smoke () =
         b_slice := !b_slice + Atomic.get st.Cfg.budget_slice;
         b_table := !b_table + Atomic.get st.Cfg.budget_table;
         b_deadline := !b_deadline + Atomic.get st.Cfg.budget_deadline;
+        dl_checks := !dl_checks + Atomic.get st.Cfg.deadline_checks;
+        dl_polls := !dl_polls + Atomic.get st.Cfg.deadline_polls;
         if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
           incr degraded
         else incr clean
@@ -1183,6 +1186,13 @@ let robustness_report ~smoke () =
             ("table", J_float (rate !b_table));
             ("deadline", J_float (rate !b_deadline));
           ] );
+      ( "deadline_clock",
+        J_obj
+          [
+            ("checks", J_int !dl_checks);
+            ("polls", J_int !dl_polls);
+            ("syscalls_saved", J_int (!dl_checks - !dl_polls));
+          ] );
       ( "fault_injection",
         J_obj
           [
@@ -1213,6 +1223,10 @@ let robustness_checks j =
      = num [ "mutation_fuzz"; "mutants" ]);
   check "faulted parse finished"
     (num [ "fault_injection"; "faulted_wall_s" ] > 0.0);
+  check "deadline clock poll coarsening saves syscalls"
+    (num [ "deadline_clock"; "polls" ] <= num [ "deadline_clock"; "checks" ]
+    && (num [ "deadline_clock"; "checks" ] < 64.0
+       || num [ "deadline_clock"; "syscalls_saved" ] > 0.0));
   (* cross-calls cascade a killed task's damage to its callers, so on a
      connected binary the bound is a fraction, not fault-count; the strict
      "untouched functions are Cfg_diff-equal" proof runs on independent
@@ -1238,6 +1252,220 @@ let robustness_bench () =
   close_out oc;
   print_endline "wrote BENCH_pr3.json"
 
+(* ---------------------------------------------------------------- *)
+(* `bench recovery`: PR4 — crash-durable checkpoint/resume. A matrix of
+   seeds x kill points: each cell crashes a checkpointed parse at a task
+   ordinal, resumes from the surviving artifacts, and must reproduce the
+   uninterrupted run's CFG. Two kill columns add disk damage on top: a
+   torn journal tail (tolerated silently) and a truncated checkpoint
+   (rejected with a structured error, then recovered journal-only).
+   Writes BENCH_pr4.json unless ~smoke.                              *)
+
+let recovery_report ~smoke () =
+  let module Fault = Pbca_concurrent.Fault in
+  let module Parallel = Pbca_core.Parallel in
+  let module Recover = Pbca_core.Recover in
+  let module Finalize = Pbca_core.Finalize in
+  let module Summary = Pbca_core.Summary in
+  let module Cfg = Pbca_core.Cfg in
+  let n_seeds = if smoke then 1 else 8 in
+  let kills = if smoke then [ 60; 300 ] else [ 30; 120; 300; 700 ] in
+  let threads = if smoke then 2 else 4 in
+  let pool = TP.create ~threads in
+  let config = Pbca_core.Config.default in
+  (* below this much lost work the ratio is timer noise, not signal *)
+  let floor_s = 0.02 in
+  let now () = Unix.gettimeofday () in
+  let cells = ref 0
+  and equal_cells = ref 0
+  and torn_cells = ref 0
+  and trunc_cells = ref 0
+  and cp_rejected = ref 0 in
+  let sum_full = ref 0.0
+  and sum_resume = ref 0.0
+  and sum_lost = ref 0.0
+  and sum_ratio = ref 0.0
+  and max_ratio = ref 0.0 in
+  let replay_ops = ref 0 and replay_wall = ref 0.0 in
+  let journal_bytes = ref 0 in
+  let read_bytes path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        let b = Bytes.create n in
+        really_input ic b 0 n;
+        b)
+  in
+  for s = 1 to n_seeds do
+    let img = (Emit.generate (Profile.coreutils_like s)).Emit.image in
+    (* uninterrupted run: the equality oracle and the lost-work baseline.
+       Only the expansion phase is timed — finalization always runs fresh
+       after a resume, so it cancels out of the overhead ratio. *)
+    let t0 = now () in
+    let g_clean = Parallel.parse ~config ~pool img in
+    let t_full = now () -. t0 in
+    Finalize.run ~pool g_clean;
+    let clean_sum = Summary.of_cfg g_clean in
+    List.iteri
+      (fun ki ordinal ->
+        let cp = Filename.temp_file "bench_pr4" ".cp" in
+        let j = cp ^ ".journal" in
+        Fun.protect
+          ~finally:(fun () ->
+            List.iter
+              (fun p -> try Sys.remove p with Sys_error _ -> ())
+              [ cp; j; cp ^ ".tmp" ])
+          (fun () ->
+            let persist =
+              { Parallel.p_journal = j; p_checkpoint = cp; p_every = 1 }
+            in
+            Fun.protect
+              ~finally:(fun () -> Fault.disarm ())
+              (fun () ->
+                Fault.arm_at [ ordinal ] Fault.Crash;
+                try ignore (Parallel.parse ~config ~persist ~pool img)
+                with _ -> ());
+            journal_bytes := !journal_bytes + (Unix.stat j).Unix.st_size;
+            (* disk damage columns *)
+            let torn = (not smoke) && ki = 2 in
+            let trunc = (not smoke) && ki = 3 in
+            if torn then begin
+              incr torn_cells;
+              let oc = open_out_gen [ Open_append; Open_binary ] 0o644 j in
+              output_string oc "torn-tail-garbage\255\000\023";
+              close_out oc
+            end;
+            if trunc then begin
+              incr trunc_cells;
+              let b = read_bytes cp in
+              let keep = Bytes.length b * 3 / 5 in
+              let oc = open_out_bin cp in
+              output_bytes oc (Bytes.sub b 0 keep);
+              close_out oc
+            end;
+            let src =
+              { Recover.src_checkpoint = Some cp; src_journal = Some j }
+            in
+            let plan =
+              match Recover.load src with
+              | Ok p -> p
+              | Error _ -> (
+                incr cp_rejected;
+                (* deliberate journal-only retry: the journal holds every
+                   op since the run began, so it can carry recovery alone *)
+                match
+                  Recover.load { src with Recover.src_checkpoint = None }
+                with
+                | Ok p -> p
+                | Error _ -> assert false (* journal loading is total *))
+            in
+            (* standalone replay timing against a throwaway graph *)
+            let g_tmp = Cfg.create ~config img in
+            let t0 = now () in
+            let n =
+              Recover.apply g_tmp plan ~on_jt_pending:(fun ~end_:_ ~reg:_ ->
+                  ())
+            in
+            replay_wall := !replay_wall +. (now () -. t0);
+            replay_ops := !replay_ops + n;
+            (* the resumed run *)
+            let t0 = now () in
+            let g = Parallel.parse ~config ~resume:plan ~pool img in
+            let t_resume = now () -. t0 in
+            Finalize.run ~pool g;
+            incr cells;
+            if Summary.equal (Summary.of_cfg g) clean_sum then
+              incr equal_cells;
+            let lost =
+              Float.max 0.0 (t_full -. plan.Recover.pl_progress_s)
+            in
+            let ratio = t_resume /. Float.max lost floor_s in
+            sum_full := !sum_full +. t_full;
+            sum_resume := !sum_resume +. t_resume;
+            sum_lost := !sum_lost +. lost;
+            sum_ratio := !sum_ratio +. ratio;
+            if ratio > !max_ratio then max_ratio := ratio))
+      kills
+  done;
+  let mean x = x /. float_of_int (max 1 !cells) in
+  J_obj
+    [
+      ("bench", J_str "pr4_crash_recovery");
+      ("smoke", J_bool smoke);
+      ( "matrix",
+        J_obj
+          [
+            ("seeds", J_int n_seeds);
+            ("kill_points", J_int (List.length kills));
+            ("cells", J_int !cells);
+            ("equal", J_int !equal_cells);
+            ("torn_tail_cells", J_int !torn_cells);
+            ("truncated_checkpoint_cells", J_int !trunc_cells);
+            ("checkpoints_rejected", J_int !cp_rejected);
+          ] );
+      ( "resume_overhead",
+        J_obj
+          [
+            ("t_full_mean_s", J_float (mean !sum_full));
+            ("t_resume_mean_s", J_float (mean !sum_resume));
+            ("lost_work_mean_s", J_float (mean !sum_lost));
+            ("floor_s", J_float floor_s);
+            ("ratio_mean", J_float (mean !sum_ratio));
+            ("ratio_max", J_float !max_ratio);
+          ] );
+      ( "replay",
+        J_obj
+          [
+            ("ops", J_int !replay_ops);
+            ("wall_s", J_float !replay_wall);
+            ( "ops_per_s",
+              J_float
+                (if !replay_wall > 0.0 then
+                   float_of_int !replay_ops /. !replay_wall
+                 else 0.0) );
+          ] );
+      ( "journal",
+        J_obj
+          [ ("bytes_mean", J_int (!journal_bytes / max 1 !cells)) ] );
+    ]
+
+let recovery_checks ~smoke j =
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  let num path = json_num j path in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  check "every resumed run equals the uninterrupted run"
+    (num [ "matrix"; "equal" ] = num [ "matrix"; "cells" ]);
+  check "full matrix ran"
+    (num [ "matrix"; "cells" ]
+    = num [ "matrix"; "seeds" ] *. num [ "matrix"; "kill_points" ]);
+  check "truncated checkpoints are always rejected"
+    (num [ "matrix"; "checkpoints_rejected" ]
+    >= num [ "matrix"; "truncated_checkpoint_cells" ]);
+  check "resume overhead under 2x the lost work"
+    (num [ "resume_overhead"; "ratio_mean" ] < 2.0);
+  if not smoke then
+    check "journal replay happened" (num [ "replay"; "ops" ] > 0.0);
+  List.rev !failures
+
+let recovery_bench () =
+  header "Crash-durable checkpoint/resume (PR4)";
+  let j = recovery_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match recovery_checks ~smoke:false j with
+  | [] -> print_endline "all recovery checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr4.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr4.json"
+
 (* seconds-long slice of the same reports, self-checking, for `dune
    runtest`; prints to stdout only (the test sandbox is read-only) *)
 let microsmoke () =
@@ -1257,8 +1485,15 @@ let microsmoke () =
     exit 1);
   let jr = robustness_report ~smoke:true () in
   print_endline (json_to_string jr);
-  match robustness_checks jr with
+  (match robustness_checks jr with
   | [] -> print_endline "microsmoke robustness: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let jc = recovery_report ~smoke:true () in
+  print_endline (json_to_string jc);
+  match recovery_checks ~smoke:true jc with
+  | [] -> print_endline "microsmoke recovery: ok"
   | fs ->
     List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
     exit 1
@@ -1288,6 +1523,7 @@ let () =
   if want "contention" then contention ();
   if want "finalize" then finalize_bench ();
   if want "robustness" then robustness_bench ();
+  if want "recovery" then recovery_bench ();
   (* microsmoke is runtest plumbing, not part of "all" *)
   if List.mem "microsmoke" cmds then microsmoke ();
   line ()

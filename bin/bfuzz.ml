@@ -1,10 +1,18 @@
-(* Mutation fuzzer for the SBF parser and the CFG analyses.
+(* Mutation fuzzer for the SBF parser, the CFG analyses and the crash
+   recovery path.
 
    Generates well-formed binaries, mutates them (header bits, truncation,
    byte flips, code splices, table smashes, symbol lies) and checks the
    robustness contract on every mutant: the parser never crashes, never
    runs past the deadline, and always returns either a clean CFG, a partial
    CFG with degradation marks, or a structured parse error.
+
+   The seventh axis (artifact-rot) fuzzes recovery instead of parsing: a
+   checkpointed parse is killed partway through by an injected crash, one
+   of its recovery artifacts is corrupted the way a dying disk would, and
+   the resume must either reject the checkpoint with a structured error
+   (exit-2 class) or converge to the exact CFG of an uninterrupted run —
+   never crash, never return a silently different graph.
 
    Exit codes (corpus mode): 0 when every mutant upheld the contract,
    3 when any crashed or hung. With a positional FILE the same codes as
@@ -15,6 +23,10 @@ module Image = Pbca_binfmt.Image
 module Parse_error = Pbca_binfmt.Parse_error
 module Cfg = Pbca_core.Cfg
 module Config = Pbca_core.Config
+module Parallel = Pbca_core.Parallel
+module Recover = Pbca_core.Recover
+module Summary = Pbca_core.Summary
+module Fault = Pbca_concurrent.Fault
 module Mutate = Pbca_codegen.Mutate
 module Rng = Pbca_codegen.Rng
 module Profile = Pbca_codegen.Profile
@@ -30,6 +42,68 @@ let classify ~pool ~config bytes =
       if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then Degraded
       else Clean
     with e -> Crash (Printexc.to_string e))
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let write_file path b =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_bytes oc b)
+
+let with_artifacts f =
+  let cp = Filename.temp_file "bfuzz" ".cp" in
+  let j = cp ^ ".journal" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ cp; j; cp ^ ".tmp" ])
+    (fun () -> f cp j)
+
+let corrupt_file ~rng path =
+  if Sys.file_exists path then
+    write_file path (Mutate.corrupt_artifact ~rng (read_file path))
+
+(* The artifact-rot scenario: crash a checkpointed parse partway through
+   (the kill point is drawn from the seed stream, so some seeds die in
+   init, some mid-rounds, some not at all), rot one artifact, resume.
+   A rejected checkpoint is the malformed outcome; a resume that loads
+   must reproduce the uninterrupted run's CFG bit for bit. *)
+let classify_resume ~pool ~config ~rng ~clean_sum img =
+  with_artifacts (fun cp j ->
+      let persist =
+        { Parallel.p_journal = j; p_checkpoint = cp; p_every = 1 }
+      in
+      Fun.protect
+        ~finally:(fun () -> Fault.disarm ())
+        (fun () ->
+          Fault.arm_at [ Rng.int rng 600 ] Fault.Crash;
+          try ignore (Parallel.parse_and_finalize ~config ~persist ~pool img)
+          with _ -> ());
+      corrupt_file ~rng (if Rng.bool rng 0.5 then cp else j);
+      match
+        Recover.load
+          { Recover.src_checkpoint = Some cp; src_journal = Some j }
+      with
+      | Error e -> Malformed (Parse_error.to_string e)
+      | Ok plan -> (
+        try
+          let g = Parallel.parse_and_finalize ~config ~resume:plan ~pool img in
+          if Summary.equal (Summary.of_cfg g) clean_sum then
+            if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
+              Degraded
+            else Clean
+          else Crash "resumed CFG differs from the uninterrupted parse"
+        with e -> Crash (Printexc.to_string e)))
 
 let base_images () =
   List.map
@@ -48,6 +122,13 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline =
   let config = { Config.default with Config.deadline_s = deadline } in
   let bases = base_images () in
   let nb = List.length bases in
+  (* uninterrupted-run summaries, the artifact-rot equality oracle *)
+  let clean_sums =
+    List.map
+      (fun img ->
+        Summary.of_cfg (Pbca_core.Parallel.parse_and_finalize ~config ~pool img))
+      bases
+  in
   let per_kind = Hashtbl.create 8 in
   let tally_of kind =
     let name = Mutate.kind_name kind in
@@ -66,9 +147,16 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline =
   for s = 0 to seeds - 1 do
     let rng = Rng.create (base_seed + s) in
     let img = List.nth bases (s mod nb) in
-    let kind, bytes = Mutate.mutate ~rng img in
+    let kind = Rng.choose_arr rng Mutate.all_kinds in
     let t0 = Unix.gettimeofday () in
-    let outcome = classify ~pool ~config bytes in
+    let outcome =
+      match kind with
+      | Mutate.Artifact_rot ->
+        classify_resume ~pool ~config ~rng
+          ~clean_sum:(List.nth clean_sums (s mod nb))
+          img
+      | k -> classify ~pool ~config (Mutate.apply ~rng k img)
+    in
     let dt = Unix.gettimeofday () -. t0 in
     let t = tally_of kind in
     (match outcome with
@@ -102,16 +190,6 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline =
   Printf.printf "%d mutants: %d crashes, %d deadline violations\n" seeds
     (List.length !crashes) (List.length !hangs);
   if !crashes = [] && !hangs = [] then 0 else 3
-
-let read_file path =
-  let ic = open_in_bin path in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      let n = in_channel_length ic in
-      let b = Bytes.create n in
-      really_input ic b 0 n;
-      b)
 
 let run_file ~threads ~deadline path =
   let pool = Pbca_concurrent.Task_pool.create ~threads in

@@ -1,67 +1,218 @@
-(* Parse an SBF binary and report its CFG. *)
+(* Parse SBF binaries and report their CFGs.
+
+   Durability: [--checkpoint CP] journals every construction op to
+   CP.journal and snapshots the graph to CP at quiescent rounds;
+   [--resume] seeds the parse from those artifacts instead of starting
+   over; [--batch] runs every FILE as a supervised job, restarting it
+   (resuming from its artifacts) when a crash kills the analysis;
+   [--fault-crash N] arms a simulated kill at task ordinal N, for
+   exercising the recovery path end to end.
+
+   Exit codes: 0 clean, 1 degraded (budgets hit or tasks contained: the
+   CFG is a partial over-approximation), 2 malformed input — including a
+   corrupt checkpoint under --resume — and 3 internal error or
+   unrecovered crash. Malformed input is the binary's fault; exit 3 is
+   ours. In batch mode the process exit is the worst per-file code. *)
 
 open Cmdliner
+module Cfg = Pbca_core.Cfg
+module Parallel = Pbca_core.Parallel
+module Recover = Pbca_core.Recover
+module Parse_error = Pbca_binfmt.Parse_error
+module Fault = Pbca_concurrent.Fault
+module Supervisor = Pbca_concurrent.Supervisor
 
-let run_parsed path threads dump_funcs serial diff_with image =
-  let t0 = Unix.gettimeofday () in
-  let g =
-    if serial then Pbca_core.Serial.parse_and_finalize image
-    else
-      let pool = Pbca_concurrent.Task_pool.create ~threads in
-      Pbca_core.Parallel.parse_and_finalize ~pool image
-  in
-  let dt = Unix.gettimeofday () -. t0 in
+type opts = {
+  threads : int;
+  dump_funcs : bool;
+  serial : bool;
+  diff_with : string option;
+}
+
+type artifacts = { a_cp : string; a_journal : string }
+
+(* One artifact pair per file: the base path as-is for a single file,
+   suffixed with the positional index otherwise. *)
+let artifacts base ~idx ~nfiles =
+  let cp = if nfiles <= 1 then base else Printf.sprintf "%s.%d" base idx in
+  { a_cp = cp; a_journal = cp ^ ".journal" }
+
+let persist_of arts =
+  Option.map
+    (fun a ->
+      { Parallel.p_journal = a.a_journal; p_checkpoint = a.a_cp; p_every = 1 })
+    arts
+
+let load_plan arts =
+  Recover.load
+    { Recover.src_checkpoint = Some arts.a_cp; src_journal = Some arts.a_journal }
+
+let report_cfg ~opts ~dt path g =
   Format.printf "%s: %a@." path Pbca_core.Summary.pp_stats g;
   Format.printf "parsed in %.3fs (%s, %d threads)@." dt
-    (if serial then "serial" else "parallel")
-    (if serial then 1 else threads);
-  (match diff_with with
+    (if opts.serial then "serial" else "parallel")
+    (if opts.serial then 1 else opts.threads);
+  (match opts.diff_with with
   | Some old_path ->
     let old_image = Pbca_binfmt.Image.load old_path in
     let old_g = Pbca_core.Serial.parse_and_finalize old_image in
     Format.printf "diff vs %s:@ %a@." old_path Pbca_core.Cfg_diff.pp
       (Pbca_core.Cfg_diff.diff old_g g)
   | None -> ());
-  if dump_funcs then
+  if opts.dump_funcs then
     List.iter
-      (fun (f : Pbca_core.Cfg.func) ->
+      (fun (f : Cfg.func) ->
         let ranges = Pbca_core.Summary.func_ranges g f in
         Format.printf "  %s @0x%x %s blocks=%d ranges=%s@." f.f_name
           f.f_entry_addr
           (match Atomic.get f.f_ret with
-          | Pbca_core.Cfg.Returns -> "ret"
-          | Pbca_core.Cfg.Noreturn -> "noret"
-          | Pbca_core.Cfg.Unset -> "unset")
+          | Cfg.Returns -> "ret"
+          | Cfg.Noreturn -> "noret"
+          | Cfg.Unset -> "unset")
           (List.length f.f_blocks)
           (String.concat ","
              (List.map (fun (a, b) -> Printf.sprintf "[0x%x,0x%x)" a b) ranges)))
-      (Pbca_core.Cfg.funcs_list g);
-  if
-    Pbca_core.Cfg.degraded_count g > 0
-    || Pbca_core.Cfg.task_failure_count g > 0
-  then 1
-  else 0
+      (Cfg.funcs_list g)
 
-(* Exit codes: 0 clean parse, 1 degraded (budgets hit or tasks contained:
-   the CFG is a partial over-approximation), 2 malformed input, 3 internal
-   bug. Malformed input is the binary's fault; exit 3 is ours. *)
-let run path threads dump_funcs serial diff_with =
+(* [resume_mode]: [`Strict] surfaces a damaged checkpoint as Rejected
+   (the operator asked to resume; lying about it would hide corruption),
+   [`Best_effort] falls back to a fresh parse (a supervised restart must
+   make progress even when the crash mangled the artifacts). *)
+let run_one ~pool ~opts ~persist ~resume_mode ~attempt path : Supervisor.outcome
+    =
   match
-    try Ok (Pbca_binfmt.Image.load path)
-    with Pbca_binfmt.Parse_error.Error e -> Error e
+    try Ok (Pbca_binfmt.Image.load path) with Parse_error.Error e -> Error e
   with
   | Error e ->
-    Format.eprintf "%s: malformed: %s@." path
-      (Pbca_binfmt.Parse_error.to_string e);
-    2
+    let msg = Parse_error.to_string e in
+    Format.eprintf "%s: malformed: %s@." path msg;
+    Supervisor.Rejected msg
   | Ok image -> (
-    try run_parsed path threads dump_funcs serial diff_with image
-    with e ->
-      Format.eprintf "%s: internal error: %s@." path (Printexc.to_string e);
-      3)
+    let resume =
+      match resume_mode with
+      | `No -> Ok None
+      | `Strict arts -> (
+        match load_plan arts with
+        | Ok p -> Ok (Some p)
+        | Error e -> Error e)
+      | `Best_effort arts -> (
+        match load_plan arts with
+        | Ok p -> Ok (Some p)
+        | Error e ->
+          Format.eprintf "%s: artifacts unusable (%s), restarting fresh@." path
+            (Parse_error.to_string e);
+          Ok None)
+    in
+    match resume with
+    | Error e ->
+      let msg = Parse_error.to_string e in
+      Format.eprintf "%s: checkpoint rejected: %s@." path msg;
+      Supervisor.Rejected msg
+    | Ok resume -> (
+      try
+        let t0 = Unix.gettimeofday () in
+        let g =
+          if opts.serial then Pbca_core.Serial.parse_and_finalize image
+          else Parallel.parse_and_finalize ?persist ?resume ~pool image
+        in
+        Atomic.set g.Cfg.stats.Cfg.supervisor_restarts attempt;
+        report_cfg ~opts ~dt:(Unix.gettimeofday () -. t0) path g;
+        if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
+          Supervisor.Ok_degraded
+        else Supervisor.Ok_clean
+      with
+      | Fault.Crashed k ->
+        Format.eprintf "%s: crashed (simulated kill at task %d)@." path k;
+        Supervisor.Crashed (Printf.sprintf "simulated kill at task %d" k)
+      | e ->
+        Format.eprintf "%s: internal error: %s@." path (Printexc.to_string e);
+        Supervisor.Crashed (Printexc.to_string e)))
 
-let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"BINARY")
-let threads = Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
+let outcome_str = function
+  | Supervisor.Ok_clean -> "clean"
+  | Supervisor.Ok_degraded -> "degraded"
+  | Supervisor.Rejected m -> "rejected: " ^ m
+  | Supervisor.Crashed m -> "crashed: " ^ m
+
+let main files opts checkpoint resume batch fault_crash =
+  let pool = Pbca_concurrent.Task_pool.create ~threads:opts.threads in
+  let nfiles = List.length files in
+  let arts_for i = Option.map (fun b -> artifacts b ~idx:i ~nfiles) checkpoint in
+  if batch then begin
+    let jobs =
+      List.mapi
+        (fun i path ->
+          let arts = arts_for i in
+          {
+            Supervisor.j_id = path;
+            j_run =
+              (fun ~attempt ->
+                (* the simulated kill hits the first attempt only: the
+                   supervised restart must then recover *)
+                if attempt = 0 && fault_crash >= 0 then
+                  Fault.arm_at [ fault_crash ] Fault.Crash
+                else Fault.disarm ();
+                Fun.protect
+                  ~finally:(fun () -> if fault_crash >= 0 then Fault.disarm ())
+                  (fun () ->
+                    let resume_mode =
+                      match arts with
+                      | Some a when attempt > 0 || resume -> `Best_effort a
+                      | _ -> `No
+                    in
+                    run_one ~pool ~opts ~persist:(persist_of arts) ~resume_mode
+                      ~attempt path));
+          })
+        files
+    in
+    let reports = Supervisor.run jobs in
+    List.iter
+      (fun (r : Supervisor.report) ->
+        Printf.printf "%s: %s (%d restart%s)\n" r.r_id (outcome_str r.r_outcome)
+          r.r_restarts
+          (if r.r_restarts = 1 then "" else "s"))
+      reports;
+    Supervisor.worst_exit reports
+  end
+  else
+    List.mapi
+      (fun i path ->
+        let arts = arts_for i in
+        if fault_crash >= 0 then Fault.arm_at [ fault_crash ] Fault.Crash;
+        Fun.protect
+          ~finally:(fun () -> if fault_crash >= 0 then Fault.disarm ())
+          (fun () ->
+            let resume_mode =
+              match arts with Some a when resume -> `Strict a | _ -> `No
+            in
+            Supervisor.exit_code
+              (run_one ~pool ~opts ~persist:(persist_of arts) ~resume_mode
+                 ~attempt:0 path)))
+      files
+    |> List.fold_left max 0
+
+let run files threads dump serial diff_with checkpoint resume batch fault_crash
+    =
+  if files = [] then `Error (true, "at least one BINARY is required")
+  else if serial && (checkpoint <> None || resume || batch || fault_crash >= 0)
+  then
+    `Error
+      ( true,
+        "--serial cannot be combined with --checkpoint, --resume, --batch or \
+         --fault-crash" )
+  else if resume && checkpoint = None then
+    `Error (true, "--resume requires --checkpoint")
+  else if fault_crash >= 0 && checkpoint = None then
+    `Error (true, "--fault-crash requires --checkpoint")
+  else
+    let opts = { threads; dump_funcs = dump; serial; diff_with } in
+    `Ok (main files opts checkpoint resume batch fault_crash)
+
+let files = Arg.(value & pos_all file [] & info [] ~docv:"BINARY")
+
+let threads =
+  Arg.(value & opt int 4 & info [ "j"; "threads" ] ~doc:"Worker threads")
+
 let dump = Arg.(value & flag & info [ "funcs" ] ~doc:"Dump per-function details")
 let serial = Arg.(value & flag & info [ "serial" ] ~doc:"Use the serial parser")
 
@@ -71,9 +222,47 @@ let diff_with =
     & opt (some file) None
     & info [ "diff" ] ~doc:"Diff against an older build of the same binary")
 
+let checkpoint =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "checkpoint" ] ~docv:"CP"
+        ~doc:
+          "Write crash-recovery artifacts: a CFG snapshot at $(docv) and an \
+           operation journal at $(docv).journal (with several BINARY \
+           arguments, $(docv).$(i,IDX) per file)")
+
+let resume =
+  Arg.(
+    value & flag
+    & info [ "resume" ]
+        ~doc:
+          "Seed the parse from the --checkpoint artifacts instead of starting \
+           over; a damaged checkpoint is a malformed-input error (exit 2)")
+
+let batch =
+  Arg.(
+    value & flag
+    & info [ "batch" ]
+        ~doc:
+          "Supervise each BINARY as a restartable job: a crashed analysis is \
+           retried with exponential backoff, resuming from its artifacts; the \
+           process exits with the worst per-file code")
+
+let fault_crash =
+  Arg.(
+    value & opt int (-1)
+    & info [ "fault-crash" ] ~docv:"N"
+        ~doc:
+          "Simulate a kill at task ordinal $(docv): the parse aborts before \
+           its next journal commit, leaving artifacts as a real crash would")
+
 let cmd =
   Cmd.v
     (Cmd.info "bparse" ~doc:"Construct and summarize a binary's CFG")
-    Term.(const run $ path $ threads $ dump $ serial $ diff_with)
+    Term.(
+      ret
+        (const run $ files $ threads $ dump $ serial $ diff_with $ checkpoint
+       $ resume $ batch $ fault_crash))
 
 let () = exit (Cmd.eval' cmd)

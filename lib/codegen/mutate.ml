@@ -10,9 +10,12 @@ type kind =
   | Code_splice
   | Table_smash
   | Symbol_lies
+  | Artifact_rot
 
-let all_kinds =
+let image_kinds =
   [| Header_bits; Truncate; Byte_flips; Code_splice; Table_smash; Symbol_lies |]
+
+let all_kinds = Array.append image_kinds [| Artifact_rot |]
 
 let kind_name = function
   | Header_bits -> "header-bits"
@@ -21,6 +24,7 @@ let kind_name = function
   | Code_splice -> "code-splice"
   | Table_smash -> "table-smash"
   | Symbol_lies -> "symbol-lies"
+  | Artifact_rot -> "artifact-rot"
 
 let flip_bit b i bit =
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
@@ -47,6 +51,33 @@ let rewrite_section img sname f =
   Image.write
     (Image.make ~name:img.Image.name ~entry:img.Image.entry ~sections
        img.Image.symtab)
+
+(* Recovery-artifact corruption: the kinds of damage a crashed or lying
+   disk inflicts on a checkpoint or journal file. Truncation models
+   power-loss mid-write; flips model media rot; the garbage splice models
+   a misdirected write landing inside the file; the zeroed tail models an
+   allocated-but-unwritten extent. *)
+let corrupt_artifact ~rng bytes =
+  let b = Bytes.copy bytes in
+  let n = Bytes.length b in
+  if n = 0 then b
+  else
+    match Rng.int rng 4 with
+    | 0 -> Bytes.sub b 0 (Rng.int rng n)
+    | 1 ->
+      flip_random ~rng b (1 + Rng.int rng 16);
+      b
+    | 2 ->
+      let off = Rng.int rng n in
+      let len = min (1 + Rng.int rng 64) (n - off) in
+      for i = off to off + len - 1 do
+        Bytes.set b i (Char.chr (Rng.int rng 256))
+      done;
+      b
+    | _ ->
+      let cut = Rng.int rng n in
+      Bytes.fill b cut (n - cut) '\000';
+      b
 
 let apply ~rng kind img =
   let base () = Image.write img in
@@ -111,7 +142,11 @@ let apply ~rng kind img =
     Image.write
       (Image.make ~name:img.Image.name ~entry:img.Image.entry
          ~sections:img.Image.sections st)
+  | Artifact_rot ->
+    (* on an image this degenerates to generic byte rot; the axis is
+       really aimed at recovery artifacts via {!corrupt_artifact} *)
+    corrupt_artifact ~rng (base ())
 
 let mutate ~rng img =
-  let k = Rng.choose_arr rng all_kinds in
+  let k = Rng.choose_arr rng image_kinds in
   (k, apply ~rng k img)

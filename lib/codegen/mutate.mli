@@ -18,12 +18,26 @@ type kind =
           non-terminating instruction sequences *)
   | Table_smash  (** replace [.rodata] words with wild addresses *)
   | Symbol_lies  (** re-point symbol offsets at arbitrary addresses *)
+  | Artifact_rot
+      (** corrupt a recovery artifact (checkpoint / journal): truncation,
+          bit rot, garbage splices, zeroed tails *)
+
+val image_kinds : kind array
+(** The six image-directed axes — what {!mutate} draws from. *)
 
 val all_kinds : kind array
+(** All seven axes, including [Artifact_rot]. *)
+
 val kind_name : kind -> string
 
 val apply : rng:Rng.t -> kind -> Pbca_binfmt.Image.t -> Bytes.t
 (** Produce the mutated byte image for one specific [kind]. *)
 
 val mutate : rng:Rng.t -> Pbca_binfmt.Image.t -> kind * Bytes.t
-(** Pick a kind from the stream and apply it. *)
+(** Pick an image-directed kind from the stream and apply it. *)
+
+val corrupt_artifact : rng:Rng.t -> Bytes.t -> Bytes.t
+(** Damage the bytes of an on-disk recovery artifact the way a crash or a
+    dying disk would: truncate at a random point, flip random bits, splice
+    a garbage window, or zero the tail. Deterministic in the rng stream;
+    the input is not modified. *)

@@ -1,6 +1,7 @@
-type mode = Raise | Delay of float | Starve
+type mode = Raise | Delay of float | Starve | Crash
 
 exception Injected of int
+exception Crashed of int
 
 type plan = { ordinals : (int, unit) Hashtbl.t; mode : mode }
 
@@ -12,11 +13,18 @@ let counter = Atomic.make 0
 let starved_flag = Atomic.make false
 let injected = Atomic.make 0
 
+(* Set when a [Crash] ordinal fires inside a worker task. The worker itself
+   dies with [Injected] (contained by Task_pool); the master observes the
+   flag at the next quiescent point and aborts the whole run with [Crashed],
+   simulating a process kill between two journal commits. *)
+let crash_flag = Atomic.make (-1)
+
 let disarm () =
   Atomic.set plan None;
   Atomic.set counter 0;
   Atomic.set starved_flag false;
-  Atomic.set injected 0
+  Atomic.set injected 0;
+  Atomic.set crash_flag (-1)
 
 let armed () = Atomic.get plan <> None
 
@@ -61,6 +69,14 @@ let arm ~seed ~n ~window mode =
 
 let starved () = Atomic.get starved_flag
 let injected_count () = Atomic.get injected
+let crash_pending () = Atomic.get crash_flag >= 0
+
+let check_crash () =
+  let k = Atomic.get crash_flag in
+  if k >= 0 then begin
+    Atomic.set crash_flag (-1);
+    raise (Crashed k)
+  end
 
 let on_task () =
   match Atomic.get plan with
@@ -73,4 +89,7 @@ let on_task () =
       | Raise -> raise (Injected k)
       | Delay d -> Unix.sleepf d
       | Starve -> Atomic.set starved_flag true
+      | Crash ->
+        Atomic.set crash_flag k;
+        raise (Injected k)
     end

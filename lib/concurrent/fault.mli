@@ -10,6 +10,10 @@
       exercising deadline budgets.
     - [Starve] — analysis budgets collapse to 1 from this point on
       (consumers read {!starved}), forcing degradation paths.
+    - [Crash] — the task dies with {!Injected} AND a process-wide crash
+      flag is latched; the driver checks {!check_crash} at its next
+      quiescent point and aborts with {!Crashed}, simulating a kill
+      between two journal commits.
 
     With a single-threaded pool, task execution order — and therefore which
     logical task is hit — is fully deterministic; with more threads the
@@ -17,10 +21,15 @@
     worker picked up Nth. Tests arm, run, assert, then {!disarm} in a
     [Fun.protect] finalizer so no state leaks between cases. *)
 
-type mode = Raise | Delay of float | Starve
+type mode = Raise | Delay of float | Starve | Crash
 
 exception Injected of int
 (** Carries the ordinal of the murdered task. *)
+
+exception Crashed of int
+(** Raised by {!check_crash} on the driver once a [Crash] fault has fired;
+    carries the faulting ordinal. The run must abandon in-flight work
+    without flushing its journal — exactly what a [kill -9] would do. *)
 
 val arm_at : int list -> mode -> unit
 (** Fault exactly the given task ordinals (resets the ordinal counter). *)
@@ -44,3 +53,10 @@ val starved : unit -> bool
 
 val injected_count : unit -> int
 (** Faults fired since arming. *)
+
+val crash_pending : unit -> bool
+(** True once a [Crash] fault has fired and has not yet been consumed. *)
+
+val check_crash : unit -> unit
+(** Consume a pending crash: raises {!Crashed} if one fired, else no-op.
+    Drivers call this at quiescent points, {e before} committing state. *)

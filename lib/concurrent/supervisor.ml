@@ -1,0 +1,49 @@
+type outcome =
+  | Ok_clean
+  | Ok_degraded
+  | Rejected of string
+  | Crashed of string
+
+type job = { j_id : string; j_run : attempt:int -> outcome }
+
+type config = {
+  max_restarts : int;
+  backoff_base_s : float;
+  backoff_cap_s : float;
+}
+
+let default_config =
+  { max_restarts = 3; backoff_base_s = 0.01; backoff_cap_s = 1.0 }
+
+type report = { r_id : string; r_outcome : outcome; r_restarts : int }
+
+let backoff_delay cfg k =
+  Float.min cfg.backoff_cap_s (cfg.backoff_base_s *. (2. ** float_of_int k))
+
+let run_job cfg job =
+  let rec go attempt =
+    let outcome =
+      try job.j_run ~attempt
+      with e -> Crashed (Printexc.to_string e)
+    in
+    match outcome with
+    | Ok_clean | Ok_degraded | Rejected _ ->
+      { r_id = job.j_id; r_outcome = outcome; r_restarts = attempt }
+    | Crashed _ when attempt < cfg.max_restarts ->
+      Unix.sleepf (backoff_delay cfg attempt);
+      go (attempt + 1)
+    | Crashed _ ->
+      { r_id = job.j_id; r_outcome = outcome; r_restarts = attempt }
+  in
+  go 0
+
+let run ?(config = default_config) jobs = List.map (run_job config) jobs
+
+let exit_code = function
+  | Ok_clean -> 0
+  | Ok_degraded -> 1
+  | Rejected _ -> 2
+  | Crashed _ -> 3
+
+let worst_exit reports =
+  List.fold_left (fun acc r -> max acc (exit_code r.r_outcome)) 0 reports

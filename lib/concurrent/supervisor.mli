@@ -1,0 +1,56 @@
+(** Supervised job driver with bounded restarts and exponential backoff.
+
+    A job is an [attempt:int -> outcome] closure; the supervisor runs each
+    job to completion, restarting it (with backoff) when it reports
+    [Crashed] or dies with an exception, up to [max_restarts] times. A
+    [Rejected] outcome (malformed input) is final: restarting cannot fix
+    the input, so the job is not retried. Jobs are independent — a crash
+    in one never affects its siblings — which is what lets [bparse --batch]
+    survive a binary that kills its analysis.
+
+    The module is deliberately generic: it knows nothing about CFGs or
+    checkpoints. Resumability lives in the job closure itself (the attempt
+    number tells it whether to look for a checkpoint). *)
+
+type outcome =
+  | Ok_clean  (** exit 0: complete, nothing degraded *)
+  | Ok_degraded  (** exit 1: complete but budget/deadline-degraded *)
+  | Rejected of string  (** exit 2: malformed input — never retried *)
+  | Crashed of string  (** exit 3 territory: attempt died; retry if budget left *)
+
+type job = {
+  j_id : string;  (** label used in reports *)
+  j_run : attempt:int -> outcome;
+      (** [attempt] is 0 on the first run, incremented per restart. An
+          exception escaping [j_run] is treated as [Crashed]. *)
+}
+
+type config = {
+  max_restarts : int;  (** restarts per job after the initial attempt *)
+  backoff_base_s : float;  (** sleep before restart k is [base * 2^k] ... *)
+  backoff_cap_s : float;  (** ... capped at this many seconds *)
+}
+
+val default_config : config
+(** 3 restarts, 10ms base, 1s cap. *)
+
+type report = {
+  r_id : string;
+  r_outcome : outcome;  (** outcome of the final attempt *)
+  r_restarts : int;  (** restarts actually performed *)
+}
+
+val backoff_delay : config -> int -> float
+(** [backoff_delay cfg k] is the sleep before restart [k] (0-based):
+    [min cap (base *. 2. ** k)]. Exposed for tests. *)
+
+val run : ?config:config -> job list -> report list
+(** Run every job under supervision, in order, returning one report per
+    job (same order). Never raises: a job that exhausts its restarts is
+    reported with its last [Crashed] outcome. *)
+
+val exit_code : outcome -> int
+(** Map an outcome to the bparse exit contract: 0 / 1 / 2 / 3. *)
+
+val worst_exit : report list -> int
+(** Max of the per-job exit codes; 0 for an empty batch. *)

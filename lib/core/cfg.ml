@@ -98,6 +98,12 @@ type stats = {
   contention : Pbca_concurrent.Contention.t;
       (* shared by every Addr_map and visited-set of this graph *)
   finalize : finalize_stats;
+  journal_records : int Atomic.t;
+  replayed_ops : int Atomic.t;
+  resume_count : int Atomic.t;
+  supervisor_restarts : int Atomic.t;
+  deadline_checks : int Atomic.t;
+  deadline_polls : int Atomic.t;
 }
 
 type t = {
@@ -110,10 +116,20 @@ type t = {
   next_table_id : int Atomic.t;
   static_entries : unit Addr_map.t;
   ft_guard : unit Addr_map.t;
-  degraded : unit Addr_map.t;
+  degraded : bool Addr_map.t;
       (* addresses where a budget cut or task failure forced the safe
-         over-approximation; consulted by the checker and diff tooling *)
+         over-approximation; consulted by the checker and diff tooling.
+         The value records whether the mark was deadline-caused: those are
+         dropped on resume because the lost work is re-done. *)
   deadline : float; (* absolute wall-clock bound, [infinity] when off *)
+  dl_counter : int Atomic.t;
+      (* deadline checks since the last real clock poll; the clock is only
+         consulted every [Config.deadline_poll_every] checks *)
+  dl_past : bool Atomic.t; (* latched: once past, always past *)
+  mutable journal : Journal.writer option;
+      (* set by Parallel while a persistent parse runs; mutations emit ops
+         through [jemit] while attached. Single-writer: attached/detached
+         only at quiescent points. *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
 }
@@ -142,6 +158,9 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       (if config.Config.deadline_s > 0.0 then
          Unix.gettimeofday () +. config.Config.deadline_s
        else infinity);
+    dl_counter = Atomic.make 0;
+    dl_past = Atomic.make false;
+    journal = None;
     stats =
       {
         insns_decoded = Atomic.make 0;
@@ -157,9 +176,52 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
         task_failures = Pbca_concurrent.Conc_bag.create ();
         contention = counters;
         finalize = fresh_finalize_stats ();
+        journal_records = Atomic.make 0;
+        replayed_ops = Atomic.make 0;
+        resume_count = Atomic.make 0;
+        supervisor_restarts = Atomic.make 0;
+        deadline_checks = Atomic.make 0;
+        deadline_polls = Atomic.make 0;
       };
     trace;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Journal plumbing. Emission points sit inside the same critical
+   sections as the mutations they describe, so sequence order respects
+   the real order of any two conflicting ops.                          *)
+
+let edge_kind_code = function
+  | Fallthrough -> 0
+  | Jump -> 1
+  | Cond_taken -> 2
+  | Cond_fall -> 3
+  | Call -> 4
+  | Call_fallthrough -> 5
+  | Indirect -> 6
+  | Tail_call -> 7
+
+let edge_kind_of_code = function
+  | 0 -> Fallthrough
+  | 1 -> Jump
+  | 2 -> Cond_taken
+  | 3 -> Cond_fall
+  | 4 -> Call
+  | 5 -> Call_fallthrough
+  | 6 -> Indirect
+  | 7 -> Tail_call
+  | n -> invalid_arg (Printf.sprintf "Cfg.edge_kind_of_code: %d" n)
+
+let set_journal t w = t.journal <- w
+
+let jemit t op =
+  match t.journal with
+  | None -> ()
+  | Some w ->
+    Journal.emit w op;
+    Atomic.incr t.stats.journal_records
+
+let journal_emit = jemit
 
 (* ------------------------------------------------------------------ *)
 (* Robustness bookkeeping: budgets, degradation marks, task failures.  *)
@@ -170,14 +232,21 @@ let budget_counter t = function
   | B_table -> t.stats.budget_table
   | B_deadline -> t.stats.budget_deadline
 
-let mark_degraded t addr =
-  if addr >= 0 then ignore (Addr_map.insert_if_absent t.degraded addr ())
+let mark_degraded ?(deadline = false) t addr =
+  if addr >= 0 && Addr_map.insert_if_absent t.degraded addr deadline then
+    jemit t (Journal.Op_degraded { addr; deadline })
+
+let unmark_degraded t addr = ignore (Addr_map.remove t.degraded addr)
+
+let degraded_list t =
+  Addr_map.fold (fun a dl acc -> (a, dl) :: acc) t.degraded []
+  |> List.sort compare
 
 let note_budget t site = Atomic.incr (budget_counter t site)
 
 let record_degraded t site addr =
   note_budget t site;
-  mark_degraded t addr
+  mark_degraded ~deadline:(site = B_deadline) t addr
 
 let record_task_failure t ~site ~detail =
   Pbca_concurrent.Conc_bag.add t.stats.task_failures (site, detail)
@@ -187,7 +256,7 @@ let degraded_count t = Addr_map.length t.degraded
 
 let degraded_within t ~lo ~hi =
   Addr_map.fold
-    (fun a () acc -> acc || (a >= lo && a < hi))
+    (fun a _ acc -> acc || (a >= lo && a < hi))
     t.degraded false
 
 let func_degraded t (f : func) =
@@ -200,7 +269,30 @@ let task_failure_count t =
   Pbca_concurrent.Conc_bag.length t.stats.task_failures
 
 let task_failures t = Pbca_concurrent.Conc_bag.to_list t.stats.task_failures
-let past_deadline t = t.deadline < infinity && Unix.gettimeofday () > t.deadline
+
+(* Deadline checks run on every parse/traversal/table work unit; paying a
+   [gettimeofday] syscall each time dominated the hot path. The clock is
+   polled only every [deadline_poll_every] checks and the verdict latched
+   once true — a deadline can only ever be *more* past. The coarsening
+   delays detection by at most N-1 work units, all of which would have
+   been legal before the poll anyway. *)
+let past_deadline t =
+  if t.deadline = infinity then false
+  else if Atomic.get t.dl_past then true
+  else begin
+    Atomic.incr t.stats.deadline_checks;
+    let every = max 1 t.config.Config.deadline_poll_every in
+    let k = Atomic.fetch_and_add t.dl_counter 1 in
+    if k mod every = 0 then begin
+      Atomic.incr t.stats.deadline_polls;
+      if Unix.gettimeofday () > t.deadline then begin
+        Atomic.set t.dl_past true;
+        true
+      end
+      else false
+    end
+    else false
+  end
 
 (* Budget-starvation fault injection: while a [Starve] fault is live, every
    enabled budget reads as 1, forcing the degradation paths without any
@@ -240,25 +332,32 @@ let new_block start =
 
 let find_or_create_block t addr =
   let b, created = Addr_map.find_or_insert t.blocks addr (fun () -> new_block addr) in
-  if created then Atomic.incr t.stats.blocks_created;
+  if created then begin
+    Atomic.incr t.stats.blocks_created;
+    jemit t (Journal.Op_block addr)
+  end;
   (b, created)
 
 let find_or_create_func t ~name ~from_symtab addr =
   let entry, _ = find_or_create_block t addr in
-  Addr_map.find_or_insert t.funcs addr (fun () ->
-      {
-        f_entry_addr = addr;
-        f_entry = entry;
-        f_name = name;
-        f_from_symtab = from_symtab;
-        f_ret = Atomic.make Unset;
-        f_ret_dep = Atomic.make None;
-        f_waiters = Atomic.make [];
-        f_visited =
-          Pbca_concurrent.Atomic_intset.create ~capacity:16
-            ~counters:t.stats.contention ();
-        f_blocks = [];
-      })
+  let f, created =
+    Addr_map.find_or_insert t.funcs addr (fun () ->
+        {
+          f_entry_addr = addr;
+          f_entry = entry;
+          f_name = name;
+          f_from_symtab = from_symtab;
+          f_ret = Atomic.make Unset;
+          f_ret_dep = Atomic.make None;
+          f_waiters = Atomic.make [];
+          f_visited =
+            Pbca_concurrent.Atomic_intset.create ~capacity:16
+              ~counters:t.stats.contention ();
+          f_blocks = [];
+        })
+  in
+  if created then jemit t (Journal.Op_func { entry = addr; name; from_symtab });
+  (f, created)
 
 let add_edge t ?jt src dst kind =
   let e =
@@ -274,7 +373,29 @@ let add_edge t ?jt src dst kind =
   push_atomic src.b_out e;
   push_atomic dst.b_in e;
   Atomic.incr t.stats.edges_created;
+  jemit t
+    (Journal.Op_edge
+       { src = src.b_start; dst = dst.b_start; kind = edge_kind_code kind; jt });
   e
+
+let set_term t b insn =
+  Atomic.set b.b_term insn;
+  jemit t (Journal.Op_term { start = b.b_start; insn })
+
+let set_degenerate t b =
+  Atomic.set b.b_end b.b_start;
+  jemit t
+    (Journal.Op_end
+       {
+         start = b.b_start;
+         end_ = b.b_start;
+         ninsns = Atomic.get b.b_ninsns;
+       })
+
+let jemit_end t b end_ =
+  jemit t
+    (Journal.Op_end
+       { start = b.b_start; end_; ninsns = Atomic.get b.b_ninsns })
 
 let watch b f = push_atomic b.b_watchers f
 
@@ -290,6 +411,7 @@ let register_end t block0 ~end_:end0 ~on_win ~on_done =
           | None ->
             Atomic.set block.b_end end_;
             if first then on_win block;
+            jemit_end t block end_;
             changed := block :: !changed;
             (Some block, None)
           | Some other when other == block -> (Some other, None)
@@ -303,10 +425,19 @@ let register_end t block0 ~end_:end0 ~on_win ~on_done =
                  which already holds the canonical copies — drop ours
                  (O_BER: outgoing edges go with the upper fragment). *)
               List.iter
-                (fun e -> Atomic.set e.e_dead true)
+                (fun e ->
+                  Atomic.set e.e_dead true;
+                  jemit t
+                    (Journal.Op_edge_dead
+                       {
+                         src = e.e_src.b_start;
+                         dst = e.e_dst.b_start;
+                         kind = edge_kind_code e.e_kind;
+                       }))
                 (Atomic.exchange block.b_out []);
               Atomic.set block.b_end other.b_start;
-              Atomic.set block.b_term None;
+              set_term t block None;
+              jemit_end t block other.b_start;
               ignore (add_edge t block other Fallthrough);
               changed := block :: !changed;
               (Some other, Some (block, other.b_start))
@@ -320,14 +451,36 @@ let register_end t block0 ~end_:end0 ~on_win ~on_done =
               if Atomic.get block.b_out = [] then
                 List.iter
                   (fun e ->
+                    let old_src = e.e_src.b_start in
                     e.e_src <- block;
-                    push_atomic block.b_out e)
+                    push_atomic block.b_out e;
+                    jemit t
+                      (Journal.Op_edge_move
+                         {
+                           src = old_src;
+                           dst = e.e_dst.b_start;
+                           kind = edge_kind_code e.e_kind;
+                           new_src = block.b_start;
+                         }))
                   moved
-              else List.iter (fun e -> Atomic.set e.e_dead true) moved;
-              Atomic.set block.b_term (Atomic.get other.b_term);
-              Atomic.set other.b_term None;
+              else
+                List.iter
+                  (fun e ->
+                    Atomic.set e.e_dead true;
+                    jemit t
+                      (Journal.Op_edge_dead
+                         {
+                           src = e.e_src.b_start;
+                           dst = e.e_dst.b_start;
+                           kind = edge_kind_code e.e_kind;
+                         }))
+                  moved;
+              set_term t block (Atomic.get other.b_term);
+              set_term t other None;
               Atomic.set other.b_end block.b_start;
+              jemit_end t other block.b_start;
               Atomic.set block.b_end end_;
+              jemit_end t block end_;
               ignore (add_edge t other block Fallthrough);
               changed := other :: block :: !changed;
               (Some block, Some (other, block.b_start))

@@ -133,6 +133,20 @@ type stats = {
           address map and visited-set of this graph — the direct measure of
           how contended the lock-free hot paths actually were *)
   finalize : finalize_stats;
+  journal_records : int Atomic.t;
+      (** construction ops emitted to an attached {!Journal} writer *)
+  replayed_ops : int Atomic.t;
+      (** ops re-applied from a checkpoint/journal during resume *)
+  resume_count : int Atomic.t;
+      (** times this graph was resumed from persisted state *)
+  supervisor_restarts : int Atomic.t;
+      (** restarts the {!Pbca_concurrent.Supervisor} performed for the job
+          that produced this graph (set by the batch driver) *)
+  deadline_checks : int Atomic.t;
+      (** {!past_deadline} calls while a deadline was armed and not latched *)
+  deadline_polls : int Atomic.t;
+      (** of those, how many actually paid the [gettimeofday] syscall;
+          [checks - polls] is the syscall saving of the coarsened clock *)
 }
 
 type t = {
@@ -153,14 +167,24 @@ type t = {
       (** once-guard per call site: the call-fall-through edge of a given
           call end address is created exactly once even when the waiter
           registration races with the callee's status transition *)
-  degraded : unit Addr_map.t;
+  degraded : bool Addr_map.t;
       (** addresses at which a budget cut, deadline skip or task failure
           forced the safe over-approximation (block kept but truncated,
           table left unresolved, traversal abandoned); the checker treats
-          differences explained by these marks as [Expected] *)
+          differences explained by these marks as [Expected]. The value is
+          true for deadline-caused marks, which resume drops and re-does *)
   deadline : float;
       (** absolute wall-clock bound derived from [Config.deadline_s] at
           {!create} time; [infinity] when the deadline is off *)
+  dl_counter : int Atomic.t;
+      (** deadline checks since the last real clock poll *)
+  dl_past : bool Atomic.t;
+      (** latched deadline verdict: once past, always past — lets
+          {!past_deadline} skip the clock entirely after the first hit *)
+  mutable journal : Journal.writer option;
+      (** attached by {!Parallel} for persistent parses; every structural
+          mutation emits a {!Journal.op} while set. Attach/detach only at
+          quiescent points (use {!set_journal}). *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
 }
@@ -179,9 +203,11 @@ val create :
 val note_budget : t -> budget_site -> unit
 (** Bump the counter for [site] without marking an address. *)
 
-val mark_degraded : t -> int -> unit
+val mark_degraded : ?deadline:bool -> t -> int -> unit
 (** Mark an address degraded without charging a budget (negative addresses
-    — hostile jump targets — are counted nowhere and silently dropped). *)
+    — hostile jump targets — are counted nowhere and silently dropped).
+    [~deadline:true] tags the mark as deadline-caused in the journal, so
+    resume drops it: the lost work is re-done under the renewed deadline. *)
 
 val record_degraded : t -> budget_site -> int -> unit
 (** [note_budget] + [mark_degraded]. *)
@@ -190,6 +216,12 @@ val record_task_failure : t -> site:string -> detail:string -> unit
 val degraded_at : t -> int -> bool
 val degraded_count : t -> int
 val degraded_within : t -> lo:int -> hi:int -> bool
+
+val unmark_degraded : t -> int -> unit
+(** Drop a mark (resume only: the work is about to be re-done). *)
+
+val degraded_list : t -> (int * bool) list
+(** Sorted [(addr, deadline_caused)] marks. Quiescent use only. *)
 
 val func_degraded : t -> func -> bool
 (** True when the function's entry, any visited block or any finalized
@@ -224,6 +256,32 @@ val find_or_create_func : t -> name:string -> from_symtab:bool -> int -> func * 
 
 val add_edge : t -> ?jt:int * int -> block -> block -> edge_kind -> edge
 (** Append an edge; both endpoint lists are updated. *)
+
+val set_term : t -> block -> Pbca_isa.Insn.t option -> unit
+(** Set (or clear) a block's terminator, journaling the change. Same
+    locking discipline as the rest of the split protocol: call only under
+    the ends-entry lock or on a block no one else owns yet. *)
+
+val set_degenerate : t -> block -> unit
+(** Collapse a candidate to the degenerate empty block ([end = start]),
+    journaling the change. Degenerate blocks own no ends-map entry. *)
+
+(** {2 Journal plumbing} *)
+
+val edge_kind_code : edge_kind -> int
+val edge_kind_of_code : int -> edge_kind
+(** Stable wire codes for {!Journal.Op_edge}. [edge_kind_of_code] raises
+    [Invalid_argument] outside [0..7]. *)
+
+val set_journal : t -> Journal.writer option -> unit
+(** Attach/detach the journal. Quiescent points only: detach {e before}
+    finalization (finalize removals are deliberately not journaled — the
+    checkpoint/journal pair always describes a pre-finalize graph). *)
+
+val journal_emit : t -> Journal.op -> unit
+(** Emit an op through the attached writer (no-op when detached), counting
+    it in [stats.journal_records]. For emission sites that live outside
+    [Cfg] itself, e.g. the jump-table frontier in {!Parallel}. *)
 
 val register_end :
   t ->

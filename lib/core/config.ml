@@ -8,6 +8,7 @@ type t = {
   max_slice_steps : int;
   max_table_entries : int;
   deadline_s : float;
+  deadline_poll_every : int;
 }
 
 let default =
@@ -21,4 +22,5 @@ let default =
     max_slice_steps = 4096;
     max_table_entries = 4096;
     deadline_s = 0.0;
+    deadline_poll_every = 32;
   }

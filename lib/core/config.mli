@@ -33,6 +33,11 @@ type t = {
       (** global work-unit deadline in seconds, measured from [Cfg.create];
           once past, remaining parse/traversal/table work is skipped and
           the affected sites marked degraded. 0 disables. *)
+  deadline_poll_every : int;
+      (** poll the real clock only every N deadline checks (the verdict is
+          latched once true, so coarsening only delays detection by at most
+          N-1 work units); [Cfg.stats] counts checks vs. polls so the bench
+          can report the syscalls saved *)
 }
 
 val default : t

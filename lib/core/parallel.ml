@@ -128,7 +128,7 @@ and parse_block ctx (b : Cfg.block) =
        decodable") so watchers unblock and the region can drain *)
     if Cfg.is_candidate b then begin
       Cfg.record_degraded g Cfg.B_deadline b.Cfg.b_start;
-      Atomic.set b.Cfg.b_end b.Cfg.b_start;
+      Cfg.set_degenerate g b;
       notify_watchers ctx b
     end
   end
@@ -138,7 +138,7 @@ and parse_block ctx (b : Cfg.block) =
     (* terminator-edge creation, run under the ends-entry lock when this
        block wins the registration (Invariant 3) *)
     let on_win_cf insn ~addr ~len ~prev (blk : Cfg.block) =
-      Atomic.set blk.Cfg.b_term (Some insn);
+      Cfg.set_term g blk (Some insn);
       let target kind t =
         (* A hostile relative branch can aim below address zero; no block
            can live there, so drop the edge and flag the site instead of
@@ -176,7 +176,10 @@ and parse_block ctx (b : Cfg.block) =
         let reg =
           match insn with Insn.Jmp_ind r -> r | _ -> assert false
         in
-        ignore (Addr_map.insert_if_absent ctx.jt_pending (addr + len) reg)
+        if Addr_map.insert_if_absent ctx.jt_pending (addr + len) reg then
+          Cfg.journal_emit g
+            (Journal.Op_jt_pending
+               { end_ = addr + len; reg = Reg.to_int reg })
       | Semantics.Call_direct t ->
         target Cfg.Call t;
         let call_end = addr + len in
@@ -229,7 +232,7 @@ and parse_block ctx (b : Cfg.block) =
           Atomic.set b.Cfg.b_ninsns n;
           if a = b.Cfg.b_start then begin
             (* nothing decodable here: degenerate empty block *)
-            Atomic.set b.Cfg.b_end b.Cfg.b_start;
+            Cfg.set_degenerate g b;
             notify_watchers ctx b
           end
           else
@@ -264,7 +267,7 @@ let run_jt_analysis ctx end_addr reg =
        over-approximation; mark the site so the checker can explain it *)
     Cfg.record_degraded g Cfg.B_deadline blk.Cfg.b_start;
     (match Disasm.terminator g blk with
-    | Some (a, _, _) -> Cfg.mark_degraded g a
+    | Some (a, _, _) -> Cfg.mark_degraded ~deadline:true g a
     | None -> ())
   | Some blk ->
     let outcome = Jump_table.analyze g blk reg in
@@ -312,8 +315,11 @@ let finish_tables ctx =
 
 (* ------------------------------------------------------------------ *)
 
+type persist = { p_journal : string; p_checkpoint : string; p_every : int }
+
 let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
-    ~pool image =
+    ?persist ?resume ~pool image =
+  let t0 = Unix.gettimeofday () in
   let g = Cfg.create ~config ~trace image in
   let ctx =
     {
@@ -323,6 +329,91 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       jt_last = Addr_map.create ~counters:g.Cfg.stats.contention ();
     }
   in
+  (* Resume: replay the durable op stream into the fresh graph before any
+     region opens — replay is strictly single-threaded and unjournaled. *)
+  let resumed_progress =
+    match resume with
+    | None -> 0.0
+    | Some plan ->
+      ignore
+        (Recover.apply g plan ~on_jt_pending:(fun ~end_ ~reg ->
+             ignore
+               (Addr_map.insert_if_absent ctx.jt_pending end_ (Reg.of_int reg))));
+      plan.Recover.pl_progress_s
+  in
+  (* Resume seeding, captured while still quiescent: candidates re-parse,
+     every function re-walks (rebuilding watchers, visited sets and the
+     return-status fixed point), and every resolved call terminator
+     re-fires its noreturn bookkeeping — waiter lists are not persisted,
+     and the fall-through guard makes the re-fire idempotent. *)
+  let resume_seed =
+    match resume with
+    | None -> None
+    | Some _ ->
+      let blocks = Cfg.blocks_list g in
+      let candidates = List.filter Cfg.is_candidate blocks in
+      let calls =
+        List.filter_map
+          (fun (b : Cfg.block) ->
+            if Cfg.block_end b >= 0 then
+              match Atomic.get b.Cfg.b_term with
+              | Some insn -> Some (b, insn)
+              | None -> None
+            else None)
+          blocks
+      in
+      Some (candidates, Cfg.funcs_list g, calls)
+  in
+  let round =
+    ref (match resume with Some plan -> plan.Recover.pl_round + 1 | None -> 0)
+  in
+  let round_base = !round in
+  let journal =
+    match persist with
+    | None -> None
+    | Some p ->
+      let w = Journal.create_writer ~path:p.p_journal in
+      (match resume with
+      | Some plan -> Journal.set_seq_floor w plan.Recover.pl_seq_max
+      | None -> ());
+      Some w
+  in
+  Cfg.set_journal g journal;
+  let save_checkpoint () =
+    match (persist, journal) with
+    | Some p, Some w ->
+      Checkpoint.save ~path:p.p_checkpoint ~round:!round
+        ~pending:
+          (List.map
+             (fun (a, r) -> (a, Reg.to_int r))
+             (Addr_map.to_list ctx.jt_pending))
+        ~seq_floor:(Journal.last_seq w)
+        ~progress_s:(resumed_progress +. (Unix.gettimeofday () -. t0))
+        g
+    | _ -> ()
+  in
+  (* Quiescent point: regions drained, no emitter active. A pending
+     simulated crash fires *before* the flush, so the dying round leaves
+     no commit — exactly a process kill between two durable points. *)
+  let quiesce ~checkpoint =
+    Pbca_concurrent.Fault.check_crash ();
+    match journal with
+    | None -> ()
+    | Some w ->
+      Journal.flush w ~round:!round;
+      (match persist with
+      | Some p
+        when checkpoint
+             && (p.p_every <= 1 || (!round - round_base) mod p.p_every = 0) ->
+        save_checkpoint ()
+      | _ -> ());
+      incr round
+  in
+  (* The initial checkpoint makes the artifact pair valid from the very
+     first instant: a crash inside round 0 (or a second crash right after
+     a resume, before new progress commits) resumes from here instead of
+     failing to load anything. *)
+  save_checkpoint ();
   let symbols =
     let funcs = Symtab.functions image.Image.symtab in
     let entries =
@@ -342,64 +433,108 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
         Cfg.record_task_failure g ~site ~detail:(Printexc.to_string e))
       (Task_pool.run_collect pool root)
   in
-  (* Stage 1: initialize functions from the symbol table, in parallel
-     (Listing 2 line 1), then drain the traversal. *)
-  run_contained "init" (fun spawn ->
-      ctx.spawn <- spawn;
-      Trace.run trace ~label:"init" ~deps:[] (fun () ->
-          let chunk = 64 in
-          let n = Array.length symbols in
-          let rec spawn_chunks i =
-            if i < n then begin
-              let hi = min n (i + chunk) in
-              spawn_traced ctx "init" (fun () ->
-                  for k = i to hi - 1 do
-                    Trace.tick trace 4;
-                    ignore (ensure_func ctx symbols.(k))
-                  done);
-              spawn_chunks hi
-            end
-          in
-          spawn_chunks 0));
-  (* Stage 2: jump-table fixed point + deferred non-returning drains. Each
-     round is a full synchronization: record it for the replay model. *)
-  let rec rounds n =
-    let edges_before = Atomic.get g.Cfg.stats.edges_created in
-    Trace.barrier trace;
-    run_contained "jt-round" (fun spawn ->
-        ctx.spawn <- spawn;
-        Trace.run trace ~label:"jt-round" ~deps:[] (fun () ->
-            Addr_map.iter
-              (fun end_addr reg ->
-                spawn_traced ctx "jt" (fun () ->
-                    run_jt_analysis ctx end_addr reg))
-              ctx.jt_pending));
-    let fired =
-      if not config.Config.eager_noreturn then begin
-        let fired = ref false in
-        run_contained "noreturn-drain" (fun spawn ->
-            ctx.spawn <- spawn;
-            fired := Noreturn.drain_pending g ~fire:(fire_fallthrough ctx));
-        !fired
-      end
-      else false
-    in
-    let progress =
-      Atomic.get g.Cfg.stats.edges_created <> edges_before || fired
-    in
-    if progress && n < 100_000 && not (Cfg.past_deadline g) then
-      rounds (n + 1)
+  let journal_done = ref false in
+  let detach_journal () =
+    if not !journal_done then begin
+      journal_done := true;
+      Cfg.set_journal g None;
+      match journal with None -> () | Some w -> Journal.close w
+    end
   in
-  rounds 0;
-  (* Stage 3: unresolved statuses are non-returning (cyclic rule); no new
-     fall-throughs can arise from that, so traversal is complete. *)
-  Noreturn.resolve_unset g;
-  finish_tables ctx;
-  Trace.barrier trace;
-  ctx.spawn <- (fun _ -> invalid_arg "Parallel: region closed");
-  g
+  Fun.protect ~finally:detach_journal (fun () ->
+      (* Stage 1: initialize functions from the symbol table, in parallel
+         (Listing 2 line 1), then drain the traversal. On resume the same
+         region also re-seeds the recovered frontier. *)
+      run_contained "init" (fun spawn ->
+          ctx.spawn <- spawn;
+          Trace.run trace ~label:"init" ~deps:[] (fun () ->
+              let chunk = 64 in
+              let n = Array.length symbols in
+              let rec spawn_chunks i =
+                if i < n then begin
+                  let hi = min n (i + chunk) in
+                  spawn_traced ctx "init" (fun () ->
+                      for k = i to hi - 1 do
+                        Trace.tick trace 4;
+                        ignore (ensure_func ctx symbols.(k))
+                      done);
+                  spawn_chunks hi
+                end
+              in
+              spawn_chunks 0;
+              match resume_seed with
+              | None -> ()
+              | Some (candidates, funcs, calls) ->
+                List.iter
+                  (fun b ->
+                    spawn_traced ctx "parse" (fun () -> parse_block ctx b))
+                  candidates;
+                List.iter
+                  (fun (f : Cfg.func) ->
+                    Noreturn.seed_status g f;
+                    spawn_traced ctx "walk" (fun () ->
+                        process_block ctx f f.Cfg.f_entry))
+                  funcs;
+                List.iter
+                  (fun ((b : Cfg.block), insn) ->
+                    let len = Pbca_isa.Codec.encoded_length insn in
+                    let call_end = Cfg.block_end b in
+                    match
+                      Semantics.flow ~addr:(call_end - len) ~len insn
+                    with
+                    | Semantics.Call_direct t when t >= 0 ->
+                      let callee = ensure_func ctx t in
+                      Noreturn.request_fallthrough g ~callee ~call_end
+                        ~fire:(fire_fallthrough ctx)
+                    | _ -> ())
+                  calls));
+      quiesce ~checkpoint:false;
+      (* Stage 2: jump-table fixed point + deferred non-returning drains.
+         Each round is a full synchronization: record it for the replay
+         model, and commit it to the journal. *)
+      let rec rounds n =
+        let edges_before = Atomic.get g.Cfg.stats.edges_created in
+        Trace.barrier trace;
+        run_contained "jt-round" (fun spawn ->
+            ctx.spawn <- spawn;
+            Trace.run trace ~label:"jt-round" ~deps:[] (fun () ->
+                Addr_map.iter
+                  (fun end_addr reg ->
+                    spawn_traced ctx "jt" (fun () ->
+                        run_jt_analysis ctx end_addr reg))
+                  ctx.jt_pending));
+        let fired =
+          if not config.Config.eager_noreturn then begin
+            let fired = ref false in
+            run_contained "noreturn-drain" (fun spawn ->
+                ctx.spawn <- spawn;
+                fired := Noreturn.drain_pending g ~fire:(fire_fallthrough ctx));
+            !fired
+          end
+          else false
+        in
+        let progress =
+          Atomic.get g.Cfg.stats.edges_created <> edges_before || fired
+        in
+        quiesce ~checkpoint:true;
+        if progress && n < 100_000 && not (Cfg.past_deadline g) then
+          rounds (n + 1)
+      in
+      rounds 0;
+      (* Stage 3: unresolved statuses are non-returning (cyclic rule); no
+         new fall-throughs can arise from that, so traversal is complete. *)
+      Noreturn.resolve_unset g;
+      finish_tables ctx;
+      Trace.barrier trace;
+      ctx.spawn <- (fun _ -> invalid_arg "Parallel: region closed");
+      (* Final durable point: flush, snapshot the completed (pre-finalize)
+         graph, then detach — finalization mutations are never journaled. *)
+      quiesce ~checkpoint:false;
+      save_checkpoint ();
+      detach_journal ();
+      g)
 
-let parse_and_finalize ?config ?trace ~pool image =
-  let g = parse ?config ?trace ~pool image in
+let parse_and_finalize ?config ?trace ?persist ?resume ~pool image =
+  let g = parse ?config ?trace ?persist ?resume ~pool image in
   Finalize.run ~pool g;
   g

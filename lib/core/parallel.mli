@@ -13,20 +13,46 @@
     Work is scheduled on a work-stealing task pool; one task parses one
     block, walks one function fragment, or analyzes one jump table. When a
     trace is supplied, every task records its cost and dependencies for
-    {!Pbca_simsched.Replay}. *)
+    {!Pbca_simsched.Replay}.
+
+    {2 Durability}
+
+    With [?persist], the parse journals every construction op and commits
+    at quiescent points (after init, after every jump-table round, and
+    once more before returning), checkpointing the graph every
+    [p_every] rounds plus once at the very start and once at the end.
+    With [?resume], the worklist is seeded from a {!Recover.plan}: the
+    durable op stream is replayed first, then every candidate block
+    re-parses, every function re-walks, and every resolved call terminator
+    re-fires its noreturn bookkeeping (idempotently, behind the
+    fall-through guard). A {!Pbca_concurrent.Fault} [Crash] fault aborts
+    the parse with [Fault.Crashed] at the next quiescent point, {e before}
+    that round commits — the on-disk artifacts then look exactly like a
+    process kill. *)
+
+type persist = {
+  p_journal : string;  (** journal path (created/truncated) *)
+  p_checkpoint : string;  (** checkpoint path (atomically replaced) *)
+  p_every : int;  (** checkpoint every N rounds; [<= 1] = every round *)
+}
 
 val parse :
   ?config:Config.t ->
   ?trace:Pbca_simsched.Trace.t ->
+  ?persist:persist ->
+  ?resume:Recover.plan ->
   pool:Pbca_concurrent.Task_pool.t ->
   Pbca_binfmt.Image.t ->
   Cfg.t
 (** Expansion phase only; call {!Finalize.run} afterwards for the full
-    pipeline (or use {!parse_and_finalize}). *)
+    pipeline (or use {!parse_and_finalize}). May raise
+    [Pbca_concurrent.Fault.Crashed] when a simulated crash is armed. *)
 
 val parse_and_finalize :
   ?config:Config.t ->
   ?trace:Pbca_simsched.Trace.t ->
+  ?persist:persist ->
+  ?resume:Recover.plan ->
   pool:Pbca_concurrent.Task_pool.t ->
   Pbca_binfmt.Image.t ->
   Cfg.t

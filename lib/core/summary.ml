@@ -152,6 +152,25 @@ let pp_stats fmt (g : Cfg.t) =
       (Atomic.get s.budget_table)
       (Atomic.get s.budget_deadline)
       failures;
+  if
+    Atomic.get s.journal_records > 0
+    || Atomic.get s.replayed_ops > 0
+    || Atomic.get s.resume_count > 0
+    || Atomic.get s.supervisor_restarts > 0
+  then
+    Format.fprintf fmt
+      "@ recovery: journal_records=%d replayed_ops=%d resume_count=%d \
+       supervisor_restarts=%d"
+      (Atomic.get s.journal_records)
+      (Atomic.get s.replayed_ops)
+      (Atomic.get s.resume_count)
+      (Atomic.get s.supervisor_restarts);
+  if Atomic.get s.deadline_checks > 0 then
+    Format.fprintf fmt
+      "@ deadline_clock: checks=%d polls=%d syscalls_saved=%d"
+      (Atomic.get s.deadline_checks)
+      (Atomic.get s.deadline_polls)
+      (Atomic.get s.deadline_checks - Atomic.get s.deadline_polls);
   let fz = s.finalize in
   if fz.Cfg.fz_rounds > 0 then
     Format.fprintf fmt

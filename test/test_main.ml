@@ -14,5 +14,6 @@ let () =
       ("analysis", Test_analysis.suite);
       ("simsched", Test_simsched.suite);
       ("robustness", Test_robustness.suite);
+      ("recovery", Test_recovery.suite);
       ("apps", Test_apps.suite);
     ]
