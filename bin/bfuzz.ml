@@ -30,15 +30,31 @@ module Fault = Pbca_concurrent.Fault
 module Mutate = Pbca_codegen.Mutate
 module Rng = Pbca_codegen.Rng
 module Profile = Pbca_codegen.Profile
+module Otrace = Pbca_obs.Trace
+module Clock = Pbca_obs.Clock
+module Metrics = Pbca_obs.Metrics
 
 type outcome = Clean | Degraded | Malformed of string | Crash of string
 
-let classify ~pool ~config bytes =
+(* observability sinks shared by every mutant: spans append to [obs_trace],
+   each mutant's per-run registry merges into [obs_metrics] *)
+type obs = { obs_trace : Otrace.t; obs_metrics : Metrics.t option }
+
+let record_metrics obs (g : Cfg.t) =
+  match obs.obs_metrics with
+  | Some acc -> Metrics.merge ~into:acc g.Cfg.metrics
+  | None -> ()
+
+let classify ~pool ~config ~obs bytes =
   match Image.read_result bytes with
   | Error e -> Malformed (Parse_error.to_string e)
   | Ok img -> (
     try
-      let g = Pbca_core.Parallel.parse_and_finalize ~config ~pool img in
+      let g =
+        Pbca_core.Parallel.parse_and_finalize ~config ~otrace:obs.obs_trace
+          ~pool img
+      in
+      record_metrics obs g;
       if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then Degraded
       else Clean
     with e -> Crash (Printexc.to_string e))
@@ -78,7 +94,7 @@ let corrupt_file ~rng path =
    init, some mid-rounds, some not at all), rot one artifact, resume.
    A rejected checkpoint is the malformed outcome; a resume that loads
    must reproduce the uninterrupted run's CFG bit for bit. *)
-let classify_resume ~pool ~config ~rng ~clean_sum img =
+let classify_resume ~pool ~config ~obs ~rng ~clean_sum img =
   with_artifacts (fun cp j ->
       let persist =
         { Parallel.p_journal = j; p_checkpoint = cp; p_every = 1 }
@@ -87,7 +103,10 @@ let classify_resume ~pool ~config ~rng ~clean_sum img =
         ~finally:(fun () -> Fault.disarm ())
         (fun () ->
           Fault.arm_at [ Rng.int rng 600 ] Fault.Crash;
-          try ignore (Parallel.parse_and_finalize ~config ~persist ~pool img)
+          try
+            ignore
+              (Parallel.parse_and_finalize ~config ~otrace:obs.obs_trace
+                 ~persist ~pool img)
           with _ -> ());
       corrupt_file ~rng (if Rng.bool rng 0.5 then cp else j);
       match
@@ -97,7 +116,11 @@ let classify_resume ~pool ~config ~rng ~clean_sum img =
       | Error e -> Malformed (Parse_error.to_string e)
       | Ok plan -> (
         try
-          let g = Parallel.parse_and_finalize ~config ~resume:plan ~pool img in
+          let g =
+            Parallel.parse_and_finalize ~config ~otrace:obs.obs_trace
+              ~resume:plan ~pool img
+          in
+          record_metrics obs g;
           if Summary.equal (Summary.of_cfg g) clean_sum then
             if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
               Degraded
@@ -117,7 +140,29 @@ type tally = {
   mutable crash : int;
 }
 
-let run_corpus ~threads ~seeds ~base_seed ~deadline =
+let make_obs ~trace_out ~metrics =
+  {
+    obs_trace =
+      (match trace_out with
+      | Some _ -> Otrace.create ()
+      | None -> Otrace.disabled);
+    obs_metrics = (if metrics then Some (Metrics.create ()) else None);
+  }
+
+let finish_obs obs ~trace_out code =
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    Otrace.write_chrome obs.obs_trace path;
+    Printf.printf "trace: %s (%d spans)\n" path
+      (List.length (Otrace.spans obs.obs_trace)));
+  (match obs.obs_metrics with
+  | None -> ()
+  | Some acc ->
+    Format.printf "metrics (all runs merged):@.%a@." Metrics.pp acc);
+  code
+
+let run_corpus ~threads ~seeds ~base_seed ~deadline ~obs =
   let pool = Pbca_concurrent.Task_pool.create ~threads in
   let config = { Config.default with Config.deadline_s = deadline } in
   let bases = base_images () in
@@ -148,16 +193,16 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline =
     let rng = Rng.create (base_seed + s) in
     let img = List.nth bases (s mod nb) in
     let kind = Rng.choose_arr rng Mutate.all_kinds in
-    let t0 = Unix.gettimeofday () in
+    let t0 = Clock.now () in
     let outcome =
       match kind with
       | Mutate.Artifact_rot ->
-        classify_resume ~pool ~config ~rng
+        classify_resume ~pool ~config ~obs ~rng
           ~clean_sum:(List.nth clean_sums (s mod nb))
           img
-      | k -> classify ~pool ~config (Mutate.apply ~rng k img)
+      | k -> classify ~pool ~config ~obs (Mutate.apply ~rng k img)
     in
-    let dt = Unix.gettimeofday () -. t0 in
+    let dt = Clock.elapsed t0 in
     let t = tally_of kind in
     (match outcome with
     | Clean -> t.clean <- t.clean + 1
@@ -191,10 +236,10 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline =
     (List.length !crashes) (List.length !hangs);
   if !crashes = [] && !hangs = [] then 0 else 3
 
-let run_file ~threads ~deadline path =
+let run_file ~threads ~deadline ~obs path =
   let pool = Pbca_concurrent.Task_pool.create ~threads in
   let config = { Config.default with Config.deadline_s = deadline } in
-  match classify ~pool ~config (read_file path) with
+  match classify ~pool ~config ~obs (read_file path) with
   | Clean ->
     Printf.printf "%s: clean\n" path;
     0
@@ -208,12 +253,15 @@ let run_file ~threads ~deadline path =
     Printf.eprintf "%s: internal error: %s\n" path e;
     3
 
-let run file smoke seeds seed threads deadline =
+let run file smoke seeds seed threads deadline trace_out metrics =
+  let obs = make_obs ~trace_out ~metrics in
+  finish_obs obs ~trace_out
+  @@
   match file with
-  | Some path -> run_file ~threads ~deadline path
+  | Some path -> run_file ~threads ~deadline ~obs path
   | None ->
     let seeds = if smoke then 200 else seeds in
-    run_corpus ~threads ~seeds ~base_seed:seed ~deadline
+    run_corpus ~threads ~seeds ~base_seed:seed ~deadline ~obs
 
 let file =
   Arg.(
@@ -239,9 +287,28 @@ let deadline =
     value & opt float 2.0
     & info [ "deadline" ] ~doc:"Per-mutant work-unit deadline in seconds")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record execution spans across every mutant parse and write them \
+           to $(docv) as Chrome trace-event JSON")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Merge every mutant's metrics registry and print the aggregate at \
+           the end")
+
 let cmd =
   Cmd.v
     (Cmd.info "bfuzz" ~doc:"Mutation-fuzz the binary parser")
-    Term.(const run $ file $ smoke $ seeds $ seed $ threads $ deadline)
+    Term.(
+      const run $ file $ smoke $ seeds $ seed $ threads $ deadline $ trace_out
+      $ metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -21,12 +21,15 @@ module Recover = Pbca_core.Recover
 module Parse_error = Pbca_binfmt.Parse_error
 module Fault = Pbca_concurrent.Fault
 module Supervisor = Pbca_concurrent.Supervisor
+module Otrace = Pbca_obs.Trace
+module Clock = Pbca_obs.Clock
 
 type opts = {
   threads : int;
   dump_funcs : bool;
   serial : bool;
   diff_with : string option;
+  metrics : bool;
 }
 
 type artifacts = { a_cp : string; a_journal : string }
@@ -47,11 +50,18 @@ let load_plan arts =
   Recover.load
     { Recover.src_checkpoint = Some arts.a_cp; src_journal = Some arts.a_journal }
 
+(* summed measured parse wall across files: the denominator of the
+   trace-coverage figure printed with --trace *)
+let parse_wall_total = ref 0.0
+
 let report_cfg ~opts ~dt path g =
+  parse_wall_total := !parse_wall_total +. dt;
   Format.printf "%s: %a@." path Pbca_core.Summary.pp_stats g;
   Format.printf "parsed in %.3fs (%s, %d threads)@." dt
     (if opts.serial then "serial" else "parallel")
     (if opts.serial then 1 else opts.threads);
+  if opts.metrics then
+    Format.printf "metrics:@.%a@." Pbca_obs.Metrics.pp g.Cfg.metrics;
   (match opts.diff_with with
   | Some old_path ->
     let old_image = Pbca_binfmt.Image.load old_path in
@@ -78,8 +88,8 @@ let report_cfg ~opts ~dt path g =
    (the operator asked to resume; lying about it would hide corruption),
    [`Best_effort] falls back to a fresh parse (a supervised restart must
    make progress even when the crash mangled the artifacts). *)
-let run_one ~pool ~opts ~persist ~resume_mode ~attempt path : Supervisor.outcome
-    =
+let run_one ~pool ~opts ~otrace ~persist ~resume_mode ~attempt path :
+    Supervisor.outcome =
   match
     try Ok (Pbca_binfmt.Image.load path) with Parse_error.Error e -> Error e
   with
@@ -109,22 +119,29 @@ let run_one ~pool ~opts ~persist ~resume_mode ~attempt path : Supervisor.outcome
       Format.eprintf "%s: checkpoint rejected: %s@." path msg;
       Supervisor.Rejected msg
     | Ok resume -> (
+      let t0 = Clock.now () in
+      (* crashed attempts still ran (and traced) for this long, so they
+         count toward the span-coverage denominator too *)
+      let count_wall () =
+        parse_wall_total := !parse_wall_total +. Clock.elapsed t0
+      in
       try
-        let t0 = Unix.gettimeofday () in
         let g =
           if opts.serial then Pbca_core.Serial.parse_and_finalize image
-          else Parallel.parse_and_finalize ?persist ?resume ~pool image
+          else Parallel.parse_and_finalize ~otrace ?persist ?resume ~pool image
         in
         Atomic.set g.Cfg.stats.Cfg.supervisor_restarts attempt;
-        report_cfg ~opts ~dt:(Unix.gettimeofday () -. t0) path g;
+        report_cfg ~opts ~dt:(Clock.elapsed t0) path g;
         if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
           Supervisor.Ok_degraded
         else Supervisor.Ok_clean
       with
       | Fault.Crashed k ->
+        count_wall ();
         Format.eprintf "%s: crashed (simulated kill at task %d)@." path k;
         Supervisor.Crashed (Printf.sprintf "simulated kill at task %d" k)
       | e ->
+        count_wall ();
         Format.eprintf "%s: internal error: %s@." path (Printexc.to_string e);
         Supervisor.Crashed (Printexc.to_string e)))
 
@@ -134,10 +151,30 @@ let outcome_str = function
   | Supervisor.Rejected m -> "rejected: " ^ m
   | Supervisor.Crashed m -> "crashed: " ^ m
 
-let main files opts checkpoint resume batch fault_crash =
+let main files opts checkpoint resume batch fault_crash trace_out =
   let pool = Pbca_concurrent.Task_pool.create ~threads:opts.threads in
+  let otrace =
+    match trace_out with
+    | Some _ -> Otrace.create ()
+    | None -> Otrace.disabled
+  in
   let nfiles = List.length files in
   let arts_for i = Option.map (fun b -> artifacts b ~idx:i ~nfiles) checkpoint in
+  let finish code =
+    (match trace_out with
+    | None -> ()
+    | Some path ->
+      Otrace.write_chrome otrace path;
+      let wall = !parse_wall_total in
+      let cov = Otrace.covered_wall otrace in
+      Format.printf "trace: %s (%d spans, %.1f%% of %.3fs parse wall)@." path
+        (List.length (Otrace.spans otrace))
+        (if wall > 0.0 then 100.0 *. cov /. wall else 0.0)
+        wall);
+    code
+  in
+  finish
+  @@
   if batch then begin
     let jobs =
       List.mapi
@@ -160,12 +197,12 @@ let main files opts checkpoint resume batch fault_crash =
                       | Some a when attempt > 0 || resume -> `Best_effort a
                       | _ -> `No
                     in
-                    run_one ~pool ~opts ~persist:(persist_of arts) ~resume_mode
-                      ~attempt path));
+                    run_one ~pool ~opts ~otrace ~persist:(persist_of arts)
+                      ~resume_mode ~attempt path));
           })
         files
     in
-    let reports = Supervisor.run jobs in
+    let reports = Supervisor.run ~trace:otrace jobs in
     List.iter
       (fun (r : Supervisor.report) ->
         Printf.printf "%s: %s (%d restart%s)\n" r.r_id (outcome_str r.r_outcome)
@@ -186,13 +223,13 @@ let main files opts checkpoint resume batch fault_crash =
               match arts with Some a when resume -> `Strict a | _ -> `No
             in
             Supervisor.exit_code
-              (run_one ~pool ~opts ~persist:(persist_of arts) ~resume_mode
-                 ~attempt:0 path)))
+              (run_one ~pool ~opts ~otrace ~persist:(persist_of arts)
+                 ~resume_mode ~attempt:0 path)))
       files
     |> List.fold_left max 0
 
 let run files threads dump serial diff_with checkpoint resume batch fault_crash
-    =
+    trace_out metrics =
   if files = [] then `Error (true, "at least one BINARY is required")
   else if serial && (checkpoint <> None || resume || batch || fault_crash >= 0)
   then
@@ -200,13 +237,15 @@ let run files threads dump serial diff_with checkpoint resume batch fault_crash
       ( true,
         "--serial cannot be combined with --checkpoint, --resume, --batch or \
          --fault-crash" )
+  else if serial && trace_out <> None then
+    `Error (true, "--trace requires the parallel parser")
   else if resume && checkpoint = None then
     `Error (true, "--resume requires --checkpoint")
   else if fault_crash >= 0 && checkpoint = None then
     `Error (true, "--fault-crash requires --checkpoint")
   else
-    let opts = { threads; dump_funcs = dump; serial; diff_with } in
-    `Ok (main files opts checkpoint resume batch fault_crash)
+    let opts = { threads; dump_funcs = dump; serial; diff_with; metrics } in
+    `Ok (main files opts checkpoint resume batch fault_crash trace_out)
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"BINARY")
 
@@ -257,12 +296,28 @@ let fault_crash =
           "Simulate a kill at task ordinal $(docv): the parse aborts before \
            its next journal commit, leaving artifacts as a real crash would")
 
+let trace_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record per-domain execution spans and write them to $(docv) as \
+           Chrome trace-event JSON (open in chrome://tracing or Perfetto); \
+           also prints a per-phase wall breakdown in the summary")
+
+let metrics =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the run's full metrics registry after each summary")
+
 let cmd =
   Cmd.v
     (Cmd.info "bparse" ~doc:"Construct and summarize a binary's CFG")
     Term.(
       ret
         (const run $ files $ threads $ dump $ serial $ diff_with $ checkpoint
-       $ resume $ batch $ fault_crash))
+       $ resume $ batch $ fault_crash $ trace_out $ metrics))
 
 let () = exit (Cmd.eval' cmd)

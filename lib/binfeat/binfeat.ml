@@ -20,10 +20,11 @@ type result = {
   n_features : int;
 }
 
+(* monotonic: a wall-clock step mid-stage must not skew stage walls *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pbca_obs.Clock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Pbca_obs.Clock.elapsed t0)
 
 let bump tbl feat n =
   Hashtbl.replace tbl feat (n + Option.value (Hashtbl.find_opt tbl feat) ~default:0)

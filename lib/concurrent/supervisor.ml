@@ -20,11 +20,15 @@ type report = { r_id : string; r_outcome : outcome; r_restarts : int }
 let backoff_delay cfg k =
   Float.min cfg.backoff_cap_s (cfg.backoff_base_s *. (2. ** float_of_int k))
 
-let run_job cfg job =
+let run_job ~trace cfg job =
   let rec go attempt =
     let outcome =
-      try job.j_run ~attempt
-      with e -> Crashed (Printexc.to_string e)
+      (* one span per attempt: restarts show up as repeated supervisor
+         lanes in the Chrome trace, backoffs as the gaps between them *)
+      Pbca_obs.Trace.with_span trace ~phase:"supervisor"
+        (Printf.sprintf "%s#%d" job.j_id attempt)
+        (fun () ->
+          try job.j_run ~attempt with e -> Crashed (Printexc.to_string e))
     in
     match outcome with
     | Ok_clean | Ok_degraded | Rejected _ ->
@@ -37,7 +41,8 @@ let run_job cfg job =
   in
   go 0
 
-let run ?(config = default_config) jobs = List.map (run_job config) jobs
+let run ?(config = default_config) ?(trace = Pbca_obs.Trace.disabled) jobs =
+  List.map (run_job ~trace config) jobs
 
 let exit_code = function
   | Ok_clean -> 0

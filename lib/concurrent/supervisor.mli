@@ -44,10 +44,13 @@ val backoff_delay : config -> int -> float
 (** [backoff_delay cfg k] is the sleep before restart [k] (0-based):
     [min cap (base *. 2. ** k)]. Exposed for tests. *)
 
-val run : ?config:config -> job list -> report list
+val run :
+  ?config:config -> ?trace:Pbca_obs.Trace.t -> job list -> report list
 (** Run every job under supervision, in order, returning one report per
     job (same order). Never raises: a job that exhausts its restarts is
-    reported with its last [Crashed] outcome. *)
+    reported with its last [Crashed] outcome. With [?trace], each
+    attempt records a ["supervisor"]-phase span named [job_id#attempt],
+    so restarts and their backoff gaps are visible in the trace. *)
 
 val exit_code : outcome -> int
 (** Map an outcome to the bparse exit contract: 0 / 1 / 2 / 3. *)

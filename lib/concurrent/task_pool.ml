@@ -1,31 +1,47 @@
-type t = { n : int }
+(* Scheduler counters are per-pool (cumulative across the pool's
+   regions), never process-global: two pools running concurrently each
+   count their own steals, and resetting one harness's pool cannot
+   clobber numbers out from under another run mid-flight — the race the
+   old module-level atomics had. Bench harnesses snapshot-diff them
+   around a run. *)
+type t = {
+  n : int;
+  steals_ctr : int Atomic.t;
+  steal_attempts_ctr : int Atomic.t;
+  idle_sleeps_ctr : int Atomic.t;
+}
 
 let create ~threads =
   if threads < 1 then invalid_arg "Task_pool.create: threads must be >= 1";
-  { n = threads }
+  {
+    n = threads;
+    steals_ctr = Atomic.make 0;
+    steal_attempts_ctr = Atomic.make 0;
+    idle_sleeps_ctr = Atomic.make 0;
+  }
 
 let threads t = t.n
 
-(* Cumulative scheduler counters across every pool in the process: steals
-   (successful and attempted) and idle back-off sleeps. Bench harnesses
-   snapshot them around a run. *)
 type pool_stats = { steals : int; steal_attempts : int; idle_sleeps : int }
 
-let steals_ctr = Atomic.make 0
-let steal_attempts_ctr = Atomic.make 0
-let idle_sleeps_ctr = Atomic.make 0
-
-let stats () =
+let stats t =
   {
-    steals = Atomic.get steals_ctr;
-    steal_attempts = Atomic.get steal_attempts_ctr;
-    idle_sleeps = Atomic.get idle_sleeps_ctr;
+    steals = Atomic.get t.steals_ctr;
+    steal_attempts = Atomic.get t.steal_attempts_ctr;
+    idle_sleeps = Atomic.get t.idle_sleeps_ctr;
   }
 
-let reset_stats () =
-  Atomic.set steals_ctr 0;
-  Atomic.set steal_attempts_ctr 0;
-  Atomic.set idle_sleeps_ctr 0
+let diff_stats ~before ~after =
+  {
+    steals = after.steals - before.steals;
+    steal_attempts = after.steal_attempts - before.steal_attempts;
+    idle_sleeps = after.idle_sleeps - before.idle_sleeps;
+  }
+
+let reset_stats t =
+  Atomic.set t.steals_ctr 0;
+  Atomic.set t.steal_attempts_ctr 0;
+  Atomic.set t.idle_sleeps_ctr 0
 
 exception Task_failures of exn list
 
@@ -33,6 +49,7 @@ type region = {
   deques : (unit -> unit) Wsdeque.t array;
   pending : int Atomic.t; (* spawned-but-unfinished tasks *)
   failures : exn list Atomic.t;
+  pool : t; (* owning pool: regions bump its counters *)
 }
 
 let rec push_failure region e =
@@ -72,10 +89,10 @@ let find_work region me =
       if i >= n then None
       else begin
         let victim = (me + i) mod n in
-        ignore (Atomic.fetch_and_add steal_attempts_ctr 1);
+        ignore (Atomic.fetch_and_add region.pool.steal_attempts_ctr 1);
         match Wsdeque.steal region.deques.(victim) with
         | Some _ as t ->
-          ignore (Atomic.fetch_and_add steals_ctr 1);
+          ignore (Atomic.fetch_and_add region.pool.steals_ctr 1);
           t
         | None -> try_steal (i + 1)
       end
@@ -104,7 +121,7 @@ let worker_loop region me =
       | None ->
         incr idle_spins;
         if !idle_spins > spin_limit then begin
-          ignore (Atomic.fetch_and_add idle_sleeps_ctr 1);
+          ignore (Atomic.fetch_and_add region.pool.idle_sleeps_ctr 1);
           let exp = min (!idle_spins - spin_limit) 7 in
           Unix.sleepf (Float.min sleep_cap (sleep_base *. float_of_int (1 lsl exp)))
         end
@@ -119,6 +136,7 @@ let run_collect t root =
       deques = Array.init t.n (fun _ -> Wsdeque.create ());
       pending = Atomic.make 0;
       failures = Atomic.make [];
+      pool = t;
     }
   in
   let spawn task = spawn_in region task in

@@ -72,13 +72,19 @@ val parallel_iter_list : t -> 'a list -> ('a -> unit) -> unit
     accumulators. *)
 val worker_index : unit -> int
 
-(** Cumulative scheduler counters, process-wide across all pools: steals
-    (successful / attempted) and idle back-off sleeps taken by workers that
-    found their own deque and every victim empty. Idle workers back off
-    exponentially (spin, then sleeps doubling from 2 us up to a 200 us
-    cap), so [idle_sleeps] is a direct measure of starvation. *)
+(** Cumulative scheduler counters, scoped to one pool (summed over its
+    regions): steals (successful / attempted) and idle back-off sleeps
+    taken by workers that found their own deque and every victim empty.
+    Idle workers back off exponentially (spin, then sleeps doubling from
+    2 us up to a 200 us cap), so [idle_sleeps] is a direct measure of
+    starvation. Per-pool scoping means concurrent pools never mix their
+    numbers and [reset_stats] cannot clobber another run's counters —
+    the race the old process-global counters had. For per-run numbers
+    without resetting, snapshot [stats] around the run and use
+    {!diff_stats}. *)
 
 type pool_stats = { steals : int; steal_attempts : int; idle_sleeps : int }
 
-val stats : unit -> pool_stats
-val reset_stats : unit -> unit
+val stats : t -> pool_stats
+val diff_stats : before:pool_stats -> after:pool_stats -> pool_stats
+val reset_stats : t -> unit

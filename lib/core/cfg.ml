@@ -104,6 +104,12 @@ type stats = {
   supervisor_restarts : int Atomic.t;
   deadline_checks : int Atomic.t;
   deadline_polls : int Atomic.t;
+  sched_steals : int Atomic.t;
+  sched_steal_attempts : int Atomic.t;
+  sched_idle_sleeps : int Atomic.t;
+      (* per-run scheduler counters: Parallel snapshot-diffs the pool's
+         cumulative counters around the parse, so these never mix with a
+         concurrent run on another pool *)
 }
 
 type t = {
@@ -121,7 +127,11 @@ type t = {
          over-approximation; consulted by the checker and diff tooling.
          The value records whether the mark was deadline-caused: those are
          dropped on resume because the lost work is re-done. *)
-  deadline : float; (* absolute wall-clock bound, [infinity] when off *)
+  deadline : float;
+      (* absolute *monotonic* bound: [Clock.now] at create plus the
+         configured budget ([infinity] when off). Monotonic, not wall: an
+         NTP step must not fire the deadline early or keep it from ever
+         firing. *)
   dl_counter : int Atomic.t;
       (* deadline checks since the last real clock poll; the clock is only
          consulted every [Config.deadline_poll_every] checks *)
@@ -132,10 +142,12 @@ type t = {
          only at quiescent points. *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
+  otrace : Pbca_obs.Trace.t;
+  metrics : Pbca_obs.Metrics.t;
 }
 
 let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
-    image =
+    ?(otrace = Pbca_obs.Trace.disabled) image =
   let counters = Pbca_concurrent.Contention.create () in
   let amap () = Addr_map.create ~shards:config.Config.shards ~counters () in
   let static_entries = amap () in
@@ -143,48 +155,99 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     (fun (s : Pbca_binfmt.Symbol.t) ->
       ignore (Addr_map.insert_if_absent static_entries s.offset ()))
     (Pbca_binfmt.Symtab.functions image.Pbca_binfmt.Image.symtab);
-  {
-    image;
-    config;
-    blocks = amap ();
-    ends = amap ();
-    funcs = amap ();
-    tables = Pbca_concurrent.Conc_bag.create ();
-    next_table_id = Atomic.make 0;
-    static_entries;
-    ft_guard = amap ();
-    degraded = amap ();
-    deadline =
-      (if config.Config.deadline_s > 0.0 then
-         Unix.gettimeofday () +. config.Config.deadline_s
-       else infinity);
-    dl_counter = Atomic.make 0;
-    dl_past = Atomic.make false;
-    journal = None;
-    stats =
-      {
-        insns_decoded = Atomic.make 0;
-        blocks_created = Atomic.make 0;
-        splits = Atomic.make 0;
-        edges_created = Atomic.make 0;
-        jt_analyses = Atomic.make 0;
-        jt_unresolved = Atomic.make 0;
-        budget_block = Atomic.make 0;
-        budget_slice = Atomic.make 0;
-        budget_table = Atomic.make 0;
-        budget_deadline = Atomic.make 0;
-        task_failures = Pbca_concurrent.Conc_bag.create ();
-        contention = counters;
-        finalize = fresh_finalize_stats ();
-        journal_records = Atomic.make 0;
-        replayed_ops = Atomic.make 0;
-        resume_count = Atomic.make 0;
-        supervisor_restarts = Atomic.make 0;
-        deadline_checks = Atomic.make 0;
-        deadline_polls = Atomic.make 0;
-      };
-    trace;
-  }
+  let stats =
+    {
+      insns_decoded = Atomic.make 0;
+      blocks_created = Atomic.make 0;
+      splits = Atomic.make 0;
+      edges_created = Atomic.make 0;
+      jt_analyses = Atomic.make 0;
+      jt_unresolved = Atomic.make 0;
+      budget_block = Atomic.make 0;
+      budget_slice = Atomic.make 0;
+      budget_table = Atomic.make 0;
+      budget_deadline = Atomic.make 0;
+      task_failures = Pbca_concurrent.Conc_bag.create ();
+      contention = counters;
+      finalize = fresh_finalize_stats ();
+      journal_records = Atomic.make 0;
+      replayed_ops = Atomic.make 0;
+      resume_count = Atomic.make 0;
+      supervisor_restarts = Atomic.make 0;
+      deadline_checks = Atomic.make 0;
+      deadline_polls = Atomic.make 0;
+      sched_steals = Atomic.make 0;
+      sched_steal_attempts = Atomic.make 0;
+      sched_idle_sleeps = Atomic.make 0;
+    }
+  in
+  (* Per-run metrics registry: the scattered hot-path atomics are adopted
+     by name (the registry holds the very cells the parse increments), so
+     one [--metrics] dump or snapshot sees everything without the hot
+     paths paying for the unification. *)
+  let metrics = Pbca_obs.Metrics.create () in
+  let () =
+    let c = Pbca_obs.Metrics.register_counter metrics in
+    c "insns_decoded" stats.insns_decoded;
+    c "blocks_created" stats.blocks_created;
+    c "splits" stats.splits;
+    c "edges_created" stats.edges_created;
+    c "jt_analyses" stats.jt_analyses;
+    c "jt_unresolved" stats.jt_unresolved;
+    c "budget_block" stats.budget_block;
+    c "budget_slice" stats.budget_slice;
+    c "budget_table" stats.budget_table;
+    c "budget_deadline" stats.budget_deadline;
+    c "journal_records" stats.journal_records;
+    c "replayed_ops" stats.replayed_ops;
+    c "resume_count" stats.resume_count;
+    c "supervisor_restarts" stats.supervisor_restarts;
+    c "deadline_checks" stats.deadline_checks;
+    c "deadline_polls" stats.deadline_polls;
+    c "sched_steals" stats.sched_steals;
+    c "sched_steal_attempts" stats.sched_steal_attempts;
+    c "sched_idle_sleeps" stats.sched_idle_sleeps;
+    c "contention_probes" counters.Pbca_concurrent.Contention.probes;
+    c "contention_cas_retries" counters.Pbca_concurrent.Contention.cas_retries;
+    c "contention_resizes" counters.Pbca_concurrent.Contention.resizes;
+    c "contention_frozen_waits" counters.Pbca_concurrent.Contention.frozen_waits
+  in
+  let t =
+    {
+      image;
+      config;
+      blocks = amap ();
+      ends = amap ();
+      funcs = amap ();
+      tables = Pbca_concurrent.Conc_bag.create ();
+      next_table_id = Atomic.make 0;
+      static_entries;
+      ft_guard = amap ();
+      degraded = amap ();
+      deadline =
+        (if config.Config.deadline_s > 0.0 then
+           Pbca_obs.Clock.now () +. config.Config.deadline_s
+         else infinity);
+      dl_counter = Atomic.make 0;
+      dl_past = Atomic.make false;
+      journal = None;
+      stats;
+      trace;
+      otrace;
+      metrics;
+    }
+  in
+  let gf = Pbca_obs.Metrics.register_gauge_fn metrics in
+  gf "blocks" (fun () -> float_of_int (Addr_map.length t.blocks));
+  gf "funcs" (fun () -> float_of_int (Addr_map.length t.funcs));
+  gf "degraded" (fun () -> float_of_int (Addr_map.length t.degraded));
+  gf "task_failures" (fun () ->
+      float_of_int (Pbca_concurrent.Conc_bag.length stats.task_failures));
+  let dc = image.Pbca_binfmt.Image.dcache in
+  gf "decode_hits" (fun () -> float_of_int (Pbca_binfmt.Decode_cache.hits dc));
+  gf "decode_misses" (fun () ->
+      float_of_int (Pbca_binfmt.Decode_cache.misses dc));
+  t
 
 (* ------------------------------------------------------------------ *)
 (* Journal plumbing. Emission points sit inside the same critical
@@ -271,11 +334,13 @@ let task_failure_count t =
 let task_failures t = Pbca_concurrent.Conc_bag.to_list t.stats.task_failures
 
 (* Deadline checks run on every parse/traversal/table work unit; paying a
-   [gettimeofday] syscall each time dominated the hot path. The clock is
-   polled only every [deadline_poll_every] checks and the verdict latched
-   once true — a deadline can only ever be *more* past. The coarsening
-   delays detection by at most N-1 work units, all of which would have
-   been legal before the poll anyway. *)
+   clock read each time dominated the hot path. The clock is polled only
+   every [deadline_poll_every] checks and the verdict latched once true —
+   a deadline can only ever be *more* past (the monotonic clock never
+   runs backwards, and [t.deadline] is a monotonic instant, so a stepped
+   wall clock cannot unlatch or mis-fire it). The coarsening delays
+   detection by at most N-1 work units, all of which would have been
+   legal before the poll anyway. *)
 let past_deadline t =
   if t.deadline = infinity then false
   else if Atomic.get t.dl_past then true
@@ -285,7 +350,7 @@ let past_deadline t =
     let k = Atomic.fetch_and_add t.dl_counter 1 in
     if k mod every = 0 then begin
       Atomic.incr t.stats.deadline_polls;
-      if Unix.gettimeofday () > t.deadline then begin
+      if Pbca_obs.Clock.now () > t.deadline then begin
         Atomic.set t.dl_past true;
         true
       end

@@ -145,8 +145,15 @@ type stats = {
   deadline_checks : int Atomic.t;
       (** {!past_deadline} calls while a deadline was armed and not latched *)
   deadline_polls : int Atomic.t;
-      (** of those, how many actually paid the [gettimeofday] syscall;
+      (** of those, how many actually paid the monotonic clock read;
           [checks - polls] is the syscall saving of the coarsened clock *)
+  sched_steals : int Atomic.t;
+  sched_steal_attempts : int Atomic.t;
+  sched_idle_sleeps : int Atomic.t;
+      (** this run's work-stealing scheduler activity: {!Parallel}
+          snapshot-diffs the pool's per-pool cumulative counters around
+          the parse, so a concurrent run on another pool never leaks into
+          these numbers *)
 }
 
 type t = {
@@ -174,8 +181,10 @@ type t = {
           differences explained by these marks as [Expected]. The value is
           true for deadline-caused marks, which resume drops and re-does *)
   deadline : float;
-      (** absolute wall-clock bound derived from [Config.deadline_s] at
-          {!create} time; [infinity] when the deadline is off *)
+      (** absolute {e monotonic} bound: [Pbca_obs.Clock.now] at {!create}
+          plus [Config.deadline_s]; [infinity] when the deadline is off.
+          Monotonic so an NTP step can neither fire the deadline early
+          nor keep it from ever firing *)
   dl_counter : int Atomic.t;
       (** deadline checks since the last real clock poll *)
   dl_past : bool Atomic.t;
@@ -187,11 +196,19 @@ type t = {
           quiescent points (use {!set_journal}). *)
   stats : stats;
   trace : Pbca_simsched.Trace.t;
+  otrace : Pbca_obs.Trace.t;
+      (** per-domain execution spans (real wall time, Chrome-exportable);
+          distinct from [trace], the replay-simulation DAG *)
+  metrics : Pbca_obs.Metrics.t;
+      (** per-run registry adopting every counter above by name (plus the
+          contention counters and decode-cache gauges), for [--metrics]
+          dumps and snapshot-diff scoping *)
 }
 
 val create :
   ?config:Config.t ->
   ?trace:Pbca_simsched.Trace.t ->
+  ?otrace:Pbca_obs.Trace.t ->
   Pbca_binfmt.Image.t ->
   t
 

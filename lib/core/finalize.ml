@@ -8,12 +8,16 @@ module Trace = Pbca_simsched.Trace
 (* ------------------------------------------------------------------ *)
 (* Per-step observability: both entry points reset the graph's         *)
 (* [finalize_stats] and attribute wall time to the step that spent it. *)
+(* Monotonic clock — a wall-clock step mid-finalize must not produce   *)
+(* negative (or inflated) per-step walls. Each timed call is also a    *)
+(* span in the graph's observability trace.                            *)
 
-let timed cell f =
-  let t0 = Unix.gettimeofday () in
-  let r = f () in
-  cell (Unix.gettimeofday () -. t0);
-  r
+let timed g name cell f =
+  Pbca_obs.Trace.with_span g.Cfg.otrace ~phase:"fz-step" name (fun () ->
+      let t0 = Pbca_obs.Clock.now () in
+      let r = f () in
+      cell (Pbca_obs.Clock.elapsed t0);
+      r)
 
 let reset_stats (fz : Cfg.finalize_stats) =
   fz.Cfg.fz_jt_wall <- 0.0;
@@ -445,14 +449,14 @@ let prune_functions_snap g (snap : Csr.t) =
 let run_legacy ~pool g =
   let fz = g.Cfg.stats.Cfg.finalize in
   reset_stats fz;
-  timed (t_jt fz) (fun () -> clean_jump_tables ~pool g);
-  ignore (timed (t_reach fz) (fun () -> prune_unreachable g));
+  timed g "jt-clean" (t_jt fz) (fun () -> clean_jump_tables ~pool g);
+  ignore (timed g "reach" (t_reach fz) (fun () -> prune_unreachable g));
   (* tail-call correction: boundaries and rules alternate; each edge flips
      at most once so this converges quickly *)
   let rec fix n =
-    let nfuncs = timed (t_bounds fz) (fun () -> compute_boundaries ~pool g) in
+    let nfuncs = timed g "bounds" (t_bounds fz) (fun () -> compute_boundaries ~pool g) in
     fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ nfuncs ];
-    let flipped = timed (t_rules fz) (fun () -> correct_tail_calls g) in
+    let flipped = timed g "rules" (t_rules fz) (fun () -> correct_tail_calls g) in
     fz.Cfg.fz_rounds <- fz.Cfg.fz_rounds + 1;
     if flipped && n < 8 then fix (n + 1)
   in
@@ -460,17 +464,17 @@ let run_legacy ~pool g =
   (* removing functions can strand their blocks; removing blocks can strip
      a function's last incoming call — iterate to a (small) fixed point *)
   let rec prune n =
-    let a = timed (t_prune fz) (fun () -> prune_functions g) in
+    let a = timed g "prune" (t_prune fz) (fun () -> prune_functions g) in
     let b =
-      if a then timed (t_reach fz) (fun () -> prune_unreachable g) else false
+      if a then timed g "reach" (t_reach fz) (fun () -> prune_unreachable g) else false
     in
     if (a || b) && n < 8 then prune (n + 1)
   in
   prune 0;
-  ignore (timed (t_bounds fz) (fun () -> compute_boundaries ~pool g));
+  ignore (timed g "bounds" (t_bounds fz) (fun () -> compute_boundaries ~pool g));
   (* instruction counts are approximate during parsing (splits shrink blocks
      concurrently); recompute them from the final block extents *)
-  timed (t_recount fz) (fun () ->
+  timed g "recount" (t_recount fz) (fun () ->
       let blocks = Array.of_list (Cfg.blocks_list g) in
       Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
           let b = blocks.(i) in
@@ -479,15 +483,15 @@ let run_legacy ~pool g =
 let run ~pool g =
   let fz = g.Cfg.stats.Cfg.finalize in
   reset_stats fz;
-  timed (t_jt fz) (fun () -> clean_jump_tables ~pool g);
+  timed g "jt-clean" (t_jt fz) (fun () -> clean_jump_tables ~pool g);
   let build () =
-    timed (t_snap fz) (fun () ->
+    timed g "snapshot" (t_snap fz) (fun () ->
         fz.Cfg.fz_snapshots <- fz.Cfg.fz_snapshots + 1;
         Csr.build ~pool g)
   in
   let snap = ref (build ()) in
   let rebuild () = snap := build () in
-  if timed (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap) then
+  if timed g "reach" (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap) then
     rebuild ();
   (* tail-call fix rounds: round 0 computes every boundary; later rounds
      recompute only the functions whose boundary contained the source of
@@ -497,7 +501,7 @@ let run ~pool g =
      table is patched incrementally in step with the dirty recomputes. *)
   let members = Hashtbl.create 4096 in
   let recompute (dirty : Cfg.func array) =
-    timed (t_bounds fz) (fun () ->
+    timed g "bounds" (t_bounds fz) (fun () ->
         let nd = Array.length dirty in
         let newb = Array.make nd [] in
         Task_pool.parallel_for pool 0 nd (fun i ->
@@ -513,7 +517,7 @@ let run ~pool g =
     fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ Array.length dirty ];
     recompute dirty;
     let decisions =
-      timed (t_rules fz) (fun () ->
+      timed g "rules" (t_rules fz) (fun () ->
           Task_pool.parallel_for_reduce pool ~chunk:512 0
             (Csr.n_edges !snap) ~init:[]
             ~map:(fun k ->
@@ -551,11 +555,11 @@ let run ~pool g =
       rebuild ();
       stale := false
     end;
-    let a = timed (t_prune fz) (fun () -> prune_functions_snap g !snap) in
+    let a = timed g "prune" (t_prune fz) (fun () -> prune_functions_snap g !snap) in
     let b =
       if a then begin
         let p =
-          timed (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap)
+          timed g "reach" (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap)
         in
         if p then stale := true;
         p
@@ -567,13 +571,13 @@ let run ~pool g =
   prune 0;
   if !stale then rebuild ();
   let funcs = Array.of_list (Cfg.funcs_list g) in
-  timed (t_bounds fz) (fun () ->
+  timed g "bounds" (t_bounds fz) (fun () ->
       Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
           let f = funcs.(i) in
           f.Cfg.f_blocks <- boundary_blocks_snap g !snap f));
   (* instruction counts are approximate during parsing (splits shrink blocks
      concurrently); recompute them from the final block extents *)
-  timed (t_recount fz) (fun () ->
+  timed g "recount" (t_recount fz) (fun () ->
       let blocks = (!snap).Csr.blocks in
       Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
           let b = blocks.(i) in

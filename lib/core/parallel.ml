@@ -7,6 +7,8 @@ module Symbol = Pbca_binfmt.Symbol
 module Task_pool = Pbca_concurrent.Task_pool
 module Atomic_intset = Pbca_concurrent.Atomic_intset
 module Trace = Pbca_simsched.Trace
+module Otrace = Pbca_obs.Trace
+module Clock = Pbca_obs.Clock
 
 type ctx = {
   g : Cfg.t;
@@ -18,9 +20,12 @@ type ctx = {
   jt_last : Jump_table.outcome Addr_map.t; (* latest outcome per end addr *)
 }
 
-let spawn_traced ctx label f =
+let spawn_traced ?(addr = -1) ctx label f =
   let d = Trace.capture ctx.g.Cfg.trace in
-  ctx.spawn (fun () -> Trace.run ctx.g.Cfg.trace ~label ~deps:[ d ] f)
+  let ot = ctx.g.Cfg.otrace in
+  ctx.spawn (fun () ->
+      Trace.run ctx.g.Cfg.trace ~label ~deps:[ d ] (fun () ->
+          Otrace.with_span ot ~phase:label ~addr label f))
 
 (* ------------------------------------------------------------------ *)
 (* Function bookkeeping.                                               *)
@@ -46,8 +51,10 @@ and fire_fallthrough ctx ~dep ~call_end =
        becoming known, not only on this call site's discovery *)
     let spawn_dep label f =
       let d = Trace.capture ctx.g.Cfg.trace in
+      let ot = ctx.g.Cfg.otrace in
       ctx.spawn (fun () ->
-          Trace.run ctx.g.Cfg.trace ~label ~deps:[ d; dep ] f)
+          Trace.run ctx.g.Cfg.trace ~label ~deps:[ d; dep ] (fun () ->
+              Otrace.with_span ot ~phase:label label f))
     in
     if created then spawn_dep "parse" (fun () -> parse_block ctx dst);
     List.iter
@@ -56,7 +63,8 @@ and fire_fallthrough ctx ~dep ~call_end =
 
 and ensure_func ctx addr =
   let b, bcreated = Cfg.find_or_create_block ctx.g addr in
-  if bcreated then spawn_traced ctx "parse" (fun () -> parse_block ctx b);
+  if bcreated then
+    spawn_traced ~addr ctx "parse" (fun () -> parse_block ctx b);
   let f, created =
     Cfg.find_or_create_func ctx.g ~name:(func_name ctx addr)
       ~from_symtab:(Addr_map.mem ctx.g.Cfg.static_entries addr)
@@ -149,7 +157,8 @@ and parse_block ctx (b : Cfg.block) =
           ignore (Cfg.add_edge g blk dst kind);
           if created then
             add_post (fun () ->
-                spawn_traced ctx "parse" (fun () -> parse_block ctx dst))
+                spawn_traced ~addr:t ctx "parse" (fun () ->
+                    parse_block ctx dst))
         end
       in
       let is_tail t =
@@ -286,7 +295,8 @@ let run_jt_analysis ctx end_addr reg =
           | None -> ()
           | Some (owner, dst, created) ->
             if created then
-              spawn_traced ctx "parse" (fun () -> parse_block ctx dst);
+              spawn_traced ~addr:t ctx "parse" (fun () ->
+                  parse_block ctx dst);
             notify_watchers ctx owner
         end)
       outcome.Jump_table.targets
@@ -318,9 +328,15 @@ let finish_tables ctx =
 type persist = { p_journal : string; p_checkpoint : string; p_every : int }
 
 let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
-    ?persist ?resume ~pool image =
-  let t0 = Unix.gettimeofday () in
-  let g = Cfg.create ~config ~trace image in
+    ?(otrace = Otrace.disabled) ?persist ?resume ~pool image =
+  (* monotonic start: wall-clock steps (NTP, manual set) must not
+     corrupt the recorded progress or the deadline *)
+  let t0 = Clock.now () in
+  let sched0 = Task_pool.stats pool in
+  let g = Cfg.create ~config ~trace ~otrace image in
+  (* root span: everything below (replay, regions, rounds, durable I/O)
+     nests inside it, so span coverage accounts for the whole parse *)
+  let root = Otrace.begin_span otrace ~phase:"total" "parse" in
   let ctx =
     {
       g;
@@ -335,10 +351,12 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     match resume with
     | None -> 0.0
     | Some plan ->
-      ignore
-        (Recover.apply g plan ~on_jt_pending:(fun ~end_ ~reg ->
-             ignore
-               (Addr_map.insert_if_absent ctx.jt_pending end_ (Reg.of_int reg))));
+      Otrace.with_span otrace ~phase:"recovery" "resume-replay" (fun () ->
+          ignore
+            (Recover.apply g plan ~on_jt_pending:(fun ~end_ ~reg ->
+                 ignore
+                   (Addr_map.insert_if_absent ctx.jt_pending end_
+                      (Reg.of_int reg)))));
       plan.Recover.pl_progress_s
   in
   (* Resume seeding, captured while still quiescent: candidates re-parse,
@@ -382,14 +400,15 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
   let save_checkpoint () =
     match (persist, journal) with
     | Some p, Some w ->
-      Checkpoint.save ~path:p.p_checkpoint ~round:!round
-        ~pending:
-          (List.map
-             (fun (a, r) -> (a, Reg.to_int r))
-             (Addr_map.to_list ctx.jt_pending))
-        ~seq_floor:(Journal.last_seq w)
-        ~progress_s:(resumed_progress +. (Unix.gettimeofday () -. t0))
-        g
+      Otrace.with_span otrace ~phase:"recovery" "checkpoint-save" (fun () ->
+          Checkpoint.save ~path:p.p_checkpoint ~round:!round
+            ~pending:
+              (List.map
+                 (fun (a, r) -> (a, Reg.to_int r))
+                 (Addr_map.to_list ctx.jt_pending))
+            ~seq_floor:(Journal.last_seq w)
+            ~progress_s:(resumed_progress +. Clock.elapsed t0)
+            g)
     | _ -> ()
   in
   (* Quiescent point: regions drained, no emitter active. A pending
@@ -397,10 +416,14 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
      no commit — exactly a process kill between two durable points. *)
   let quiesce ~checkpoint =
     Pbca_concurrent.Fault.check_crash ();
+    (* quiescent point doubles as the span-buffer drain barrier: no task
+       is mid-append, so the per-domain batches can move safely *)
+    Otrace.drain otrace;
     match journal with
     | None -> ()
     | Some w ->
-      Journal.flush w ~round:!round;
+      Otrace.with_span otrace ~phase:"recovery" "journal-flush" (fun () ->
+          Journal.flush w ~round:!round);
       (match persist with
       | Some p
         when checkpoint
@@ -428,10 +451,13 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
      [stats.task_failures] and the affected work degrades like any other
      budget cut. *)
   let run_contained site root =
-    List.iter
-      (fun e ->
-        Cfg.record_task_failure g ~site ~detail:(Printexc.to_string e))
-      (Task_pool.run_collect pool root)
+    (* one region = one span: each jump-table fixed-point iteration shows
+       up as its own "jt-round" interval in the trace *)
+    Otrace.with_span otrace ~phase:"region" site (fun () ->
+        List.iter
+          (fun e ->
+            Cfg.record_task_failure g ~site ~detail:(Printexc.to_string e))
+          (Task_pool.run_collect pool root))
   in
   let journal_done = ref false in
   let detach_journal () =
@@ -441,7 +467,23 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       match journal with None -> () | Some w -> Journal.close w
     end
   in
-  Fun.protect ~finally:detach_journal (fun () ->
+  (* This run's scheduler activity is the snapshot-diff of the pool's
+     per-pool counters — immune to a concurrent parse on another pool
+     and to resets racing this run. *)
+  let record_run_stats () =
+    let d =
+      Task_pool.diff_stats ~before:sched0 ~after:(Task_pool.stats pool)
+    in
+    Atomic.set g.Cfg.stats.sched_steals d.Task_pool.steals;
+    Atomic.set g.Cfg.stats.sched_steal_attempts d.Task_pool.steal_attempts;
+    Atomic.set g.Cfg.stats.sched_idle_sleeps d.Task_pool.idle_sleeps;
+    Otrace.end_span otrace root
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      record_run_stats ();
+      detach_journal ())
+    (fun () ->
       (* Stage 1: initialize functions from the symbol table, in parallel
          (Listing 2 line 1), then drain the traversal. On resume the same
          region also re-seeds the recovered frontier. *)
@@ -500,7 +542,7 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
             Trace.run trace ~label:"jt-round" ~deps:[] (fun () ->
                 Addr_map.iter
                   (fun end_addr reg ->
-                    spawn_traced ctx "jt" (fun () ->
+                    spawn_traced ~addr:end_addr ctx "jt" (fun () ->
                         run_jt_analysis ctx end_addr reg))
                   ctx.jt_pending));
         let fired =
@@ -523,8 +565,9 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       rounds 0;
       (* Stage 3: unresolved statuses are non-returning (cyclic rule); no
          new fall-throughs can arise from that, so traversal is complete. *)
-      Noreturn.resolve_unset g;
-      finish_tables ctx;
+      Otrace.with_span otrace ~phase:"region" "finish-tables" (fun () ->
+          Noreturn.resolve_unset g;
+          finish_tables ctx);
       Trace.barrier trace;
       ctx.spawn <- (fun _ -> invalid_arg "Parallel: region closed");
       (* Final durable point: flush, snapshot the completed (pre-finalize)
@@ -534,7 +577,9 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       detach_journal ();
       g)
 
-let parse_and_finalize ?config ?trace ?persist ?resume ~pool image =
-  let g = parse ?config ?trace ?persist ?resume ~pool image in
-  Finalize.run ~pool g;
+let parse_and_finalize ?config ?trace ?otrace ?persist ?resume ~pool image =
+  let g = parse ?config ?trace ?otrace ?persist ?resume ~pool image in
+  Otrace.with_span g.Cfg.otrace ~phase:"finalize" "finalize" (fun () ->
+      Finalize.run ~pool g);
+  Otrace.drain g.Cfg.otrace;
   g

@@ -13,7 +13,11 @@
     Work is scheduled on a work-stealing task pool; one task parses one
     block, walks one function fragment, or analyzes one jump table. When a
     trace is supplied, every task records its cost and dependencies for
-    {!Pbca_simsched.Replay}.
+    {!Pbca_simsched.Replay}. When an [?otrace] ({!Pbca_obs.Trace}) is
+    supplied, every task, region, jump-table round and durable-I/O step
+    additionally records a real wall-time span (per-domain buffers,
+    drained at each quiescent point), and the run's scheduler activity is
+    snapshot-diffed into [stats.sched_*].
 
     {2 Durability}
 
@@ -39,6 +43,7 @@ type persist = {
 val parse :
   ?config:Config.t ->
   ?trace:Pbca_simsched.Trace.t ->
+  ?otrace:Pbca_obs.Trace.t ->
   ?persist:persist ->
   ?resume:Recover.plan ->
   pool:Pbca_concurrent.Task_pool.t ->
@@ -51,6 +56,7 @@ val parse :
 val parse_and_finalize :
   ?config:Config.t ->
   ?trace:Pbca_simsched.Trace.t ->
+  ?otrace:Pbca_obs.Trace.t ->
   ?persist:persist ->
   ?resume:Recover.plan ->
   pool:Pbca_concurrent.Task_pool.t ->

@@ -118,7 +118,9 @@ let func_ranges _g (f : Cfg.func) =
 let pp_stats fmt (g : Cfg.t) =
   let s = g.Cfg.stats in
   let dc = g.Cfg.image.Pbca_binfmt.Image.dcache in
-  let pool = Pbca_concurrent.Task_pool.stats () in
+  (* scheduler numbers are this run's snapshot-diff (recorded by
+     Parallel), not a process-global — a concurrent parse on another
+     pool cannot leak into them *)
   Format.fprintf fmt
     "blocks=%d funcs=%d insns=%d splits=%d edges=%d jt=%d jt_unresolved=%d@ \
      %a@ decode_hits=%d decode_misses=%d decode_hit_rate=%.2f@ steals=%d \
@@ -131,9 +133,9 @@ let pp_stats fmt (g : Cfg.t) =
     (Pbca_binfmt.Decode_cache.hits dc)
     (Pbca_binfmt.Decode_cache.misses dc)
     (Pbca_binfmt.Decode_cache.hit_rate dc)
-    pool.Pbca_concurrent.Task_pool.steals
-    pool.Pbca_concurrent.Task_pool.steal_attempts
-    pool.Pbca_concurrent.Task_pool.idle_sleeps;
+    (Atomic.get s.sched_steals)
+    (Atomic.get s.sched_steal_attempts)
+    (Atomic.get s.sched_idle_sleeps);
   let degraded = Cfg.degraded_count g in
   let failures = Cfg.task_failure_count g in
   if
@@ -185,4 +187,16 @@ let pp_stats fmt (g : Cfg.t) =
       (1000. *. fz.Cfg.fz_rules_wall)
       (1000. *. fz.Cfg.fz_prune_wall)
       (1000. *. fz.Cfg.fz_recount_wall)
-      (1000. *. fz.Cfg.fz_snapshot_wall)
+      (1000. *. fz.Cfg.fz_snapshot_wall);
+  (* phase breakdown from the span trace (when one was attached): total
+     span wall per phase, the per-run answer to "where did time go" *)
+  if Pbca_obs.Trace.enabled g.Cfg.otrace then begin
+    match Pbca_obs.Trace.phase_walls g.Cfg.otrace with
+    | [] -> ()
+    | walls ->
+      Format.fprintf fmt "@ phase_wall_ms:";
+      List.iter
+        (fun (phase, w) ->
+          Format.fprintf fmt " %s=%.2f" phase (1000. *. w))
+        walls
+  end

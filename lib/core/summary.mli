@@ -44,7 +44,9 @@ val func_ranges : Cfg.t -> Cfg.func -> (int * int) list
 val pp_stats : Format.formatter -> Cfg.t -> unit
 (** One-line-per-group parse statistics: graph counts, the graph's
     {!Pbca_concurrent.Contention} counters, the image's decode-cache hit
-    rate, and the cumulative {!Pbca_concurrent.Task_pool} scheduler
-    counters. When the graph has been finalized ([fz_rounds > 0]), also
-    the finalization round/snapshot counts, per-round dirty-set sizes and
-    per-step wall times in milliseconds from [stats.finalize]. *)
+    rate, and this run's scheduler counters ([stats.sched_*], the
+    snapshot-diff of the pool's counters around the parse). When the
+    graph has been finalized ([fz_rounds > 0]), also the finalization
+    round/snapshot counts, per-round dirty-set sizes and per-step wall
+    times in milliseconds from [stats.finalize]. When a span trace was
+    attached, a [phase_wall_ms] breakdown of span wall per phase. *)

@@ -22,10 +22,11 @@ type result = {
   n_stmts : int;
 }
 
+(* monotonic: a wall-clock step mid-phase must not skew phase walls *)
 let time f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Pbca_obs.Clock.now () in
   let v = f () in
-  (v, Unix.gettimeofday () -. t0)
+  (v, Pbca_obs.Clock.elapsed t0)
 
 (* phase 2: parallel per-CU debug parsing with task tracing *)
 let parse_debug ~pool trace data =

@@ -1,0 +1,21 @@
+/* Monotonic time source for Pbca_obs.Clock.
+ *
+ * CLOCK_MONOTONIC never steps (NTP slews it, never jumps it), which is
+ * the property every duration and deadline in the tree relies on.
+ * Returns seconds as a double: at ~1e6 s of uptime a double still
+ * resolves ~0.1 us, far below anything we time.  On the (non-POSIX)
+ * platform where clock_gettime is missing or fails, returns a negative
+ * value and the OCaml side falls back to a latched gettimeofday shim. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value pbca_clock_monotonic_s(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return caml_copy_double(-1.0);
+  return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+}

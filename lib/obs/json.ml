@@ -1,0 +1,195 @@
+type json =
+  | J_int of int
+  | J_float of float
+  | J_bool of bool
+  | J_str of string
+  | J_arr of json list
+  | J_obj of (string * json) list
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let rec json_emit b ind j =
+  let pad n = String.make n ' ' in
+  match j with
+  | J_int i -> Buffer.add_string b (string_of_int i)
+  | J_float f ->
+    if Float.is_finite f then Buffer.add_string b (Printf.sprintf "%.6g" f)
+    else Buffer.add_string b "null"
+  | J_bool v -> Buffer.add_string b (string_of_bool v)
+  | J_str s -> Buffer.add_string b ("\"" ^ json_escape s ^ "\"")
+  | J_arr [] -> Buffer.add_string b "[]"
+  | J_arr xs ->
+    Buffer.add_string b "[";
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string b ", ";
+        json_emit b ind x)
+      xs;
+    Buffer.add_string b "]"
+  | J_obj [] -> Buffer.add_string b "{}"
+  | J_obj kvs ->
+    Buffer.add_string b "{\n";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string b ",\n";
+        Buffer.add_string b (pad (ind + 2));
+        Buffer.add_string b ("\"" ^ json_escape k ^ "\": ");
+        json_emit b (ind + 2) v)
+      kvs;
+    Buffer.add_string b ("\n" ^ pad ind ^ "}")
+
+let json_to_string j =
+  let b = Buffer.create 512 in
+  json_emit b 0 j;
+  Buffer.contents b
+
+(* Well-formedness check of the grammar we emit (objects, arrays, strings
+   with the escapes above, numbers, booleans, null). Returns false instead
+   of raising so smoke targets can report cleanly. *)
+let json_well_formed s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\n' | '\t' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let fail = ref false in
+  let expect c = if !pos < n && s.[!pos] = c then incr pos else fail := true in
+  let lit w =
+    if !pos + String.length w <= n && String.sub s !pos (String.length w) = w
+    then pos := !pos + String.length w
+    else fail := true
+  in
+  let string_ () =
+    expect '"';
+    let fin = ref false in
+    while (not !fin) && not !fail do
+      if !pos >= n then fail := true
+      else
+        match s.[!pos] with
+        | '"' ->
+          incr pos;
+          fin := true
+        | '\\' ->
+          incr pos;
+          if !pos >= n then fail := true
+          else begin
+            (match s.[!pos] with
+            | '"' | '\\' | '/' | 'b' | 'f' | 'n' | 'r' | 't' -> ()
+            | 'u' -> if !pos + 4 < n then pos := !pos + 4 else fail := true
+            | _ -> fail := true);
+            incr pos
+          end
+        | c when Char.code c < 0x20 -> fail := true
+        | _ -> incr pos
+    done
+  in
+  let number () =
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail := true
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    match peek () with
+    | Some ('e' | 'E') ->
+      incr pos;
+      (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+      digits ()
+    | _ -> ()
+  in
+  let rec value depth =
+    if depth > 64 then fail := true
+    else begin
+      skip_ws ();
+      match peek () with
+      | Some '{' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some '}' then incr pos
+        else begin
+          let more = ref true in
+          while !more && not !fail do
+            skip_ws ();
+            string_ ();
+            skip_ws ();
+            expect ':';
+            value (depth + 1);
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some '}' ->
+              incr pos;
+              more := false
+            | _ -> fail := true
+          done
+        end
+      | Some '[' ->
+        incr pos;
+        skip_ws ();
+        if peek () = Some ']' then incr pos
+        else begin
+          let more = ref true in
+          while !more && not !fail do
+            value (depth + 1);
+            skip_ws ();
+            match peek () with
+            | Some ',' -> incr pos
+            | Some ']' ->
+              incr pos;
+              more := false
+            | _ -> fail := true
+          done
+        end
+      | Some '"' -> string_ ()
+      | Some 't' -> lit "true"
+      | Some 'f' -> lit "false"
+      | Some 'n' -> lit "null"
+      | Some _ -> number ()
+      | None -> fail := true
+    end
+  in
+  value 0;
+  skip_ws ();
+  (not !fail) && !pos = n
+
+let json_field j path =
+  let rec go j = function
+    | [] -> Some j
+    | k :: rest -> (
+      match j with
+      | J_obj kvs -> Option.bind (List.assoc_opt k kvs) (fun v -> go v rest)
+      | _ -> None)
+  in
+  go j path
+
+let json_num j path =
+  match json_field j path with
+  | Some (J_int i) -> float_of_int i
+  | Some (J_float f) -> f
+  | _ -> nan

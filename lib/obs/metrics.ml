@@ -1,0 +1,200 @@
+type counter = int Atomic.t
+
+type gauge = float Atomic.t
+
+type histogram = {
+  h_bounds : float array; (* upper bucket bounds, strictly increasing *)
+  h_counts : counter array; (* length = Array.length h_bounds + 1 *)
+  h_sum : gauge;
+  h_n : counter;
+}
+
+type entry =
+  | E_counter of counter
+  | E_gauge of gauge
+  | E_gauge_fn of (unit -> float)
+  | E_histogram of histogram
+
+type t = { lock : Mutex.t; tbl : (string, entry) Hashtbl.t }
+
+let create () = { lock = Mutex.create (); tbl = Hashtbl.create 64 }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let mismatch name =
+  invalid_arg (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+(* Find-or-create is the only locked path; handle updates are plain
+   atomics, so the hot path never touches the mutex. *)
+let intern t name make match_ =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.tbl name with
+      | Some e -> ( match match_ e with Some h -> h | None -> mismatch name)
+      | None ->
+        let h = make () in
+        Hashtbl.replace t.tbl name h;
+        (match match_ h with Some v -> v | None -> assert false))
+
+let counter t name =
+  intern t name
+    (fun () -> E_counter (Atomic.make 0))
+    (function E_counter c -> Some c | _ -> None)
+
+let register_counter t name cell =
+  ignore
+    (intern t name
+       (fun () -> E_counter cell)
+       (function E_counter c -> Some c | _ -> None))
+
+let gauge t name =
+  intern t name
+    (fun () -> E_gauge (Atomic.make 0.0))
+    (function E_gauge g -> Some g | _ -> None)
+
+let register_gauge_fn t name f =
+  let (_ : unit -> float) =
+    intern t name
+      (fun () -> E_gauge_fn f)
+      (function E_gauge_fn f -> Some f | _ -> None)
+  in
+  ()
+
+let default_bounds =
+  (* log-ish duration buckets in seconds: 1 us .. 10 s *)
+  [| 1e-6; 1e-5; 1e-4; 1e-3; 1e-2; 0.1; 1.0; 10.0 |]
+
+let histogram ?(bounds = default_bounds) t name =
+  intern t name
+    (fun () ->
+      E_histogram
+        {
+          h_bounds = bounds;
+          h_counts = Array.init (Array.length bounds + 1) (fun _ -> Atomic.make 0);
+          h_sum = Atomic.make 0.0;
+          h_n = Atomic.make 0;
+        })
+    (function E_histogram h -> Some h | _ -> None)
+
+let incr c = Atomic.incr c
+let add c n = ignore (Atomic.fetch_and_add c n)
+let count c = Atomic.get c
+let set g v = Atomic.set g v
+let value g = Atomic.get g
+
+let rec gauge_add g dv =
+  let cur = Atomic.get g in
+  if not (Atomic.compare_and_set g cur (cur +. dv)) then gauge_add g dv
+
+let bucket_index bounds v =
+  let n = Array.length bounds in
+  let i = ref 0 in
+  while !i < n && v > bounds.(!i) do
+    i := !i + 1
+  done;
+  !i
+
+let observe h v =
+  Atomic.incr h.h_counts.(bucket_index h.h_bounds v);
+  Atomic.incr h.h_n;
+  gauge_add h.h_sum v
+
+let hist_count h = Atomic.get h.h_n
+let hist_sum h = Atomic.get h.h_sum
+
+(* ------------------------------------------------------------------ *)
+
+type value =
+  | Counter of int
+  | Gauge of float
+  | Histogram of { n : int; sum : float; buckets : (float * int) list }
+
+let read_entry = function
+  | E_counter c -> Counter (Atomic.get c)
+  | E_gauge g -> Gauge (Atomic.get g)
+  | E_gauge_fn f -> Gauge (f ())
+  | E_histogram h ->
+    let buckets =
+      List.init
+        (Array.length h.h_counts)
+        (fun i ->
+          let bound =
+            if i < Array.length h.h_bounds then h.h_bounds.(i) else infinity
+          in
+          (bound, Atomic.get h.h_counts.(i)))
+    in
+    Histogram { n = Atomic.get h.h_n; sum = Atomic.get h.h_sum; buckets }
+
+let snapshot t =
+  locked t (fun () ->
+      Hashtbl.fold (fun name e acc -> (name, read_entry e) :: acc) t.tbl [])
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* Fold one registry's current values into another (used to aggregate
+   per-run registries across a corpus): counters and histograms add,
+   gauges take the source's latest value. *)
+let merge ~into src =
+  List.iter
+    (fun (name, v) ->
+      match v with
+      | Counter n -> add (counter into name) n
+      | Gauge g -> set (gauge into name) g
+      | Histogram { n = _; sum; buckets } ->
+        let bounds =
+          Array.of_list
+            (List.filter_map
+               (fun (b, _) -> if Float.is_finite b then Some b else None)
+               buckets)
+        in
+        let h = histogram ~bounds into name in
+        List.iteri
+          (fun i (_, c) ->
+            if i < Array.length h.h_counts then add h.h_counts.(i) c)
+          buckets;
+        add h.h_n
+          (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+        gauge_add h.h_sum sum)
+    (snapshot src)
+
+(* Per-run scoping by subtraction: [diff ~before ~after] is what happened
+   between two snapshots of the same registry. *)
+let diff ~before ~after =
+  List.filter_map
+    (fun (name, v) ->
+      match (v, List.assoc_opt name before) with
+      | Counter a, Some (Counter b) -> Some (name, Counter (a - b))
+      | Counter a, None -> Some (name, Counter a)
+      | Gauge _, _ -> Some (name, v)
+      | Histogram h, Some (Histogram h0) ->
+        Some
+          ( name,
+            Histogram
+              {
+                n = h.n - h0.n;
+                sum = h.sum -. h0.sum;
+                buckets =
+                  List.map2
+                    (fun (b, c) (_, c0) -> (b, c - c0))
+                    h.buckets h0.buckets;
+              } )
+      | Histogram _, _ -> Some (name, v)
+      | _, Some _ -> Some (name, v))
+    after
+
+let pp_value fmt = function
+  | Counter n -> Format.fprintf fmt "%d" n
+  | Gauge g -> Format.fprintf fmt "%g" g
+  | Histogram { n; sum; buckets } ->
+    Format.fprintf fmt "n=%d sum=%g buckets=[%s]" n sum
+      (String.concat ";"
+         (List.map
+            (fun (b, c) ->
+              if Float.is_finite b then Printf.sprintf "<=%g:%d" b c
+              else Printf.sprintf "inf:%d" c)
+            buckets))
+
+let pp fmt t =
+  List.iter
+    (fun (name, v) -> Format.fprintf fmt "%-28s %a@." name pp_value v)
+    (snapshot t)

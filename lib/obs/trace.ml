@@ -1,0 +1,183 @@
+type span = {
+  sp_name : string;
+  sp_phase : string;
+  sp_tid : int; (* domain id, the Chrome "thread" lane *)
+  sp_ordinal : int; (* task ordinal at begin, -1 outside tasks *)
+  sp_addr : int; (* address payload, -1 when not address-shaped *)
+  sp_t0 : float; (* seconds since the trace epoch *)
+  mutable sp_t1 : float; (* set at end_span; nan while open *)
+}
+
+(* Per-domain completed-span buffer. Only its owner domain appends;
+   [drain] (master, at a barrier, no task running — the Journal
+   discipline) moves the batch out. The [registered] flag is only ever
+   read and written by the owner domain. *)
+type buf = { mutable pending : span list; mutable registered : bool }
+
+type t = {
+  enabled : bool;
+  epoch : float;
+  next_ordinal : int Atomic.t;
+  key : buf Domain.DLS.key;
+  bufs : buf list Atomic.t; (* every per-domain buffer ever created *)
+  drained : span list Atomic.t; (* batches moved out at barriers *)
+}
+
+let make ~enabled =
+  {
+    enabled;
+    epoch = Clock.now ();
+    next_ordinal = Atomic.make 0;
+    key = Domain.DLS.new_key (fun () -> { pending = []; registered = false });
+    bufs = Atomic.make [];
+    drained = Atomic.make [];
+  }
+
+let disabled = make ~enabled:false
+let create () = make ~enabled:true
+let enabled t = t.enabled
+
+let rec push_atomic cell x =
+  let cur = Atomic.get cell in
+  if not (Atomic.compare_and_set cell cur (x :: cur)) then push_atomic cell x
+
+let my_buf t =
+  let b = Domain.DLS.get t.key in
+  if not b.registered then begin
+    b.registered <- true;
+    push_atomic t.bufs b
+  end;
+  b
+
+let null_span =
+  {
+    sp_name = "";
+    sp_phase = "";
+    sp_tid = -1;
+    sp_ordinal = -1;
+    sp_addr = -1;
+    sp_t0 = nan;
+    sp_t1 = nan;
+  }
+
+let next_ordinal t = Atomic.fetch_and_add t.next_ordinal 1
+
+let begin_span t ?(phase = "task") ?(addr = -1) name =
+  if not t.enabled then null_span
+  else
+    {
+      sp_name = name;
+      sp_phase = phase;
+      sp_tid = (Domain.self () :> int);
+      sp_ordinal = next_ordinal t;
+      sp_addr = addr;
+      sp_t0 = Clock.now () -. t.epoch;
+      sp_t1 = nan;
+    }
+
+let end_span t s =
+  if t.enabled && s != null_span then begin
+    s.sp_t1 <- Clock.now () -. t.epoch;
+    let b = my_buf t in
+    b.pending <- s :: b.pending
+  end
+
+let with_span t ?phase ?addr name f =
+  if not t.enabled then f ()
+  else begin
+    let s = begin_span t ?phase ?addr name in
+    Fun.protect ~finally:(fun () -> end_span t s) f
+  end
+
+(* Barrier-time drain: take every buffer's batch. Caller guarantees
+   quiescence (no task mid-[end_span]), exactly like [Journal.flush]. *)
+let drain t =
+  if t.enabled then
+    List.iter
+      (fun b ->
+        match b.pending with
+        | [] -> ()
+        | batch ->
+          b.pending <- [];
+          List.iter (fun s -> push_atomic t.drained s) batch)
+      (Atomic.get t.bufs)
+
+let spans t =
+  drain t;
+  List.filter
+    (fun s -> Float.is_finite s.sp_t1)
+    (Atomic.get t.drained)
+  |> List.sort (fun a b -> compare (a.sp_t0, a.sp_t1) (b.sp_t0, b.sp_t1))
+
+let wall t = Clock.elapsed t.epoch
+
+(* Union length of the span intervals: the "observed" fraction of a
+   measured wall time, for the coverage acceptance check. *)
+let covered_wall t =
+  let iv =
+    List.sort compare
+      (List.map (fun s -> (s.sp_t0, s.sp_t1)) (spans t))
+  in
+  let rec go acc = function
+    | [] -> acc
+    | (lo, hi) :: rest ->
+      let rec absorb hi = function
+        | (lo2, hi2) :: rest2 when lo2 <= hi -> absorb (Float.max hi hi2) rest2
+        | rest2 -> (hi, rest2)
+      in
+      let hi, rest = absorb hi rest in
+      go (acc +. (hi -. lo)) rest
+  in
+  go 0.0 iv
+
+(* Per-phase wall aggregation, for the Summary phase breakdown. Nested
+   spans of the same phase double-count there; the breakdown therefore
+   reports leaf-ish phases (callers pick disjoint phase names). *)
+let phase_walls t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun s ->
+      let cur = Option.value (Hashtbl.find_opt tbl s.sp_phase) ~default:0.0 in
+      Hashtbl.replace tbl s.sp_phase (cur +. (s.sp_t1 -. s.sp_t0)))
+    (spans t);
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace-event export: an array of complete ("ph":"X") events,
+   timestamps in microseconds, one Chrome thread lane per domain.
+   Loadable in chrome://tracing and Perfetto.                          *)
+
+let chrome_json t =
+  let open Json in
+  let ev (s : span) =
+    let args =
+      (if s.sp_ordinal >= 0 then [ ("ordinal", J_int s.sp_ordinal) ] else [])
+      @
+      if s.sp_addr >= 0 then
+        [ ("addr", J_str (Printf.sprintf "0x%x" s.sp_addr)) ]
+      else []
+    in
+    J_obj
+      ([
+         ("name", J_str s.sp_name);
+         ("cat", J_str s.sp_phase);
+         ("ph", J_str "X");
+         (* integer microseconds: Json floats print %.6g, which would
+            round a multi-second ts to ~10us and jumble lane ordering *)
+         ("ts", J_int (int_of_float (Float.round (s.sp_t0 *. 1e6))));
+         ("dur", J_int (max 1 (int_of_float (Float.round ((s.sp_t1 -. s.sp_t0) *. 1e6)))));
+         ("pid", J_int 1);
+         ("tid", J_int s.sp_tid);
+       ]
+      @ match args with [] -> [] | a -> [ ("args", J_obj a) ])
+  in
+  J_arr (List.map ev (spans t))
+
+let to_chrome_string t = Json.json_to_string (chrome_json t)
+
+let write_chrome t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_chrome_string t))

@@ -1,0 +1,74 @@
+(** Per-domain execution spans, exported as Chrome trace-event JSON.
+
+    Not {!Pbca_simsched.Trace} (the replay-simulation DAG): this module
+    records {e real} wall-time intervals — which domain spent which
+    microseconds in which phase — so a run can be opened in
+    chrome://tracing / Perfetto and the phase breakdown printed next to
+    the parse summary.
+
+    Concurrency discipline (same as [Journal]): a completed span is
+    appended to a lock-free {e per-domain} buffer (plain mutable list,
+    owner-only writes, zero shared-cache traffic on the hot path);
+    {!drain} runs at barriers, when no task is mid-append, and moves
+    every buffer's batch into the shared collected set. A disabled trace
+    costs one branch per call site.
+
+    Span payloads carry the phase (Chrome category), a process-wide task
+    ordinal assigned at [begin_span], and an optional code address. *)
+
+type span = {
+  sp_name : string;
+  sp_phase : string;
+  sp_tid : int;  (** domain id: the Chrome thread lane *)
+  sp_ordinal : int;  (** task ordinal at begin, -1 for [null_span] *)
+  sp_addr : int;  (** address payload, -1 when absent *)
+  sp_t0 : float;  (** seconds since the trace epoch *)
+  mutable sp_t1 : float;  (** end time; nan while the span is open *)
+}
+
+type t
+
+val disabled : t
+(** Every operation is a no-op (one branch). *)
+
+val create : unit -> t
+(** A live trace; its epoch is [Clock.now] at creation. *)
+
+val enabled : t -> bool
+
+val null_span : span
+
+val begin_span : t -> ?phase:string -> ?addr:int -> string -> span
+(** Open a span on the calling domain. [phase] defaults to ["task"]. *)
+
+val end_span : t -> span -> unit
+(** Close a span and append it to the calling domain's buffer. Must run
+    on the domain that opened it (true for all callers: tasks do not
+    migrate mid-execution). *)
+
+val with_span : t -> ?phase:string -> ?addr:int -> string -> (unit -> 'a) -> 'a
+(** Scoped span; closed on exception too. *)
+
+val drain : t -> unit
+(** Move every per-domain batch into the collected set. Call only at
+    barriers / quiescent points (the caller guarantees no concurrent
+    [end_span]), exactly like [Journal.flush]. *)
+
+val spans : t -> span list
+(** All completed spans (drains first), sorted by start time. *)
+
+val wall : t -> float
+(** Seconds since the trace epoch. *)
+
+val covered_wall : t -> float
+(** Union length of all span intervals — the numerator of the
+    "spans cover >= 95% of parse wall time" acceptance check. *)
+
+val phase_walls : t -> (string * float) list
+(** Total span seconds per phase, sorted by phase name. *)
+
+val chrome_json : t -> Json.json
+val to_chrome_string : t -> string
+
+val write_chrome : t -> string -> unit
+(** Write the Chrome trace-event JSON array to a file. *)

@@ -14,6 +14,7 @@ let () =
       ("analysis", Test_analysis.suite);
       ("simsched", Test_simsched.suite);
       ("robustness", Test_robustness.suite);
+      ("obs", Test_obs.suite);
       ("recovery", Test_recovery.suite);
       ("apps", Test_apps.suite);
     ]

@@ -119,6 +119,50 @@ let test_deadline () =
   Alcotest.(check bool) "degradation marked" true (Cfg.degraded_count g > 0);
   check_clean r.ground_truth g
 
+(* The polling latch, deterministically: with a fake clock the deadline
+   is an exact instant, so we can pin down which check polls. The first
+   [past_deadline] call polls (counter 0 mod every = 0); the next
+   [every - 1] calls reuse the stale verdict even after the clock jumps
+   past the deadline; the next polled check latches; once latched, the
+   clock is never consulted again. *)
+let test_deadline_latch_fake_clock () =
+  let fake_now = ref 100.0 in
+  Pbca_obs.Clock.with_fake
+    (fun () -> !fake_now)
+    (fun () ->
+      let every = 4 in
+      let config =
+        {
+          Config.default with
+          Config.deadline_s = 50.0;
+          deadline_poll_every = every;
+        }
+      in
+      (* deadline captured at create: fake 100 + 50 = 150 *)
+      let g = Pbca_core.Cfg.create ~config (emit_funcs [ diamond_fun () ]) in
+      Alcotest.(check bool) "first check polls, before the deadline" false
+        (Cfg.past_deadline g);
+      Alcotest.(check int) "one poll so far" 1
+        (Atomic.get g.Cfg.stats.Cfg.deadline_polls);
+      fake_now := 200.0;
+      (* checks 2..every ride the stale verdict *)
+      for k = 2 to every do
+        Alcotest.(check bool)
+          (Printf.sprintf "check %d stays stale" k)
+          false (Cfg.past_deadline g)
+      done;
+      Alcotest.(check int) "still one poll" 1
+        (Atomic.get g.Cfg.stats.Cfg.deadline_polls);
+      (* the next polled check sees 200 > 150 and latches *)
+      Alcotest.(check bool) "polled check latches" true (Cfg.past_deadline g);
+      let polls = Atomic.get g.Cfg.stats.Cfg.deadline_polls in
+      Alcotest.(check int) "second poll latched it" 2 polls;
+      for _ = 1 to 3 * every do
+        Alcotest.(check bool) "stays latched" true (Cfg.past_deadline g)
+      done;
+      Alcotest.(check int) "latch skips the clock" polls
+        (Atomic.get g.Cfg.stats.Cfg.deadline_polls))
+
 (* ------------------------ fault injection ----------------------------- *)
 
 let indep_funcs n =
@@ -250,6 +294,7 @@ let suite =
     quick "budget: table entries degrade table"
       test_table_budget_degrades_table;
     quick "budget: global deadline" test_deadline;
+    quick "budget: deadline latch, fake clock" test_deadline_latch_fake_clock;
     quick "fault: single injection, others diff-equal"
       test_fault_injected_parse_survives;
     quick "fault: multiple injections contained" test_fault_multiple_injections;
