@@ -1401,6 +1401,153 @@ let trace_bench () =
   close_out oc;
   print_endline "wrote BENCH_pr5.json"
 
+(* ---------------------------------------------------------------- *)
+(* `bench finalize` (PR6 part): incremental-CSR finalize phase gate.
+   Traced full pipeline on the two coreutils subjects, best-of-reps;
+   the span phases give the finalize wall, the traversal ([region])
+   wall, and the snapshot build/compaction cost ([csr-build] /
+   [csr-compact], separate from [fz-step]). Gates: finalize wall at
+   most 2x the traversal wall, and no regression against the PR5 phase
+   baseline recorded below; incremental-vs-legacy Cfg_diff equality is
+   asserted on every subject. Writes BENCH_pr6.json unless ~smoke.    *)
+
+(* BENCH_pr5.json phase_wall_ms.finalize on this reference machine —
+   the regression baseline the incremental CSR must beat *)
+let pr5_finalize_baseline_ms =
+  [ ("coreutils_001", 40.1557); ("coreutils_002", 35.5189) ]
+
+let csr_report ~smoke () =
+  let module Otrace = Pbca_obs.Trace in
+  let reps = if smoke then 2 else 5 in
+  let threads = if smoke then 2 else 4 in
+  let pool = TP.create ~threads in
+  let subjects =
+    if smoke then [ { Profile.default with Profile.n_funcs = 25; seed = 11 } ]
+    else [ Profile.coreutils_like 1; Profile.coreutils_like 2 ]
+  in
+  let per_subject p =
+    let r = Emit.generate p in
+    (* correctness side of the gate: the incremental snapshot path must
+       equal the legacy whole-graph path on this very subject *)
+    let spool = TP.create ~threads:1 in
+    let g_inc = Pbca_core.Parallel.parse_and_finalize ~pool:spool r.Emit.image in
+    let g_leg = Pbca_core.Parallel.parse ~pool:spool r.Emit.image in
+    Pbca_core.Finalize.run_legacy ~pool:spool g_leg;
+    let equal = graphs_equal g_inc g_leg in
+    (* perf side: traced pipeline at [threads], best of [reps] (plus one
+       untimed warm-up for the decode cache) *)
+    let run_traced () =
+      let t = Otrace.create () in
+      let t0 = Pbca_obs.Clock.now () in
+      let g = Pbca_core.Parallel.parse_and_finalize ~otrace:t ~pool r.Emit.image in
+      (t, g, Pbca_obs.Clock.elapsed t0)
+    in
+    ignore (run_traced ());
+    let t0, g0, w0 = run_traced () in
+    let best_t = ref t0 and best_g = ref g0 and best_w = ref w0 in
+    for _ = 2 to reps do
+      let t, g, w = run_traced () in
+      if w < !best_w then begin
+        best_t := t;
+        best_g := g;
+        best_w := w
+      end
+    done;
+    let walls = Otrace.phase_walls !best_t in
+    let ms ph =
+      match List.assoc_opt ph walls with Some v -> 1000. *. v | None -> 0.0
+    in
+    let fin = ms "finalize" and region = ms "region" in
+    let ratio = if region > 0.0 then fin /. region else infinity in
+    let st = (!best_g).Pbca_core.Cfg.stats in
+    let baseline = List.assoc_opt p.Profile.name pr5_finalize_baseline_ms in
+    ( J_obj
+        ([
+           ("subject", J_str p.Profile.name);
+           ("seed", J_int p.Profile.seed);
+           ("wall_s", J_float !best_w);
+           ("finalize_wall_ms", J_float fin);
+           ("traversal_wall_ms", J_float region);
+           ("finalize_over_traversal", J_float ratio);
+           ("fz_step_ms", J_float (ms "fz-step"));
+           ("csr_build_ms", J_float (ms "csr-build"));
+           ("csr_compact_ms", J_float (ms "csr-compact"));
+           ( "csr_deltas",
+             J_int (Atomic.get st.Pbca_core.Cfg.csr_deltas) );
+           ( "csr_compactions",
+             J_int (Atomic.get st.Pbca_core.Cfg.csr_compactions) );
+           ("incremental_vs_legacy_equal", J_bool equal);
+         ]
+        @
+        match baseline with
+        | Some b ->
+          [
+            ("pr5_finalize_baseline_ms", J_float b);
+            ("speedup_vs_pr5", J_float (b /. Float.max fin 1e-9));
+          ]
+        | None -> []),
+      (ratio, fin, baseline, equal) )
+  in
+  let results = List.map per_subject subjects in
+  J_obj
+    [
+      ("bench", J_str "pr6_incremental_csr");
+      ("smoke", J_bool smoke);
+      ("reps", J_int reps);
+      ("threads", J_int threads);
+      ("finalize_over_traversal_target", J_float 2.0);
+      ("subjects", J_arr (List.map fst results));
+    ]
+
+let csr_checks ~smoke j =
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  (match json_field j [ "subjects" ] with
+  | Some (J_arr subs) ->
+    check "at least one subject benched" (subs <> []);
+    List.iter
+      (fun s ->
+        let name =
+          match json_field s [ "subject" ] with Some (J_str n) -> n | _ -> "?"
+        in
+        check
+          (name ^ ": incremental and legacy graphs Cfg_diff-equal")
+          (match json_field s [ "incremental_vs_legacy_equal" ] with
+          | Some (J_bool b) -> b
+          | _ -> false);
+        check
+          (name ^ ": finalize phase wall recorded")
+          (json_num s [ "finalize_wall_ms" ] > 0.0);
+        if not smoke then begin
+          check
+            (name ^ ": finalize wall <= 2x traversal wall")
+            (json_num s [ "finalize_over_traversal" ] <= 2.0);
+          check
+            (name ^ ": finalize wall does not regress vs PR5 baseline")
+            (json_num s [ "finalize_wall_ms" ]
+            <= json_num s [ "pr5_finalize_baseline_ms" ])
+        end)
+      subs
+  | _ -> check "subjects present" false);
+  List.rev !failures
+
+let csr_bench () =
+  header "Incremental CSR: finalize vs traversal phase gate (PR6)";
+  let j = csr_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match csr_checks ~smoke:false j with
+  | [] -> print_endline "all incremental-csr checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr6.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr6.json"
+
 (* seconds-long slice of the same reports, self-checking, for `dune
    runtest`; prints to stdout only (the test sandbox is read-only) *)
 let microsmoke () =
@@ -1434,8 +1581,15 @@ let microsmoke () =
     exit 1);
   let jt = trace_report ~smoke:true () in
   print_endline (json_to_string jt);
-  match trace_checks ~smoke:true jt with
+  (match trace_checks ~smoke:true jt with
   | [] -> print_endline "microsmoke trace: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let j6 = csr_report ~smoke:true () in
+  print_endline (json_to_string j6);
+  match csr_checks ~smoke:true j6 with
+  | [] -> print_endline "microsmoke incremental-csr: ok"
   | fs ->
     List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
     exit 1
@@ -1463,7 +1617,10 @@ let () =
   if want "ablations" then ablations ();
   if want "micro" then micro ();
   if want "contention" then contention ();
-  if want "finalize" then finalize_bench ();
+  if want "finalize" then begin
+    finalize_bench ();
+    csr_bench ()
+  end;
   if want "robustness" then robustness_bench ();
   if want "recovery" then recovery_bench ();
   if want "trace" then trace_bench ();

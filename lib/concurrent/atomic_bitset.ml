@@ -1,0 +1,49 @@
+(* Word-packed concurrent bitset. 63 usable bits per OCaml int word;
+   [set] CAS-loops on the containing word, [test] is a single load. *)
+
+let bits_per_word = 63
+
+type t = {
+  words : int Atomic.t array;
+  capacity : int;
+  set_bits : int Atomic.t;
+}
+
+let create n =
+  if n < 0 then invalid_arg "Atomic_bitset.create: negative capacity";
+  {
+    words = Array.init ((n + bits_per_word - 1) / bits_per_word) (fun _ -> Atomic.make 0);
+    capacity = n;
+    set_bits = Atomic.make 0;
+  }
+
+let capacity t = t.capacity
+
+let check t i =
+  if i < 0 || i >= t.capacity then
+    invalid_arg (Printf.sprintf "Atomic_bitset: index %d out of [0, %d)" i t.capacity)
+
+let set t i =
+  check t i;
+  let w = t.words.(i / bits_per_word) in
+  let mask = 1 lsl (i mod bits_per_word) in
+  let rec go () =
+    let cur = Atomic.get w in
+    if cur land mask <> 0 then false
+    else if Atomic.compare_and_set w cur (cur lor mask) then begin
+      Atomic.incr t.set_bits;
+      true
+    end
+    else go ()
+  in
+  go ()
+
+let test t i =
+  check t i;
+  Atomic.get t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let count t = Atomic.get t.set_bits
+
+let reset t =
+  Array.iter (fun w -> Atomic.set w 0) t.words;
+  Atomic.set t.set_bits 0

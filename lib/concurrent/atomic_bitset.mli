@@ -1,0 +1,36 @@
+(** Fixed-capacity concurrent bitset over [0, capacity).
+
+    Built for the delta layer of the {!Pbca_core.Csr} snapshot: finalize
+    steps kill an edge or block by setting its bit, and every snapshot
+    reader tests the bit while scanning the flat adjacency arrays. Both
+    sides are index-addressed, so a word-packed bit array beats a hash
+    set: [test] is one load + mask with no probing, and the whole map for
+    a hundred-thousand-edge graph is a few KiB of cache-resident words.
+
+    [set] is a CAS loop on the containing word (lock-free; it retries
+    only when another bit of the {e same} word was set concurrently).
+    [test] is wait-free. Bits are never cleared individually — the
+    consumers are kill maps and per-round visited maps, both of which
+    only grow — but {!reset} re-zeroes the whole set for reuse across
+    rounds (quiescent use only, like {!Frontier.clear}). *)
+
+type t
+
+val create : int -> t
+(** [create n] is an all-clear bitset for indices [0, n). *)
+
+val capacity : t -> int
+
+val set : t -> int -> bool
+(** [set t i] sets bit [i]; [true] iff this call flipped it from clear.
+    Exactly one of any number of concurrent [set]s of the same bit
+    returns [true]. Lock-free. Bounds-checked. *)
+
+val test : t -> int -> bool
+(** Wait-free. Bounds-checked. *)
+
+val count : t -> int
+(** Number of set bits. O(1): maintained by the winning [set] calls. *)
+
+val reset : t -> unit
+(** Clear every bit. Quiescent use only (no concurrent [set]/[test]). *)

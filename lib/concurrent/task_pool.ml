@@ -158,6 +158,10 @@ let raise_failures = function
 
 let run t root = raise_failures (run_collect t root)
 
+(* Sampled once: the machine's core count does not change mid-process,
+   and [parallel_for] consults it on every call. *)
+let hw_cores = Domain.recommended_domain_count ()
+
 let parallel_for t ?chunk lo hi f =
   if hi > lo then begin
     let count = hi - lo in
@@ -166,7 +170,6 @@ let parallel_for t ?chunk lo hi f =
       | Some c -> max 1 c
       | None -> max 1 (count / (t.n * 8))
     in
-    let next = Atomic.make lo in
     (* Per-index containment: an [f i] that raises must not take the rest
        of its chunk (or its worker's whole grab loop) down with it — every
        other index is still visited, and all failures are reported. *)
@@ -175,24 +178,43 @@ let parallel_for t ?chunk lo hi f =
       let cur = Atomic.get errs in
       if not (Atomic.compare_and_set errs cur (e :: cur)) then push e
     in
-    let body () =
-      let rec grab () =
-        let start = Atomic.fetch_and_add next chunk in
-        if start < hi then begin
-          let stop = min hi (start + chunk) in
-          for i = start to stop - 1 do
-            try f i with e -> push e
-          done;
-          grab ()
-        end
+    if t.n = 1 || count <= chunk || hw_cores = 1 then begin
+      (* Inline fast path: a single worker would execute every index
+         anyway (one thread, one chunk, or one hardware core), so skip
+         the region entirely — spawning and joining [t.n - 1] domains
+         costs milliseconds per call on a loaded single-core box, which
+         is exactly the finalize bottleneck. [parallel_for] promises no
+         concurrency between bodies, so running them on the caller is
+         observationally equal; the fault hook still fires once, like
+         the single task a [threads:1] region would run. *)
+      (match Fault.on_task () with
+      | () ->
+        for i = lo to hi - 1 do
+          try f i with e -> push e
+        done
+      | exception e -> push e)
+    end
+    else begin
+      let next = Atomic.make lo in
+      let body () =
+        let rec grab () =
+          let start = Atomic.fetch_and_add next chunk in
+          if start < hi then begin
+            let stop = min hi (start + chunk) in
+            for i = start to stop - 1 do
+              try f i with e -> push e
+            done;
+            grab ()
+          end
+        in
+        grab ()
       in
-      grab ()
-    in
-    run t (fun spawn ->
-        for _ = 2 to t.n do
-          spawn body
-        done;
-        body ());
+      run t (fun spawn ->
+          for _ = 2 to t.n do
+            spawn body
+          done;
+          body ())
+    end;
     raise_failures (List.rev (Atomic.get errs))
   end
 

@@ -46,7 +46,16 @@ val run_collect : t -> (((unit -> unit) -> unit) -> unit) -> exn list
     [#pragma omp parallel for schedule(dynamic)] of paper Listing 7.
     A raising [f i] does not prevent any other index from being visited;
     failures are re-raised after the loop completes (several as
-    {!Task_failures}). *)
+    {!Task_failures}).
+
+    When a parallel region cannot help — one pool thread, one chunk's
+    worth of indices, or one hardware core — the loop runs inline on the
+    calling domain with no region opened. [parallel_for] promises no
+    concurrency between bodies, so this is observationally equal, and it
+    removes the domain spawn/join cost (milliseconds on a single-core
+    host) from small or unparallelizable loops. The inline path still
+    passes through [Fault.on_task] exactly once, like the one task a
+    [threads:1] region would run. *)
 val parallel_for : t -> ?chunk:int -> int -> int -> (int -> unit) -> unit
 
 (** [parallel_for_reduce t ?chunk lo hi ~init ~map ~combine] folds [map i]

@@ -110,6 +110,12 @@ type stats = {
       (* per-run scheduler counters: Parallel snapshot-diffs the pool's
          cumulative counters around the parse, so these never mix with a
          concurrent run on another pool *)
+  csr_deltas : int Atomic.t;
+      (* winning delta kills (edges + blocks) applied to finalize CSR
+         snapshots instead of forcing a rebuild *)
+  csr_compactions : int Atomic.t;
+      (* snapshot rebuilds forced by the dead fraction crossing
+         [Config.csr_compact_threshold] *)
 }
 
 type t = {
@@ -179,6 +185,8 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       sched_steals = Atomic.make 0;
       sched_steal_attempts = Atomic.make 0;
       sched_idle_sleeps = Atomic.make 0;
+      csr_deltas = Atomic.make 0;
+      csr_compactions = Atomic.make 0;
     }
   in
   (* Per-run metrics registry: the scattered hot-path atomics are adopted
@@ -207,6 +215,8 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     c "sched_steals" stats.sched_steals;
     c "sched_steal_attempts" stats.sched_steal_attempts;
     c "sched_idle_sleeps" stats.sched_idle_sleeps;
+    c "csr_deltas" stats.csr_deltas;
+    c "csr_compactions" stats.csr_compactions;
     c "contention_probes" counters.Pbca_concurrent.Contention.probes;
     c "contention_cas_retries" counters.Pbca_concurrent.Contention.cas_retries;
     c "contention_resizes" counters.Pbca_concurrent.Contention.resizes;

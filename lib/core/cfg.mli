@@ -154,6 +154,12 @@ type stats = {
           snapshot-diffs the pool's per-pool cumulative counters around
           the parse, so a concurrent run on another pool never leaks into
           these numbers *)
+  csr_deltas : int Atomic.t;
+      (** winning delta kills (edges + blocks) absorbed by the finalize
+          CSR snapshot in place, i.e. rebuilds avoided by the delta layer *)
+  csr_compactions : int Atomic.t;
+      (** finalize CSR snapshot rebuilds forced by the dead fraction
+          crossing [Config.csr_compact_threshold] *)
 }
 
 type t = {

@@ -9,6 +9,7 @@ type t = {
   max_table_entries : int;
   deadline_s : float;
   deadline_poll_every : int;
+  csr_compact_threshold : float;
 }
 
 let default =
@@ -23,4 +24,5 @@ let default =
     max_table_entries = 4096;
     deadline_s = 0.0;
     deadline_poll_every = 32;
+    csr_compact_threshold = 0.25;
   }

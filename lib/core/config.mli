@@ -38,6 +38,11 @@ type t = {
           latched once true, so coarsening only delays detection by at most
           N-1 work units); [Cfg.stats] counts checks vs. polls so the bench
           can report the syscalls saved *)
+  csr_compact_threshold : float;
+      (** dead fraction of the finalize CSR snapshot above which delta
+          kills trigger a compaction (a fresh {!Csr.build}) instead of
+          letting readers keep skipping dead entries; [1.0] effectively
+          disables compaction, [0.0] compacts after any kill *)
 }
 
 val default : t

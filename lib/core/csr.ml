@@ -1,7 +1,9 @@
-(* Immutable CSR-style CFG snapshot. See the .mli for the live-edge
-   invariants; this file is only the parallel construction. *)
+(* CSR-style CFG snapshot with a delta-kill layer. See the .mli for the
+   liveness invariants; this file is the parallel construction plus the
+   O(1) kill operations. *)
 
 module Task_pool = Pbca_concurrent.Task_pool
+module Atomic_bitset = Pbca_concurrent.Atomic_bitset
 
 type t = {
   blocks : Cfg.block array;
@@ -12,6 +14,9 @@ type t = {
   fwd_off : int array;
   bwd_off : int array;
   bwd : int array;
+  dead_edge : Atomic_bitset.t;
+  dead_block : Atomic_bitset.t;
+  version : int Atomic.t;
 }
 
 let n_blocks t = Array.length t.blocks
@@ -44,35 +49,47 @@ let sort_slice a lo hi =
     a.(!j + 1) <- v
   done
 
+let mk ~blocks ~starts ~edges ~e_src ~e_dst ~fwd_off ~bwd_off ~bwd =
+  {
+    blocks;
+    starts;
+    edges;
+    e_src;
+    e_dst;
+    fwd_off;
+    bwd_off;
+    bwd;
+    dead_edge = Atomic_bitset.create (Array.length edges);
+    dead_block = Atomic_bitset.create (Array.length blocks);
+    version = Atomic.make 0;
+  }
+
 let build ~pool (g : Cfg.t) =
   let blocks = Array.of_list (Cfg.blocks_list g) in
   let n = Array.length blocks in
   let starts = Array.map (fun (b : Cfg.block) -> b.Cfg.b_start) blocks in
-  (* live out-edges per block, gathered and counted in one parallel pass *)
+  (* live out-edges per block, gathered and counted in one parallel pass;
+     the counts array feeds the serial prefix sum so [List.length] runs
+     once per block, not twice *)
   let outs = Array.make n [] in
+  let counts = Array.make n 0 in
   let m =
     Task_pool.parallel_for_reduce pool 0 n ~init:0
       ~map:(fun i ->
         let es = Cfg.out_edges blocks.(i) in
         outs.(i) <- es;
-        List.length es)
+        let c = List.length es in
+        counts.(i) <- c;
+        c)
       ~combine:( + )
   in
   let fwd_off = Array.make (n + 1) 0 in
   for i = 0 to n - 1 do
-    fwd_off.(i + 1) <- fwd_off.(i) + List.length outs.(i)
+    fwd_off.(i + 1) <- fwd_off.(i) + counts.(i)
   done;
   if m = 0 then
-    {
-      blocks;
-      starts;
-      edges = [||];
-      e_src = [||];
-      e_dst = [||];
-      fwd_off;
-      bwd_off = Array.make (n + 1) 0;
-      bwd = [||];
-    }
+    mk ~blocks ~starts ~edges:[||] ~e_src:[||] ~e_dst:[||] ~fwd_off
+      ~bwd_off:(Array.make (n + 1) 0) ~bwd:[||]
   else begin
     let dummy =
       let rec first i =
@@ -113,22 +130,82 @@ let build ~pool (g : Cfg.t) =
        snapshot layout is deterministic *)
     Task_pool.parallel_for pool 0 n (fun i ->
         sort_slice bwd bwd_off.(i) bwd_off.(i + 1));
-    { blocks; starts; edges; e_src; e_dst; fwd_off; bwd_off; bwd }
+    mk ~blocks ~starts ~edges ~e_src ~e_dst ~fwd_off ~bwd_off ~bwd
   end
+
+(* ---- delta layer ---- *)
+
+let edge_live t k = not (Atomic_bitset.test t.dead_edge k)
+let block_live t i = not (Atomic_bitset.test t.dead_block i)
+
+let kill_edge t k =
+  if Atomic_bitset.set t.dead_edge k then begin
+    (* the graph-level flag is the source of truth for the next [build];
+       setting it here keeps snapshot liveness and graph liveness in
+       lock-step, so a compaction can never resurrect a killed edge *)
+    Atomic.set t.edges.(k).Cfg.e_dead true;
+    Atomic.incr t.version;
+    true
+  end
+  else false
+
+let kill_block t i =
+  if Atomic_bitset.set t.dead_block i then begin
+    for k = t.fwd_off.(i) to t.fwd_off.(i + 1) - 1 do
+      ignore (kill_edge t k)
+    done;
+    for p = t.bwd_off.(i) to t.bwd_off.(i + 1) - 1 do
+      ignore (kill_edge t t.bwd.(p))
+    done;
+    Atomic.incr t.version;
+    true
+  end
+  else false
+
+let dead_edges t = Atomic_bitset.count t.dead_edge
+let dead_blocks t = Atomic_bitset.count t.dead_block
+let version t = Atomic.get t.version
+
+let dead_fraction t =
+  let total = n_edges t + n_blocks t in
+  if total = 0 then 0.0
+  else float_of_int (dead_edges t + dead_blocks t) /. float_of_int total
+
+let needs_compact t ~threshold =
+  version t > 0 && dead_fraction t > threshold
+
+(* ---- live-aware readers ---- *)
 
 let iter_out t i f =
   for k = t.fwd_off.(i) to t.fwd_off.(i + 1) - 1 do
-    f k t.edges.(k)
+    if edge_live t k then f k t.edges.(k)
   done
 
 let iter_in t i f =
   for p = t.bwd_off.(i) to t.bwd_off.(i + 1) - 1 do
     let k = t.bwd.(p) in
-    f k t.edges.(k)
+    if edge_live t k then f k t.edges.(k)
   done
 
-let in_degree t i = t.bwd_off.(i + 1) - t.bwd_off.(i)
+let in_degree t i =
+  let d = ref 0 in
+  for p = t.bwd_off.(i) to t.bwd_off.(i + 1) - 1 do
+    if edge_live t t.bwd.(p) then incr d
+  done;
+  !d
 
 let sole_in t i =
-  if in_degree t i = 1 then Some t.edges.(t.bwd.(t.bwd_off.(i)))
-  else None
+  let found = ref None in
+  let several = ref false in
+  (try
+     for p = t.bwd_off.(i) to t.bwd_off.(i + 1) - 1 do
+       let k = t.bwd.(p) in
+       if edge_live t k then
+         match !found with
+         | None -> found := Some t.edges.(k)
+         | Some _ ->
+           several := true;
+           raise Exit
+     done
+   with Exit -> ());
+  if !several then None else !found

@@ -1,24 +1,46 @@
-(** Immutable CSR-style snapshot of the live CFG.
+(** CSR-style snapshot of the live CFG, incrementally maintained.
 
     Finalization (paper Section 5.4) is read-dominated: every correction
-    round re-examines the whole edge set, reachability walks every live
-    edge, and boundary assignment traverses intra-procedural adjacency.
-    Doing that through the concurrent maps and per-block [edge list]s
-    costs a filtered list allocation per visit. This module compacts the
+    round re-examines edges, reachability walks every live edge, and
+    boundary assignment traverses intra-procedural adjacency. Doing that
+    through the concurrent maps and per-block [edge list]s costs a
+    filtered list allocation per visit. This module compacts the
     quiescent graph once into flat arrays — blocks sorted by start
     address, live edges grouped by source block with forward and backward
     adjacency offsets — so the finalization steps become cache-friendly
     array scans and index arithmetic.
 
+    {2 Delta-kill layer}
+
+    Rebuilding the snapshot after every edge-killing step was the
+    finalize bottleneck, so kills are now deltas: {!kill_edge} and
+    {!kill_block} mark entries dead in O(1) kill bitmaps
+    ({!Pbca_concurrent.Atomic_bitset}) and every reader skips dead
+    entries, so a snapshot stays usable across kills without a rebuild.
+    The consumer compacts (a fresh {!build}) only when {!needs_compact}
+    says the dead fraction crossed its threshold.
+
     Invariants (the contract {!Finalize} maintains):
 
-    - A {e live edge} is an edge whose [e_dead] flag was false at build
-      time. The snapshot holds exactly the live edges, each once.
+    - A {e live edge} is an edge that was live ([e_dead] false) at build
+      time and has not been {!kill_edge}d since. The arrays hold every
+      build-time-live edge once; the [dead_edge] bitmap says which have
+      died. Readers ({!iter_out}, {!iter_in}, {!in_degree}, {!sole_in})
+      present only live edges.
+    - Kills are monotone: the bitmaps only grow between builds, and the
+      winning {!kill_edge} also sets the graph-level [e_dead] flag, so a
+      later {!build} (compaction) sees exactly the surviving edges — a
+      reader can never observe a resurrected edge, before or after a
+      compaction.
     - Edge {e kind} mutations (the tail-call correction flips) do NOT
-      invalidate a snapshot: [edges] aliases the graph's edge records, so
-      kinds are always read current. Only changes to the live-edge set —
-      killing edges, removing blocks — stale a snapshot; the consumer
-      must rebuild before the next step that reads it.
+      touch liveness: [edges] aliases the graph's edge records, so kinds
+      are always read current, with no version bump.
+    - {!kill_block} kills the block's bit and every incident edge, so
+      edge liveness alone decides adjacency visibility; {!block_live}
+      exists for consumers that scan [blocks] directly.
+    - Killing through any other door (setting [e_dead] on the graph
+      without {!kill_edge}, removing blocks from the maps) still stales
+      the snapshot and requires a rebuild, exactly as before.
     - Blocks are sorted by [b_start]; block indices are dense [0, n)
       ints, which is what lets reachability use {!Pbca_concurrent.Atomic_intset}
       over indices instead of a hash table over addresses. *)
@@ -27,8 +49,9 @@ type t = {
   blocks : Cfg.block array;  (** sorted by [b_start] *)
   starts : int array;  (** [b_start] per block, same order (binary-search key) *)
   edges : Cfg.edge array;
-      (** live edges grouped by source block: block [i]'s out-edges are
-          exactly indices [fwd_off.(i) .. fwd_off.(i+1) - 1] *)
+      (** build-time-live edges grouped by source block: block [i]'s
+          out-edges are exactly indices [fwd_off.(i) .. fwd_off.(i+1) - 1]
+          (minus those since killed — test {!edge_live}) *)
   e_src : int array;  (** source block index per edge *)
   e_dst : int array;  (** destination block index per edge *)
   fwd_off : int array;  (** length [n_blocks + 1] *)
@@ -37,27 +60,65 @@ type t = {
       (** edge indices grouped by destination block (each group sorted
           ascending): block [i]'s in-edges are
           [bwd.(bwd_off.(i)) .. bwd.(bwd_off.(i+1) - 1)] *)
+  dead_edge : Pbca_concurrent.Atomic_bitset.t;  (** killed edge indices *)
+  dead_block : Pbca_concurrent.Atomic_bitset.t;  (** killed block indices *)
+  version : int Atomic.t;
+      (** bumped by every winning kill; [0] means pristine *)
 }
 
 val build : pool:Pbca_concurrent.Task_pool.t -> Cfg.t -> t
-(** Snapshot the graph's current live blocks and edges. Quiescent use
-    only (no concurrent mutators). Destination-index resolution and array
-    filling run in parallel over the pool. *)
+(** Snapshot the graph's current live blocks and edges, with clear kill
+    bitmaps. Quiescent use only (no concurrent mutators). Destination
+    index resolution and array filling run in parallel over the pool. *)
 
 val n_blocks : t -> int
 val n_edges : t -> int
+(** Array lengths, i.e. build-time counts — dead entries included.
+    Subtract {!dead_blocks} / {!dead_edges} for live counts. *)
 
 val index_of : t -> int -> int option
-(** Block index of the block starting at an address, by binary search. *)
+(** Block index of the block starting at an address, by binary search.
+    Dead blocks still resolve; test {!block_live}. *)
+
+val edge_live : t -> int -> bool
+val block_live : t -> int -> bool
+
+val kill_edge : t -> int -> bool
+(** [kill_edge t k] marks edge [k] dead in the snapshot AND sets the
+    graph-level [e_dead] flag; [true] iff this call was the one that
+    killed it. O(1), lock-free, callable from parallel finalize steps. *)
+
+val kill_block : t -> int -> bool
+(** [kill_block t i] marks block [i] dead and kills every incident edge
+    (out and in). [true] iff this call killed the block. The caller is
+    responsible for un-mapping the block from the graph's maps. *)
+
+val dead_edges : t -> int
+val dead_blocks : t -> int
+
+val version : t -> int
+(** Number of winning kills since build; [0] means the snapshot is
+    pristine. *)
+
+val dead_fraction : t -> float
+(** [(dead_edges + dead_blocks) / (n_edges + n_blocks)]; [0.] when the
+    snapshot is empty. *)
+
+val needs_compact : t -> threshold:float -> bool
+(** True when there are any kills and {!dead_fraction} exceeds
+    [threshold] — the consumer should rebuild ({e compact}) before the
+    dead entries slow scans down. *)
 
 val iter_out : t -> int -> (int -> Cfg.edge -> unit) -> unit
-(** [iter_out t i f] applies [f k e] to each out-edge [e = edges.(k)] of
-    block [i]. *)
+(** [iter_out t i f] applies [f k e] to each {e live} out-edge
+    [e = edges.(k)] of block [i]. *)
 
 val iter_in : t -> int -> (int -> Cfg.edge -> unit) -> unit
-(** Same over in-edges (via the backward adjacency). *)
+(** Same over live in-edges (via the backward adjacency). *)
 
 val in_degree : t -> int -> int
+(** Live in-degree: O(group size), skipping killed edges. *)
+
 val sole_in : t -> int -> Cfg.edge option
-(** The unique in-edge of block [i], if its in-degree is exactly 1
-    (tail-call correction rule 3's test). *)
+(** The unique live in-edge of block [i], if its live in-degree is
+    exactly 1 (tail-call correction rule 3's test). *)

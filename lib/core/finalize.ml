@@ -12,8 +12,8 @@ module Trace = Pbca_simsched.Trace
 (* negative (or inflated) per-step walls. Each timed call is also a    *)
 (* span in the graph's observability trace.                            *)
 
-let timed g name cell f =
-  Pbca_obs.Trace.with_span g.Cfg.otrace ~phase:"fz-step" name (fun () ->
+let timed ?(phase = "fz-step") g name cell f =
+  Pbca_obs.Trace.with_span g.Cfg.otrace ~phase name (fun () ->
       let t0 = Pbca_obs.Clock.now () in
       let r = f () in
       cell (Pbca_obs.Clock.elapsed t0);
@@ -118,14 +118,19 @@ let reachable_blocks g =
   drain ();
   seen
 
-let kill_block g (b : Cfg.block) =
-  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_out);
-  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_in);
+(* Drop a block from the address maps (the part of a block kill that the
+   snapshot's own [Csr.kill_block] cannot do). *)
+let unmap_block g (b : Cfg.block) =
   ignore (Addr_map.remove g.Cfg.blocks b.Cfg.b_start);
   let e = Cfg.block_end b in
   match Addr_map.find g.Cfg.ends e with
   | Some owner when owner == b -> ignore (Addr_map.remove g.Cfg.ends e)
   | _ -> ()
+
+let kill_block g (b : Cfg.block) =
+  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_out);
+  List.iter (fun (e : Cfg.edge) -> Atomic.set e.e_dead true) (Atomic.get b.Cfg.b_in);
+  unmap_block g b
 
 let prune_unreachable g =
   let seen = reachable_blocks g in
@@ -297,13 +302,18 @@ let prune_functions g =
 
 (* ------------------------------------------------------------------ *)
 (* Snapshot-indexed steps. All of them read a [Csr.t] built from the   *)
-(* current live graph; the caller rebuilds it whenever a step killed   *)
-(* edges or removed blocks (kind flips alone never stale a snapshot).  *)
+(* current live graph. Steps that kill edges or blocks mark them dead  *)
+(* through the snapshot's delta layer ([Csr.kill_block]) — O(1) per    *)
+(* kill, no rebuild — and every reader below skips dead entries; the   *)
+(* caller compacts (a fresh build) only when [Csr.needs_compact] says  *)
+(* the dead fraction crossed the configured threshold. Kind flips      *)
+(* mutate the shared edge records in place and never stale anything.   *)
 
 (* Frontier-based level-synchronous parallel BFS over the snapshot's
    forward adjacency. [Atomic_intset.add] is the first-visitor-wins test,
    so each block index is pushed to a frontier at most once and the
-   fixed-capacity buffers cannot overflow. *)
+   fixed-capacity buffers cannot overflow. Unreachable blocks are delta-
+   killed in the snapshot and un-mapped from the graph. *)
 let prune_unreachable_snap ~pool g (snap : Csr.t) =
   let n = Csr.n_blocks snap in
   if n = 0 then false
@@ -317,7 +327,9 @@ let prune_unreachable_snap ~pool g (snap : Csr.t) =
     Addr_map.iter
       (fun addr _ ->
         match Csr.index_of snap addr with
-        | Some i -> if Atomic_intset.add visited i then Frontier.push cur i
+        | Some i ->
+          if Csr.block_live snap i && Atomic_intset.add visited i then
+            Frontier.push cur i
         | None -> ())
       g.Cfg.funcs;
     let rec levels cur nxt =
@@ -333,20 +345,31 @@ let prune_unreachable_snap ~pool g (snap : Csr.t) =
       end
     in
     levels cur nxt;
+    (* already-dead blocks are not "newly unreachable": without the
+       liveness filter the prune fixed point would spin on them forever *)
     let dead =
       Task_pool.parallel_for_reduce pool ~chunk:256 0 n ~init:[]
-        ~map:(fun i -> if Atomic_intset.mem visited i then [] else [ i ])
+        ~map:(fun i ->
+          if Atomic_intset.mem visited i || not (Csr.block_live snap i) then []
+          else [ i ])
         ~combine:List.rev_append
     in
-    List.iter (fun i -> kill_block g snap.Csr.blocks.(i)) dead;
+    List.iter
+      (fun i ->
+        ignore (Csr.kill_block snap i);
+        unmap_block g snap.Csr.blocks.(i))
+      dead;
     dead <> []
   end
 
 (* Same traversal as [boundary_blocks] but over snapshot indices: no
-   per-visit list filtering, no address hashing on the edge walk. *)
-let boundary_blocks_snap g (snap : Csr.t) (f : Cfg.func) =
+   per-visit list filtering, no address hashing on the edge walk.
+   Returns sorted block indices ([iter_out] already skips dead edges,
+   and a killed entry block yields the empty boundary). *)
+let boundary_idx g (snap : Csr.t) (f : Cfg.func) =
   match Csr.index_of snap f.Cfg.f_entry_addr with
   | None -> []
+  | Some entry when not (Csr.block_live snap entry) -> []
   | Some entry ->
     let seen = Hashtbl.create 64 in
     let stack = ref [ entry ] in
@@ -365,7 +388,10 @@ let boundary_blocks_snap g (snap : Csr.t) (f : Cfg.func) =
                 stack := snap.Csr.e_dst.(k) :: !stack)
         end)
     done;
-    List.sort compare !acc |> List.map (fun i -> snap.Csr.blocks.(i))
+    List.sort compare !acc
+
+let boundary_blocks_snap g (snap : Csr.t) (f : Cfg.func) =
+  List.map (fun i -> snap.Csr.blocks.(i)) (boundary_idx g snap f)
 
 (* Decide the correction rules for snapshot edge [k]. Pure reads: within
    a round the rules only consult Call-kind in-edges (flips never create
@@ -375,7 +401,7 @@ let boundary_blocks_snap g (snap : Csr.t) (f : Cfg.func) =
    serially afterwards is equivalent to the legacy serial sorted pass. *)
 let eval_rule g (snap : Csr.t) members k =
   let e : Cfg.edge = snap.Csr.edges.(k) in
-  if e.e_flipped then None
+  if e.e_flipped || not (Csr.edge_live snap k) then None
   else begin
     let dst = e.e_dst.Cfg.b_start in
     match e.e_kind with
@@ -455,7 +481,9 @@ let run_legacy ~pool g =
      at most once so this converges quickly *)
   let rec fix n =
     let nfuncs = timed g "bounds" (t_bounds fz) (fun () -> compute_boundaries ~pool g) in
-    fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ nfuncs ];
+    (* accumulate newest-first, one [List.rev] at the end: the append
+       form was quadratic in the round count *)
+    fz.Cfg.fz_dirty <- nfuncs :: fz.Cfg.fz_dirty;
     let flipped = timed g "rules" (t_rules fz) (fun () -> correct_tail_calls g) in
     fz.Cfg.fz_rounds <- fz.Cfg.fz_rounds + 1;
     if flipped && n < 8 then fix (n + 1)
@@ -478,53 +506,131 @@ let run_legacy ~pool g =
       let blocks = Array.of_list (Cfg.blocks_list g) in
       Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
           let b = blocks.(i) in
-          Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))))
+          Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))));
+  fz.Cfg.fz_dirty <- List.rev fz.Cfg.fz_dirty
 
 let run ~pool g =
   let fz = g.Cfg.stats.Cfg.finalize in
   reset_stats fz;
   timed g "jt-clean" (t_jt fz) (fun () -> clean_jump_tables ~pool g);
-  let build () =
-    timed g "snapshot" (t_snap fz) (fun () ->
+  let build ~phase =
+    timed ~phase g phase (t_snap fz) (fun () ->
         fz.Cfg.fz_snapshots <- fz.Cfg.fz_snapshots + 1;
         Csr.build ~pool g)
   in
-  let snap = ref (build ()) in
-  let rebuild () = snap := build () in
-  if timed g "reach" (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap) then
-    rebuild ();
-  (* tail-call fix rounds: round 0 computes every boundary; later rounds
-     recompute only the functions whose boundary contained the source of
-     an edge flipped in the previous round — the only boundaries a flip
-     can change, since a traversal that never visits the flipped edge's
-     source never follows (or stops following) that edge. The membership
-     table is patched incrementally in step with the dirty recomputes. *)
+  let snap = ref (build ~phase:"csr-build") in
+  (* Kills are deltas absorbed by the snapshot in place; a fresh build
+     (compaction) happens only when the dead fraction crosses the
+     configured threshold. [csr_deltas] counts the winning kills (the
+     rebuilds the delta layer absorbed), [csr_compactions] the rebuilds
+     it did not. *)
+  let threshold = g.Cfg.config.Config.csr_compact_threshold in
+  let counting_kills f =
+    let v0 = Csr.version !snap in
+    let r = f () in
+    let dv = Csr.version !snap - v0 in
+    if dv > 0 then
+      ignore (Atomic.fetch_and_add g.Cfg.stats.Cfg.csr_deltas dv);
+    r
+  in
+  let maybe_compact () =
+    if Csr.needs_compact !snap ~threshold then begin
+      Atomic.incr g.Cfg.stats.Cfg.csr_compactions;
+      snap := build ~phase:"csr-compact"
+    end
+  in
+  if
+    timed g "reach" (t_reach fz) (fun () ->
+        counting_kills (fun () -> prune_unreachable_snap ~pool g !snap))
+  then maybe_compact ();
+  (* Tail-call fix rounds: round 0 computes every boundary and scans every
+     edge; later rounds recompute only the *dirty* functions — those whose
+     boundary contained the source of an edge flipped in the previous
+     round, the only boundaries a flip can change, since a traversal that
+     never visits the flipped edge's source never follows (or stops
+     following) that edge. The rule scan of a later round is fused with
+     the boundary recompute into one sweep over the {e dirty frontier}:
+     the out-edges of the blocks in the old and new boundaries of the
+     dirty functions. That set covers every edge whose rule decision can
+     have changed — within fix rounds edge liveness, the [Call]-edge set,
+     the funcs map and [static_entries] are all invariant (flips never
+     make or unmake a [Call]), so a decision changes only through the
+     membership or boundary content of the edge's source block, and a
+     source whose membership or containing boundary changed lies in an
+     old or new boundary of a dirty function by definition. Flipped edges
+     are final ([eval_rule] returns [None] forever), so skipping the rest
+     of the edge array loses nothing.
+
+     No fix step kills edges or blocks, so the snapshot (and its index
+     space) is stable for the whole loop; the per-round scratch below is
+     allocated once and reused (arena style) instead of per round. *)
   let members = Hashtbl.create 4096 in
-  let recompute (dirty : Cfg.func array) =
+  let all_funcs = Array.of_list (Cfg.funcs_list g) in
+  let nfuncs = Array.length all_funcs in
+  (* arenas: new-boundary slots, entry -> boundary indices, the frontier
+     dedup bitset and the candidate-edge buffer (block dedup is edge
+     dedup: distinct blocks own disjoint fwd slices) *)
+  let newb = Array.make nfuncs [] in
+  let bidx : (int, int list) Hashtbl.t = Hashtbl.create (2 * nfuncs) in
+  let blk_seen = Pbca_concurrent.Atomic_bitset.create (Csr.n_blocks !snap) in
+  let cand = Array.make (max 1 (Csr.n_edges !snap)) 0 in
+  let cand_len = ref 0 in
+  let mark_frontier i =
+    if Pbca_concurrent.Atomic_bitset.set blk_seen i then begin
+      let s = !snap in
+      for k = s.Csr.fwd_off.(i) to s.Csr.fwd_off.(i + 1) - 1 do
+        cand.(!cand_len) <- k;
+        incr cand_len
+      done
+    end
+  in
+  let recompute ~collect (dirty : Cfg.func array) =
     timed g "bounds" (t_bounds fz) (fun () ->
         let nd = Array.length dirty in
-        let newb = Array.make nd [] in
         Task_pool.parallel_for pool 0 nd (fun i ->
-            newb.(i) <- boundary_blocks_snap g !snap dirty.(i));
+            newb.(i) <- boundary_idx g !snap dirty.(i));
         for i = 0 to nd - 1 do
           let f = dirty.(i) in
+          let old_idx =
+            Option.value (Hashtbl.find_opt bidx f.Cfg.f_entry_addr) ~default:[]
+          in
           membership_remove members f f.Cfg.f_blocks;
-          f.Cfg.f_blocks <- newb.(i);
-          membership_add members f
+          f.Cfg.f_blocks <-
+            List.map (fun j -> (!snap).Csr.blocks.(j)) newb.(i);
+          membership_add members f;
+          Hashtbl.replace bidx f.Cfg.f_entry_addr newb.(i);
+          if collect then begin
+            List.iter mark_frontier old_idx;
+            List.iter mark_frontier newb.(i)
+          end;
+          newb.(i) <- []
         done)
   in
   let rec fix round (dirty : Cfg.func array) =
-    fz.Cfg.fz_dirty <- fz.Cfg.fz_dirty @ [ Array.length dirty ];
-    recompute dirty;
+    fz.Cfg.fz_dirty <- Array.length dirty :: fz.Cfg.fz_dirty;
+    let collect = round > 0 in
+    if collect then begin
+      Pbca_concurrent.Atomic_bitset.reset blk_seen;
+      cand_len := 0
+    end;
+    recompute ~collect dirty;
     let decisions =
       timed g "rules" (t_rules fz) (fun () ->
-          Task_pool.parallel_for_reduce pool ~chunk:512 0
-            (Csr.n_edges !snap) ~init:[]
-            ~map:(fun k ->
-              match eval_rule g !snap members k with
-              | Some d -> [ d ]
-              | None -> [])
-            ~combine:List.rev_append)
+          if collect then
+            Task_pool.parallel_for_reduce pool ~chunk:256 0 !cand_len ~init:[]
+              ~map:(fun p ->
+                match eval_rule g !snap members cand.(p) with
+                | Some d -> [ d ]
+                | None -> [])
+              ~combine:List.rev_append
+          else
+            Task_pool.parallel_for_reduce pool ~chunk:512 0
+              (Csr.n_edges !snap) ~init:[]
+              ~map:(fun k ->
+                match eval_rule g !snap members k with
+                | Some d -> [ d ]
+                | None -> [])
+              ~combine:List.rev_append)
     in
     fz.Cfg.fz_rounds <- fz.Cfg.fz_rounds + 1;
     if decisions <> [] then begin
@@ -546,22 +652,19 @@ let run ~pool g =
           |> Array.of_list)
     end
   in
-  fix 0 (Array.of_list (Cfg.funcs_list g));
-  (* function/block pruning to a fixed point; only the unreachable prune
-     mutates the live-edge set, so that is the only stale trigger *)
-  let stale = ref false in
+  fix 0 all_funcs;
+  (* function/block pruning to a fixed point; the unreachable prune kills
+     through the delta layer, so every reader stays valid without a
+     rebuild and compaction is purely a scan-speed decision *)
   let rec prune n =
-    if !stale then begin
-      rebuild ();
-      stale := false
-    end;
     let a = timed g "prune" (t_prune fz) (fun () -> prune_functions_snap g !snap) in
     let b =
       if a then begin
         let p =
-          timed g "reach" (t_reach fz) (fun () -> prune_unreachable_snap ~pool g !snap)
+          timed g "reach" (t_reach fz) (fun () ->
+              counting_kills (fun () -> prune_unreachable_snap ~pool g !snap))
         in
-        if p then stale := true;
+        if p then maybe_compact ();
         p
       end
       else false
@@ -569,16 +672,20 @@ let run ~pool g =
     if (a || b) && n < 8 then prune (n + 1)
   in
   prune 0;
-  if !stale then rebuild ();
   let funcs = Array.of_list (Cfg.funcs_list g) in
   timed g "bounds" (t_bounds fz) (fun () ->
       Task_pool.parallel_for pool 0 (Array.length funcs) (fun i ->
           let f = funcs.(i) in
           f.Cfg.f_blocks <- boundary_blocks_snap g !snap f));
   (* instruction counts are approximate during parsing (splits shrink blocks
-     concurrently); recompute them from the final block extents *)
+     concurrently); recompute them from the final block extents — of the
+     blocks still live in the (possibly delta-carrying) snapshot *)
   timed g "recount" (t_recount fz) (fun () ->
-      let blocks = (!snap).Csr.blocks in
+      let s = !snap in
+      let blocks = s.Csr.blocks in
       Task_pool.parallel_for pool 0 (Array.length blocks) (fun i ->
-          let b = blocks.(i) in
-          Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))))
+          if Csr.block_live s i then begin
+            let b = blocks.(i) in
+            Atomic.set b.Cfg.b_ninsns (List.length (Disasm.block_insns g b))
+          end));
+  fz.Cfg.fz_dirty <- List.rev fz.Cfg.fz_dirty

@@ -18,17 +18,26 @@
        up with no incoming inter-procedural edges (and are not in the
        symbol table) are removed.
 
-    {!run} executes these over an immutable {!Csr} snapshot of the live
-    graph: reachability is a frontier-based parallel BFS over dense block
-    indices, the correction rules scan the flat edge array in parallel
-    chunks (decisions are collected and applied serially — within a round
-    the rules read only state a flip cannot change, so this equals the
-    serial sorted pass), and fix rounds after the first recompute
-    boundaries only for the {e dirty} functions whose boundary contained
-    the source block of an edge flipped in the previous round. The
-    snapshot is rebuilt only when a step actually killed edges or removed
-    blocks; kind flips mutate the shared edge records in place and never
-    stale it.
+    {!run} executes these over an incrementally maintained {!Csr}
+    snapshot of the live graph: reachability is a frontier-based parallel
+    BFS over dense block indices, and the correction rules scan flat edge
+    indices in parallel chunks (decisions are collected and applied
+    serially — within a round the rules read only state a flip cannot
+    change, so this equals the serial sorted pass). Fix rounds after the
+    first recompute boundaries only for the {e dirty} functions whose
+    boundary contained the source block of an edge flipped in the
+    previous round, and their rule scan covers only the {e dirty
+    frontier} — the out-edges of the old and new boundary blocks of those
+    functions, the only edges whose decision can have changed. Steps that
+    kill edges or blocks mark them dead through the snapshot's delta
+    layer ({!Csr.kill_block}) instead of forcing a rebuild; a compaction
+    (fresh {!Csr.build}) runs only when the dead fraction crosses
+    [Config.csr_compact_threshold]. Kind flips mutate the shared edge
+    records in place and never stale anything. [Cfg.stats] counts the
+    absorbed kills ([csr_deltas]) and the compactions
+    ([csr_compactions]); snapshot build and compaction cost is traced
+    under the [csr-build] / [csr-compact] phases, separate from
+    [fz-step].
 
     {!run_legacy} is the pre-snapshot baseline — serial hash-table
     reachability and whole-graph boundary/rule passes every round — kept

@@ -176,10 +176,13 @@ let pp_stats fmt (g : Cfg.t) =
   let fz = s.finalize in
   if fz.Cfg.fz_rounds > 0 then
     Format.fprintf fmt
-      "@ finalize: rounds=%d snapshots=%d dirty=[%s]@ finalize_wall_ms: \
+      "@ finalize: rounds=%d snapshots=%d csr_deltas=%d csr_compactions=%d \
+       dirty=[%s]@ finalize_wall_ms: \
        jt=%.2f reach=%.2f bounds=%.2f rules=%.2f prune=%.2f recount=%.2f \
        snapshot=%.2f"
       fz.Cfg.fz_rounds fz.Cfg.fz_snapshots
+      (Atomic.get s.csr_deltas)
+      (Atomic.get s.csr_compactions)
       (String.concat ";" (List.map string_of_int fz.Cfg.fz_dirty))
       (1000. *. fz.Cfg.fz_jt_wall)
       (1000. *. fz.Cfg.fz_reach_wall)

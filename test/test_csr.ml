@@ -1,0 +1,213 @@
+(* CSR delta layer: after any kill sequence the delta-maintained snapshot
+   must be observationally equal to a fresh [Csr.build] of the surviving
+   graph — same live blocks in the same order, same live adjacency, same
+   degrees and [sole_in] answers. Plus the compaction path end-to-end:
+   forcing a compaction after every kill must not change [Finalize]'s
+   output. *)
+
+module TP = Pbca_concurrent.Task_pool
+module Bitset = Pbca_concurrent.Atomic_bitset
+module Csr = Pbca_core.Csr
+module C = Pbca_core.Cfg
+open Tutil
+
+(* ---------------------------------------------------------------- *)
+(* Atomic_bitset substrate.                                          *)
+
+let bitset_basic () =
+  let b = Bitset.create 100 in
+  Alcotest.(check int) "capacity" 100 (Bitset.capacity b);
+  Alcotest.(check int) "fresh count" 0 (Bitset.count b);
+  Alcotest.(check bool) "first set flips" true (Bitset.set b 7);
+  Alcotest.(check bool) "second set is a no-op" false (Bitset.set b 7);
+  Alcotest.(check bool) "set bit tests true" true (Bitset.test b 7);
+  Alcotest.(check bool) "clear bit tests false" false (Bitset.test b 8);
+  ignore (Bitset.set b 63);
+  ignore (Bitset.set b 64);
+  Alcotest.(check int) "count tracks winners" 3 (Bitset.count b);
+  Bitset.reset b;
+  Alcotest.(check int) "reset clears count" 0 (Bitset.count b);
+  Alcotest.(check bool) "reset clears bits" false (Bitset.test b 63);
+  Alcotest.check_raises "negative index rejected"
+    (Invalid_argument "Atomic_bitset: index -1 out of [0, 100)") (fun () ->
+      ignore (Bitset.test b (-1)));
+  Alcotest.check_raises "index = capacity rejected"
+    (Invalid_argument "Atomic_bitset: index 100 out of [0, 100)") (fun () ->
+      ignore (Bitset.set b 100))
+
+let bitset_concurrent () =
+  let b = Bitset.create 4096 in
+  let wins = Atomic.make 0 in
+  let doms =
+    Array.init 4 (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 0 to 4095 do
+              if Bitset.set b i then Atomic.incr wins
+            done))
+  in
+  Array.iter Domain.join doms;
+  Alcotest.(check int) "each bit has exactly one winner" 4096
+    (Atomic.get wins);
+  Alcotest.(check int) "count agrees" 4096 (Bitset.count b)
+
+(* ---------------------------------------------------------------- *)
+(* Observational equality of a delta-carrying snapshot vs a fresh
+   build of the surviving graph.                                     *)
+
+(* The map side of a block kill, mirroring what Finalize does (the
+   snapshot's [kill_block] cannot reach the graph's address maps). *)
+let unmap_block g (b : C.block) =
+  ignore (Pbca_core.Addr_map.remove g.C.blocks b.C.b_start);
+  let e = C.block_end b in
+  match Pbca_core.Addr_map.find g.C.ends e with
+  | Some owner when owner == b ->
+    ignore (Pbca_core.Addr_map.remove g.C.ends e)
+  | _ -> ()
+
+let out_sig snap i =
+  let acc = ref [] in
+  Csr.iter_out snap i (fun _ (e : C.edge) ->
+      acc := (e.C.e_dst.C.b_start, e.C.e_kind) :: !acc);
+  List.sort compare !acc
+
+let in_sig snap i =
+  let acc = ref [] in
+  Csr.iter_in snap i (fun _ (e : C.edge) ->
+      acc := (e.C.e_src.C.b_start, e.C.e_kind) :: !acc);
+  List.sort compare !acc
+
+let sole_sig snap i =
+  Option.map
+    (fun (e : C.edge) -> (e.C.e_src.C.b_start, e.C.e_dst.C.b_start, e.C.e_kind))
+    (Csr.sole_in snap i)
+
+let check_equiv what ~pool g snap =
+  let fresh = Csr.build ~pool g in
+  let live =
+    List.filter (Csr.block_live snap)
+      (List.init (Csr.n_blocks snap) Fun.id)
+  in
+  Alcotest.(check int)
+    (what ^ ": live block count")
+    (Csr.n_blocks fresh) (List.length live);
+  Alcotest.(check int)
+    (what ^ ": live edge bookkeeping")
+    (Csr.n_edges fresh)
+    (Csr.n_edges snap - Csr.dead_edges snap);
+  List.iteri
+    (fun j i ->
+      let bs = snap.Csr.blocks.(i).C.b_start in
+      if fresh.Csr.starts.(j) <> bs then
+        Alcotest.failf "%s: live block order diverged at %d: %x vs %x" what j
+          fresh.Csr.starts.(j) bs;
+      if out_sig snap i <> out_sig fresh j then
+        Alcotest.failf "%s: out adjacency of %x diverged" what bs;
+      if in_sig snap i <> in_sig fresh j then
+        Alcotest.failf "%s: in adjacency of %x diverged" what bs;
+      if Csr.in_degree snap i <> Csr.in_degree fresh j then
+        Alcotest.failf "%s: in-degree of %x diverged" what bs;
+      if sole_sig snap i <> sole_sig fresh j then
+        Alcotest.failf "%s: sole_in of %x diverged" what bs)
+    live
+
+let subject_graph ~seed =
+  let p =
+    { (Profile.coreutils_like (seed mod 4)) with Profile.seed = 40_000 + seed }
+  in
+  let r = Emit.generate p in
+  let pool = TP.create ~threads:1 in
+  (Pbca_core.Parallel.parse_and_finalize ~pool r.Emit.image, pool)
+
+let random_kill_equiv seed =
+  let g, pool = subject_graph ~seed in
+  let snap = Csr.build ~pool g in
+  let nb = Csr.n_blocks snap and ne = Csr.n_edges snap in
+  let rng = Random.State.make [| seed |] in
+  let v0 = Csr.version snap in
+  let ops = 1 + ((ne + nb) / 3) in
+  for _ = 1 to ops do
+    if ne > 0 && (nb = 0 || Random.State.bool rng) then
+      ignore (Csr.kill_edge snap (Random.State.int rng ne))
+    else if nb > 0 then begin
+      let i = Random.State.int rng nb in
+      if Csr.kill_block snap i then unmap_block g snap.Csr.blocks.(i)
+    end
+  done;
+  if Csr.dead_edges snap + Csr.dead_blocks snap > 0 then begin
+    if Csr.version snap <= v0 then
+      Alcotest.failf "seed %d: kills did not bump the version" seed;
+    if Csr.dead_fraction snap <= 0.0 then
+      Alcotest.failf "seed %d: dead fraction not positive after kills" seed;
+    if not (Csr.needs_compact snap ~threshold:0.0) then
+      Alcotest.failf "seed %d: threshold 0 must demand compaction" seed
+  end;
+  check_equiv (Printf.sprintf "seed %d" seed) ~pool g snap;
+  true
+
+let kill_all_edges () =
+  let g, pool = subject_graph ~seed:1 in
+  let snap = Csr.build ~pool g in
+  for k = 0 to Csr.n_edges snap - 1 do
+    ignore (Csr.kill_edge snap k)
+  done;
+  Alcotest.(check int) "every edge dead" (Csr.n_edges snap)
+    (Csr.dead_edges snap);
+  Alcotest.(check bool) "double kill loses" false (Csr.kill_edge snap 0);
+  check_equiv "all edges killed" ~pool g snap
+
+(* ---------------------------------------------------------------- *)
+(* End-to-end: compaction forced after every kill (threshold 0) and
+   compaction disabled (threshold 1) must match the default finalize
+   output exactly, serial and parallel.                              *)
+
+let assert_graphs_equal what a b =
+  let d = Pbca_core.Cfg_diff.diff a b in
+  if
+    not
+      (d.Pbca_core.Cfg_diff.added = []
+      && d.Pbca_core.Cfg_diff.removed = []
+      && d.Pbca_core.Cfg_diff.changed = [])
+  then
+    Alcotest.failf "%s: Cfg_diff found changes:@ %a" what Pbca_core.Cfg_diff.pp
+      d;
+  let sa = summary a and sb = summary b in
+  if not (Pbca_core.Summary.equal sa sb) then
+    Alcotest.failf "%s: summaries differ:\n%s" what
+      (String.concat "\n" (Pbca_core.Summary.diff sa sb))
+
+let compaction_equiv () =
+  let p = { (Profile.coreutils_like 2) with Profile.seed = 77_123 } in
+  let r = Emit.generate p in
+  let parse ~threads ~threshold =
+    let config =
+      { Pbca_core.Config.default with Pbca_core.Config.csr_compact_threshold = threshold }
+    in
+    let pool = TP.create ~threads in
+    Pbca_core.Parallel.parse_and_finalize ~config ~pool r.Emit.image
+  in
+  let base = parse ~threads:1 ~threshold:0.25 in
+  let eager = parse ~threads:1 ~threshold:0.0 in
+  let eager4 = parse ~threads:4 ~threshold:0.0 in
+  let never = parse ~threads:1 ~threshold:1.0 in
+  assert_graphs_equal "eager compaction vs default" base eager;
+  assert_graphs_equal "eager compaction, 4 threads" base eager4;
+  assert_graphs_equal "compaction disabled vs default" base never;
+  (* with threshold 0 every absorbed kill demands a compaction *)
+  let deltas = Atomic.get eager.C.stats.C.csr_deltas in
+  let compactions = Atomic.get eager.C.stats.C.csr_compactions in
+  if deltas > 0 && compactions = 0 then
+    Alcotest.failf
+      "threshold 0 recorded %d deltas but no compaction" deltas;
+  Alcotest.(check int) "threshold 1 never compacts" 0
+    (Atomic.get never.C.stats.C.csr_compactions)
+
+let suite =
+  [
+    quick "bitset: set/test/count/reset + bounds" bitset_basic;
+    quick "bitset: concurrent sets have one winner" bitset_concurrent;
+    qcheck ~count:6 "delta kills = fresh build (random seeds)"
+      QCheck2.Gen.(int_range 2 9999)
+      random_kill_equiv;
+    quick "delta kills: every edge killed" kill_all_edges;
+    slow "finalize equal under forced/disabled compaction" compaction_equiv;
+  ]

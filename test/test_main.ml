@@ -8,6 +8,7 @@ let () =
       ("codegen", Test_codegen.suite);
       ("ops", Test_ops.suite);
       ("parser", Test_parser.suite);
+      ("csr", Test_csr.suite);
       ("finalize", Test_finalize.suite);
       ("tools", Test_tools.suite);
       ("invariants", Test_invariants.suite);
