@@ -40,6 +40,23 @@ val extract :
   Pbca_binfmt.Image.t list ->
   result
 
+val extract_streamed :
+  ?config:Pbca_core.Config.t ->
+  ?otrace:Pbca_obs.Trace.t ->
+  pool:Pbca_concurrent.Task_pool.t ->
+  Pbca_binfmt.Image.t list ->
+  result
+(** Streaming pipeline (PR7): one overlapped [stream] stage instead of
+    the cfg/if/cf/df barriers. The finalize readiness protocol publishes
+    each function on a bounded {!Pbca_concurrent.Channel} the moment its
+    facts settle, and low-priority consumer tasks run all three feature
+    families per function into consumer-local tables, merged after the
+    channel closes. The resulting [index] is equal to {!extract}'s
+    (feature counting is commutative); [stages] collapses to the single
+    [stream] entry. Channel occupancy is recorded into each graph's
+    stats. At one thread the pipeline degenerates to the calling domain
+    extracting each function synchronously at publication. *)
+
 (** {2 Per-function extractors}
 
     Exposed for {!Similarity} and custom pipelines; each returns a local

@@ -577,9 +577,10 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       detach_journal ();
       g)
 
-let parse_and_finalize ?config ?trace ?otrace ?persist ?resume ~pool image =
+let parse_and_finalize ?config ?trace ?otrace ?persist ?resume ?on_ready ~pool
+    image =
   let g = parse ?config ?trace ?otrace ?persist ?resume ~pool image in
   Otrace.with_span g.Cfg.otrace ~phase:"finalize" "finalize" (fun () ->
-      Finalize.run ~pool g);
+      Finalize.run ?on_ready ~pool g);
   Otrace.drain g.Cfg.otrace;
   g

@@ -1,0 +1,297 @@
+type spec = {
+  sp_pre : (string * int array) list;
+  sp_produce : int array;
+  sp_consume : int array;
+  sp_tail : int;
+}
+
+let check spec =
+  if Array.length spec.sp_produce <> Array.length spec.sp_consume then
+    invalid_arg "Pipeline: produce/consume length mismatch"
+
+(* Barrier DAG: each stage is an epoch of independent tasks; the replay's
+   epoch rule (later epochs start only after earlier ones drain) IS the
+   phase barrier being modelled. *)
+let barrier_tasks spec =
+  check spec;
+  let out = ref [] and id = ref 0 and epoch = ref 0 in
+  let task label cost deps =
+    let t = { Trace.id = !id; label; cost; deps; epoch = !epoch } in
+    incr id;
+    out := t :: !out;
+    t.id
+  in
+  List.iter
+    (fun (name, costs) ->
+      Array.iter (fun c -> ignore (task name c [])) costs;
+      incr epoch)
+    spec.sp_pre;
+  Array.iter (fun c -> ignore (task "produce" c [])) spec.sp_produce;
+  incr epoch;
+  Array.iter (fun c -> ignore (task "consume" c [])) spec.sp_consume;
+  incr epoch;
+  if spec.sp_tail > 0 then ignore (task "tail" spec.sp_tail []);
+  List.rev !out
+
+(* Streamed DAG: a single epoch; ordering is only what the data demands.
+   Pre-stages chain (each task needs all of the previous pre-stage),
+   production is unordered, and consumer [i] needs exactly its own
+   producer plus the last pre-stage — so consumption starts as soon as
+   the first function settles instead of after the whole phase. *)
+let streamed_tasks spec =
+  check spec;
+  let out = ref [] and id = ref 0 in
+  let dep_on i = { Trace.dep_task = i; dep_offset = max_int } in
+  let task label cost deps =
+    let t = { Trace.id = !id; label; cost; deps; epoch = 0 } in
+    incr id;
+    out := t :: !out;
+    t.id
+  in
+  let prev_stage = ref [] in
+  List.iter
+    (fun (name, costs) ->
+      let deps = List.map dep_on !prev_stage in
+      prev_stage :=
+        Array.to_list (Array.map (fun c -> task name c deps) costs))
+    spec.sp_pre;
+  let gate = List.map dep_on !prev_stage in
+  let consumers =
+    Array.map
+      (fun i ->
+        let p = task "produce" spec.sp_produce.(i) [] in
+        task "consume" spec.sp_consume.(i) (dep_on p :: gate))
+      (Array.init (Array.length spec.sp_produce) Fun.id)
+  in
+  if spec.sp_tail > 0 then
+    ignore
+      (task "tail" spec.sp_tail
+         (Array.to_list (Array.map dep_on consumers)));
+  List.rev !out
+
+(* ------------------------------------------------------------------ *)
+(* Trace-fed variant: the produce stage keeps the {e recorded} task DAG
+   of the real CFG construction (quiescence rounds and wake-up deps
+   included) instead of a flat per-function decomposition — the rounds'
+   dependency stalls are exactly the idle slots streaming fills with
+   dwarf and fill work, so flattening them understates the barrier
+   driver. Internal barriers of a component are preserved: as epochs in
+   the barrier model, as explicit join-task dependencies in the
+   streamed one (a zero-cost join task per internal epoch keeps the
+   dependency count linear). *)
+
+type staged = {
+  tg_pre : (string * Trace.task list) list;
+  tg_produce : Trace.task list;
+  tg_publish_label : string option;
+  tg_consume : int array;
+  tg_tail : int;
+}
+
+(* split a component's tasks into its internal epochs, in order *)
+let epochs_of tasks =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun (t : Trace.task) ->
+      match Hashtbl.find_opt tbl t.Trace.epoch with
+      | Some l -> l := t :: !l
+      | None -> Hashtbl.replace tbl t.Trace.epoch (ref [ t ]))
+    tasks;
+  Hashtbl.fold (fun e l acc -> (e, List.rev !l) :: acc) tbl []
+  |> List.sort compare |> List.map snd
+
+type emitter = {
+  mutable next_id : int;
+  mutable acc : Trace.task list;
+}
+
+let emit em label cost deps epoch =
+  let t = { Trace.id = em.next_id; label; cost; deps; epoch } in
+  em.next_id <- em.next_id + 1;
+  em.acc <- t :: em.acc;
+  t.id
+
+(* re-emit a component's tasks with fresh ids; [epoch_of] maps the
+   internal epoch index, [extra_deps] gates the whole component.
+   In-component deps are remapped; deps on tasks outside the component
+   (or progress-point offsets) collapse to completion deps on the
+   remapped source when present, and are dropped otherwise. *)
+let re_emit em tasks ~epoch_of ~extra_deps =
+  let remap = Hashtbl.create (List.length tasks * 2) in
+  let out_ids = ref [] in
+  List.iteri
+    (fun ei epoch_tasks ->
+      List.iter
+        (fun (t : Trace.task) ->
+          let deps =
+            List.filter_map
+              (fun (d : Trace.dep) ->
+                match Hashtbl.find_opt remap d.Trace.dep_task with
+                | Some id ->
+                  Some { Trace.dep_task = id; dep_offset = d.Trace.dep_offset }
+                | None -> None)
+              t.Trace.deps
+          in
+          let id = emit em t.Trace.label t.Trace.cost (deps @ extra_deps) (epoch_of ei) in
+          Hashtbl.replace remap t.Trace.id id;
+          out_ids := id :: !out_ids)
+        epoch_tasks)
+    (epochs_of tasks);
+  List.rev !out_ids
+
+let dep_on i = { Trace.dep_task = i; dep_offset = max_int }
+
+(* barrier model: every component epoch is a global barrier epoch *)
+let staged_barrier st =
+  let em = { next_id = 0; acc = [] } in
+  let base = ref 0 in
+  let component tasks =
+    let n_epochs = max 1 (List.length (epochs_of tasks)) in
+    let b = !base in
+    ignore (re_emit em tasks ~epoch_of:(fun ei -> b + ei) ~extra_deps:[]);
+    base := b + n_epochs
+  in
+  List.iter (fun (_, tasks) -> component tasks) st.tg_pre;
+  component st.tg_produce;
+  Array.iter (fun c -> ignore (emit em "consume" c [] !base)) st.tg_consume;
+  incr base;
+  if st.tg_tail > 0 then ignore (emit em "tail" st.tg_tail [] !base);
+  List.rev em.acc
+
+(* streamed model: one epoch; internal barriers become join-task deps,
+   cross-component ordering is only what the data demands *)
+let staged_streamed st =
+  let em = { next_id = 0; acc = [] } in
+  (* re-emit with internal epochs turned into chained zero-cost joins;
+     recorded in-component deps are kept (remapped) so the streamed
+     model is no more parallel than the real trace within a round *)
+  let run_epochs ?(extra_deps = []) epoch_list =
+    let remap = Hashtbl.create 64 in
+    let gate = ref extra_deps in
+    List.iter
+      (fun epoch_tasks ->
+        let ids =
+          List.map
+            (fun (t : Trace.task) ->
+              let deps =
+                List.filter_map
+                  (fun (d : Trace.dep) ->
+                    match Hashtbl.find_opt remap d.Trace.dep_task with
+                    | Some id ->
+                      Some
+                        { Trace.dep_task = id; dep_offset = d.Trace.dep_offset }
+                    | None -> None)
+                  t.Trace.deps
+              in
+              let id = emit em t.Trace.label t.Trace.cost (deps @ !gate) 0 in
+              Hashtbl.replace remap t.Trace.id id;
+              id)
+            epoch_tasks
+        in
+        gate := [ dep_on (emit em "join" 0 (List.map dep_on ids) 0) ])
+      epoch_list;
+    !gate
+  in
+  let component ?extra_deps tasks = run_epochs ?extra_deps (epochs_of tasks) in
+  let pre_gate =
+    List.fold_left
+      (fun gate (_, tasks) -> component ~extra_deps:gate tasks)
+      [] st.tg_pre
+  in
+  (* The readiness protocol publishes each function the moment its own
+     fused boundary pass (the last produce epoch, when labelled as the
+     publish pass) completes — so consumer [i] waits for one publish
+     task, not the whole epoch. Pairing by position is a permutation of
+     the real function->task assignment; it conserves work and the
+     makespan effect of the permutation is second order. Without a
+     publish epoch, publication is conservative: the full produce DAG. *)
+  let produce_epochs = epochs_of st.tg_produce in
+  let publish_tasks =
+    match (st.tg_publish_label, List.rev produce_epochs) with
+    | Some lbl, last :: _ :: _
+      when last <> [] && List.for_all (fun (t : Trace.task) -> t.Trace.label = lbl) last ->
+      Some last
+    | _ -> None
+  in
+  let consume_ids =
+    match publish_tasks with
+    | Some last ->
+      let rounds_gate =
+        run_epochs (List.filteri (fun i _ -> i < List.length produce_epochs - 1)
+                      produce_epochs)
+      in
+      let publish_ids =
+        Array.of_list
+          (List.map
+             (fun (t : Trace.task) ->
+               emit em t.Trace.label t.Trace.cost rounds_gate 0)
+             last)
+      in
+      let n = Array.length publish_ids in
+      Array.mapi
+        (fun i c ->
+          emit em "consume" c (dep_on publish_ids.(i mod n) :: pre_gate) 0)
+        st.tg_consume
+    | None ->
+      let produce_gate = component st.tg_produce in
+      Array.map
+        (fun c -> emit em "consume" c (produce_gate @ pre_gate) 0)
+        st.tg_consume
+  in
+  if st.tg_tail > 0 then
+    ignore
+      (emit em "tail" st.tg_tail
+         (Array.to_list (Array.map dep_on consume_ids))
+         0);
+  List.rev em.acc
+
+(* Amdahl back-fit: with speedup [s] at [t] threads, the serial fraction
+   a workload would need under Amdahl's law to scale exactly like this —
+   s = 1 / (f + (1-f)/t)  =>  f = (t/s - 1) / (t - 1). *)
+let serial_fraction ~threads ~speedup =
+  if threads <= 1 then 0.0
+  else
+    let t = float_of_int threads in
+    Float.max 0.0 ((t /. speedup) -. 1.0) /. (t -. 1.0)
+
+type point = {
+  pt_threads : int;
+  pt_barrier_makespan : int;
+  pt_streamed_makespan : int;
+  pt_pipeline_speedup : float;
+  pt_barrier_serial_fraction : float;
+  pt_streamed_serial_fraction : float;
+}
+
+let scan_pair ~bus ~threads barrier streamed =
+  let base tasks = (Replay.simulate ~bus ~threads:1 tasks).Replay.makespan in
+  let b1 = base barrier and s1 = base streamed in
+  List.map
+    (fun n ->
+      let bm = (Replay.simulate ~bus ~threads:n barrier).Replay.makespan in
+      let sm = (Replay.simulate ~bus ~threads:n streamed).Replay.makespan in
+      {
+        pt_threads = n;
+        pt_barrier_makespan = bm;
+        pt_streamed_makespan = sm;
+        pt_pipeline_speedup = float_of_int bm /. float_of_int (max 1 sm);
+        pt_barrier_serial_fraction =
+          serial_fraction ~threads:n
+            ~speedup:(float_of_int b1 /. float_of_int (max 1 bm));
+        pt_streamed_serial_fraction =
+          serial_fraction ~threads:n
+            ~speedup:(float_of_int s1 /. float_of_int (max 1 sm));
+      })
+    threads
+
+let scan ?(bus = 0.0) ~threads spec =
+  scan_pair ~bus ~threads (barrier_tasks spec) (streamed_tasks spec)
+
+let staged_scan ?(bus = 0.0) ~threads st =
+  scan_pair ~bus ~threads (staged_barrier st) (staged_streamed st)
+
+let costs_of tasks label =
+  List.filter (fun (t : Trace.task) -> t.label = label) tasks
+  |> List.sort (fun (a : Trace.task) (b : Trace.task) -> compare a.id b.id)
+  |> List.map (fun (t : Trace.task) -> t.cost)
+  |> Array.of_list

@@ -1,0 +1,91 @@
+(** Pipelined-DAG scaling model (PR7).
+
+    The streaming pipeline replaces phase barriers with per-function
+    dataflow, and this module quantifies where that moves the Amdahl
+    ceiling: the same per-task costs are scheduled by {!Replay} twice —
+    once with each stage as a barrier epoch (the pre-PR7 drivers) and
+    once as a single epoch whose only ordering edges are the data
+    dependencies (pre-stages chain, consumer [i] waits for producer [i]
+    and the last pre-stage, the serial tail waits for all consumers).
+    At high simulated thread counts the barrier model's makespan is
+    bounded below by the sum of per-stage critical paths plus every
+    serial stage, while the streamed model hides the pre-stages and
+    consumer work behind production — the measured serial-fraction drop
+    is the pipeline's headroom gain. *)
+
+type spec = {
+  sp_pre : (string * int array) list;
+      (** gating pre-stages in order (e.g. DWARF CUs, then the serial
+          line map as a singleton array); each chains on the previous *)
+  sp_produce : int array;  (** per-function production cost (CFG share) *)
+  sp_consume : int array;
+      (** per-function consumer cost (fill / feature extraction); same
+          length as [sp_produce] *)
+  sp_tail : int;  (** serial tail (emit); [0] = none *)
+}
+
+val barrier_tasks : spec -> Trace.task list
+(** One barrier epoch per stage, matching the phase-barrier drivers. *)
+
+val streamed_tasks : spec -> Trace.task list
+(** Single epoch; ordering is only the data dependencies above. *)
+
+type staged = {
+  tg_pre : (string * Trace.task list) list;
+      (** gating pre-stages in order, each a recorded task list (internal
+          epochs preserved); each stage chains on the previous one *)
+  tg_produce : Trace.task list;
+      (** the recorded CFG-construction trace, quiescence rounds and
+          wake-up dependencies included — flattening these to a per-
+          function array (as {!spec} does) lets the barrier model scale
+          perfectly and understates what streaming buys, because the
+          rounds' dependency stalls are exactly the idle slots the
+          streamed schedule fills with pre-stage and consumer work *)
+  tg_publish_label : string option;
+      (** label of the per-function publish pass ({!Finalize}'s fused
+          boundary epoch — the last produce epoch). When set and the
+          last produce epoch carries it, the streamed model gates
+          consumer [i] on its own publish task (the readiness protocol)
+          instead of the full produce join; [None] falls back to the
+          conservative full join. *)
+  tg_consume : int array;  (** per-function consumer cost *)
+  tg_tail : int;  (** serial tail; [0] = none *)
+}
+
+val staged_barrier : staged -> Trace.task list
+(** Barrier model from recorded traces: every internal epoch of every
+    component is a global barrier epoch, components run strictly in
+    sequence — the pre-PR7 drivers. *)
+
+val staged_streamed : staged -> Trace.task list
+(** Streamed model from recorded traces: a single epoch in which each
+    component's internal rounds become zero-cost join-task dependencies
+    (recorded in-round dependencies are kept), pre-stages chain,
+    production is unordered relative to the pre-stages, and each
+    consumer waits for the last pre-stage plus its publish task when
+    [tg_publish_label] matches (the full produce DAG otherwise). *)
+
+val serial_fraction : threads:int -> speedup:float -> float
+(** Amdahl back-fit: the serial fraction [f] with
+    [speedup = 1 / (f + (1-f)/threads)]; [0.] at one thread. *)
+
+type point = {
+  pt_threads : int;
+  pt_barrier_makespan : int;
+  pt_streamed_makespan : int;
+  pt_pipeline_speedup : float;  (** barrier / streamed makespan *)
+  pt_barrier_serial_fraction : float;
+  pt_streamed_serial_fraction : float;
+}
+
+val scan : ?bus:float -> threads:int list -> spec -> point list
+(** Simulate both models at each thread count. [bus] defaults to [0.0]
+    (pure task-graph bound) so the serial fractions measure DAG shape,
+    not the memory-system ceiling. *)
+
+val staged_scan : ?bus:float -> threads:int list -> staged -> point list
+(** {!scan} over {!staged_barrier} / {!staged_streamed}. *)
+
+val costs_of : Trace.task list -> string -> int array
+(** Per-task costs of every task with the given label, in id order —
+    for building a {!spec} from a recorded run. *)

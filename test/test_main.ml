@@ -18,4 +18,5 @@ let () =
       ("obs", Test_obs.suite);
       ("recovery", Test_recovery.suite);
       ("apps", Test_apps.suite);
+      ("pipeline", Test_pipeline.suite);
     ]

@@ -1,0 +1,398 @@
+(* Streaming-pipeline tests (PR7): the bounded MPMC channel, the
+   multi-region priority task pool, and end-to-end equality of the
+   streamed hpcstruct / BinFeat drivers against the barrier paths. *)
+
+open Tutil
+module TP = Pbca_concurrent.Task_pool
+module Ch = Pbca_concurrent.Channel
+module H = Pbca_hpcstruct.Hpcstruct
+module B = Pbca_binfeat.Binfeat
+module Cfg = Pbca_core.Cfg
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+let test_channel_fifo_sequential () =
+  let ch = Ch.create ~capacity:4 () in
+  for i = 1 to 4 do
+    Ch.send ch i
+  done;
+  Alcotest.(check bool) "full" false (Ch.try_send ch 5);
+  Alcotest.(check int) "length" 4 (Ch.length ch);
+  for i = 1 to 4 do
+    Alcotest.(check (option int)) "fifo" (Some i) (Ch.recv ch)
+  done;
+  Alcotest.(check bool) "empty" true (Ch.try_recv ch = `Empty);
+  Ch.close ch;
+  Alcotest.(check (option int)) "closed" None (Ch.recv ch);
+  Alcotest.(check bool) "send after close raises" true
+    (try
+       Ch.send ch 9;
+       false
+     with Ch.Closed -> true)
+
+let test_channel_bounded_blocking () =
+  (* a producer pushing N items through a capacity-2 channel must block
+     until the consumer drains; the high-water mark proves the bound
+     held and the FIFO order proves delivery *)
+  let n = 200 in
+  let ch = Ch.create ~capacity:2 () in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 0 to n - 1 do
+          Ch.send ch i
+        done;
+        Ch.close ch)
+  in
+  let got = ref [] in
+  let rec drain () =
+    match Ch.recv ch with
+    | Some v ->
+      got := v :: !got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Domain.join producer;
+  Alcotest.(check (list int)) "all items in order"
+    (List.init n (fun i -> i))
+    (List.rev !got);
+  Alcotest.(check bool) "bound respected" true (Ch.high_water ch <= 2);
+  Alcotest.(check int) "sent" n (Ch.sent ch);
+  Alcotest.(check int) "received" n (Ch.received ch)
+
+let test_channel_mpmc () =
+  (* 2 producers x 2 consumers; every item delivered exactly once, and
+     each consumer's view of any single producer is in sending order
+     (FIFO queue + exactly-once pops) *)
+  let per_producer = 500 in
+  let ch = Ch.create ~capacity:8 () in
+  let producers =
+    List.init 2 (fun p ->
+        Domain.spawn (fun () ->
+            for i = 0 to per_producer - 1 do
+              Ch.send ch (p, i)
+            done))
+  in
+  let consumers =
+    List.init 2 (fun _ ->
+        Domain.spawn (fun () ->
+            let rec loop acc =
+              match Ch.recv ch with
+              | Some v -> loop (v :: acc)
+              | None -> List.rev acc
+            in
+            loop []))
+  in
+  List.iter Domain.join producers;
+  Ch.close ch;
+  let views = List.map Domain.join consumers in
+  let all = List.concat views in
+  Alcotest.(check int) "exactly once (count)" (2 * per_producer)
+    (List.length all);
+  let sorted = List.sort compare all in
+  let expect =
+    List.concat_map
+      (fun p -> List.init per_producer (fun i -> (p, i)))
+      [ 0; 1 ]
+  in
+  Alcotest.(check bool) "exactly once (multiset)" true (sorted = expect);
+  List.iter
+    (fun view ->
+      List.iter
+        (fun p ->
+          let seqs = List.filter_map
+              (fun (p', i) -> if p' = p then Some i else None)
+              view
+          in
+          let rec increasing = function
+            | a :: (b :: _ as rest) -> a < b && increasing rest
+            | _ -> true
+          in
+          Alcotest.(check bool) "per-producer order" true (increasing seqs))
+        [ 0; 1 ])
+    views
+
+let test_channel_close_while_blocked () =
+  (* consumer blocked on empty: close must wake it with None *)
+  let ch = Ch.create ~capacity:2 () in
+  let consumer = Domain.spawn (fun () -> Ch.recv ch) in
+  Unix.sleepf 0.02;
+  Ch.close ch;
+  Alcotest.(check (option int)) "woken with None" None (Domain.join consumer);
+  (* producer blocked on full: close must wake it with Closed *)
+  let ch2 = Ch.create ~capacity:1 () in
+  Ch.send ch2 1;
+  let producer =
+    Domain.spawn (fun () ->
+        try
+          Ch.send ch2 2;
+          false
+        with Ch.Closed -> true)
+  in
+  Unix.sleepf 0.02;
+  Ch.close ch2;
+  Alcotest.(check bool) "woken with Closed" true (Domain.join producer);
+  (* the blocked value was not delivered; the pre-close one drains *)
+  Alcotest.(check (option int)) "drains pre-close item" (Some 1)
+    (Ch.recv ch2);
+  Alcotest.(check (option int)) "then closed" None (Ch.recv ch2)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-region task pool *)
+
+let test_two_regions_progress () =
+  (* a region-A task waits on a flag only a region-B task sets: both
+     regions must make progress concurrently for A to ever finish *)
+  let pool = TP.create ~threads:2 in
+  let flag = Atomic.make false in
+  let a =
+    TP.submit pool (fun spawn ->
+        spawn (fun () ->
+            while not (Atomic.get flag) do
+              Domain.cpu_relax ()
+            done))
+  in
+  let b =
+    TP.submit ~priority:1 pool (fun spawn ->
+        spawn (fun () -> Atomic.set flag true))
+  in
+  TP.await a;
+  TP.await b;
+  Alcotest.(check bool) "flag set" true (Atomic.get flag)
+
+let test_priority_region_drains_first () =
+  (* deterministic at one thread: the master awaiting the low-priority
+     region must execute every higher-priority task before its own *)
+  let pool = TP.create ~threads:1 in
+  let log = ref [] in
+  let push tag = log := tag :: !log in
+  let a =
+    TP.submit ~priority:0 pool (fun spawn ->
+        for _ = 1 to 10 do
+          spawn (fun () -> push `A)
+        done)
+  in
+  let b =
+    TP.submit ~priority:5 pool (fun spawn ->
+        for _ = 1 to 10 do
+          spawn (fun () -> push `B)
+        done)
+  in
+  TP.await a;
+  TP.await b;
+  let order = List.rev !log in
+  Alcotest.(check int) "all ran" 20 (List.length order);
+  let rec split_prefix = function
+    | `B :: rest -> split_prefix rest
+    | rest -> rest
+  in
+  let tail = split_prefix order in
+  Alcotest.(check bool) "all B before any A" true
+    (List.for_all (fun t -> t = `A) tail);
+  Alcotest.(check int) "A count" 10 (List.length tail)
+
+exception Boom
+
+let test_region_fault_containment () =
+  (* a failure in region A must surface from A's await only; region B
+     completes untouched *)
+  let pool = TP.create ~threads:2 in
+  let b_done = Atomic.make 0 in
+  let a =
+    TP.submit pool (fun spawn ->
+        spawn (fun () -> raise Boom);
+        spawn (fun () -> ()))
+  in
+  let b =
+    TP.submit pool (fun spawn ->
+        for _ = 1 to 8 do
+          spawn (fun () -> Atomic.incr b_done)
+        done)
+  in
+  let a_failures = TP.await_collect a in
+  TP.await b;
+  Alcotest.(check int) "A failure captured" 1 (List.length a_failures);
+  Alcotest.(check bool) "it is Boom" true
+    (match a_failures with [ Boom ] -> true | _ -> false);
+  Alcotest.(check int) "B unaffected" 8 (Atomic.get b_done)
+
+let test_nested_await () =
+  (* a task of one region may submit and await another region (the
+     streaming gate task does exactly this) *)
+  let pool = TP.create ~threads:2 in
+  let inner_ran = Atomic.make false in
+  let outer =
+    TP.submit pool (fun spawn ->
+        spawn (fun () ->
+            let inner =
+              TP.submit ~priority:3 pool (fun spawn' ->
+                  spawn' (fun () -> Atomic.set inner_ran true))
+            in
+            TP.await inner))
+  in
+  TP.await outer;
+  Alcotest.(check bool) "inner region completed" true (Atomic.get inner_ran)
+
+(* ------------------------------------------------------------------ *)
+(* Streamed vs barrier output equality *)
+
+let subject ?(n = 60) ?(seed = 23) () =
+  (Pbca_codegen.Emit.generate { Profile.default with n_funcs = n; seed }).image
+
+let graphs_equal a b =
+  let d = Pbca_core.Cfg_diff.diff a b in
+  d.Pbca_core.Cfg_diff.added = []
+  && d.Pbca_core.Cfg_diff.removed = []
+  && d.Pbca_core.Cfg_diff.changed = []
+  && Pbca_core.Summary.equal
+       (Pbca_core.Summary.of_cfg a)
+       (Pbca_core.Summary.of_cfg b)
+
+let test_hpcstruct_streamed_equal () =
+  let img = subject () in
+  let barrier = H.run_image ~pool:(TP.create ~threads:2) img in
+  List.iter
+    (fun threads ->
+      let r = H.run_image_streamed ~pool:(TP.create ~threads) img in
+      Alcotest.(check string)
+        (Printf.sprintf "XML byte-identical at %d threads" threads)
+        barrier.H.output r.H.output;
+      Alcotest.(check int) "same function count" barrier.H.n_funcs r.H.n_funcs;
+      Alcotest.(check int) "same loops" barrier.H.n_loops r.H.n_loops;
+      Alcotest.(check int) "same stmts" barrier.H.n_stmts r.H.n_stmts;
+      Alcotest.(check bool) "graphs identical" true
+        (graphs_equal barrier.H.cfg r.H.cfg))
+    [ 1; 2; 4 ]
+
+let test_hpcstruct_streamed_stats () =
+  let img = subject () in
+  let r = H.run_image_streamed ~pool:(TP.create ~threads:2) img in
+  let s = r.H.cfg.Cfg.stats in
+  Alcotest.(check int) "every function published" r.H.n_funcs
+    (Atomic.get s.Cfg.stream_published);
+  Alcotest.(check bool) "channel high-water recorded" true
+    (Atomic.get s.Cfg.stream_hwm >= 1)
+
+let index_alist (r : B.result) =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) r.B.index []
+  |> List.sort compare
+
+let test_binfeat_streamed_equal () =
+  let imgs = [ subject ~seed:31 (); subject ~n:40 ~seed:32 () ] in
+  let barrier = B.extract ~pool:(TP.create ~threads:2) imgs in
+  List.iter
+    (fun threads ->
+      let r = B.extract_streamed ~pool:(TP.create ~threads) imgs in
+      Alcotest.(check int)
+        (Printf.sprintf "n_funcs at %d threads" threads)
+        barrier.B.n_funcs r.B.n_funcs;
+      Alcotest.(check int) "n_features" barrier.B.n_features r.B.n_features;
+      Alcotest.(check bool) "feature index equal" true
+        (index_alist barrier = index_alist r))
+    [ 1; 2; 4 ]
+
+let test_streamed_otrace_spans () =
+  (* the streamed run must record channel/stage spans when traced *)
+  let img = subject () in
+  let otrace = Pbca_obs.Trace.create () in
+  let _ = H.run_image_streamed ~otrace ~pool:(TP.create ~threads:2) img in
+  let spans = Pbca_obs.Trace.spans otrace in
+  let phases =
+    List.sort_uniq compare
+      (List.map (fun (s : Pbca_obs.Trace.span) -> s.sp_phase) spans)
+  in
+  Alcotest.(check bool) "stage spans present" true (List.mem "stage" phases)
+
+let test_pipeline_model () =
+  (* barrier and streamed models must agree on total work (equal
+     makespans at one thread) and streaming must never be slower *)
+  let module Pipe = Pbca_simsched.Pipeline in
+  let spec =
+    {
+      Pipe.sp_pre =
+        [ ("dwarf", [| 40; 25; 35; 30 |]); ("linemap", [| 20 |]) ];
+      sp_produce = Array.init 16 (fun i -> 5 + (i mod 7));
+      sp_consume = Array.init 16 (fun i -> 3 + (i mod 5));
+      sp_tail = 15;
+    }
+  in
+  let points = Pipe.scan ~threads:[ 1; 4; 64 ] spec in
+  List.iter
+    (fun (pt : Pipe.point) ->
+      if pt.Pipe.pt_threads = 1 then
+        Alcotest.(check int)
+          "equal work at 1 thread" pt.Pipe.pt_barrier_makespan
+          pt.Pipe.pt_streamed_makespan;
+      Alcotest.(check bool)
+        (Printf.sprintf "streamed <= barrier at %d" pt.Pipe.pt_threads)
+        true
+        (pt.Pipe.pt_streamed_makespan <= pt.Pipe.pt_barrier_makespan);
+      Alcotest.(check bool)
+        (Printf.sprintf "serial fraction no worse at %d" pt.Pipe.pt_threads)
+        true
+        (pt.Pipe.pt_streamed_serial_fraction
+        <= pt.Pipe.pt_barrier_serial_fraction +. 1e-9))
+    points;
+  (* trace-fed variant: same invariants on a real recorded run *)
+  let img = subject () in
+  let pool = TP.create ~threads:2 in
+  let barrier = H.run_image ~pool img in
+  let phase_trace name =
+    List.find_map
+      (fun (ph : H.phase) -> if ph.H.ph_name = name then ph.H.ph_trace else None)
+      barrier.H.phases
+  in
+  let trace_tasks name =
+    match phase_trace name with
+    | Some tr -> Pbca_simsched.Trace.tasks tr
+    | None -> []
+  in
+  let fill_costs =
+    match phase_trace "fill" with
+    | Some tr -> Pipe.costs_of (Pbca_simsched.Trace.tasks tr) "fill"
+    | None -> [||]
+  in
+  Alcotest.(check bool) "fill tasks traced" true (Array.length fill_costs > 0);
+  Alcotest.(check bool)
+    "bounds epoch traced" true
+    (List.exists
+       (fun (t : Pbca_simsched.Trace.task) -> t.Pbca_simsched.Trace.label = "bounds")
+       (trace_tasks "cfg"));
+  let staged =
+    {
+      Pipe.tg_pre = [ ("dwarf", trace_tasks "dwarf") ];
+      tg_produce = trace_tasks "cfg";
+      tg_publish_label = Some "bounds";
+      tg_consume = fill_costs;
+      tg_tail = 10;
+    }
+  in
+  List.iter
+    (fun (pt : Pipe.point) ->
+      if pt.Pipe.pt_threads = 1 then
+        Alcotest.(check int)
+          "staged equal work at 1 thread" pt.Pipe.pt_barrier_makespan
+          pt.Pipe.pt_streamed_makespan;
+      Alcotest.(check bool)
+        (Printf.sprintf "staged streamed <= barrier at %d" pt.Pipe.pt_threads)
+        true
+        (pt.Pipe.pt_streamed_makespan <= pt.Pipe.pt_barrier_makespan))
+    (Pipe.staged_scan ~threads:[ 1; 4; 128 ] staged)
+
+let suite =
+  [
+    quick "channel fifo sequential" test_channel_fifo_sequential;
+    quick "channel bounded blocking" test_channel_bounded_blocking;
+    quick "channel mpmc 4 domains" test_channel_mpmc;
+    quick "channel close while blocked" test_channel_close_while_blocked;
+    quick "two regions make progress" test_two_regions_progress;
+    quick "priority region drains first" test_priority_region_drains_first;
+    quick "region fault containment" test_region_fault_containment;
+    quick "nested await" test_nested_await;
+    slow "hpcstruct streamed equality" test_hpcstruct_streamed_equal;
+    quick "hpcstruct streamed stats" test_hpcstruct_streamed_stats;
+    slow "binfeat streamed equality" test_binfeat_streamed_equal;
+    quick "streamed otrace spans" test_streamed_otrace_spans;
+    slow "pipelined-DAG model invariants" test_pipeline_model;
+  ]
