@@ -8,10 +8,10 @@
    of that phase's task trace.
 
    Subcommands: table1 table2 figure2 figure3 table3 correctness ablations
-   micro contention finalize robustness recovery trace pipeline all
+   micro contention finalize robustness recovery trace pipeline serve all
    (default: all); plus microsmoke, a seconds-long self-checking slice of
-   the contention, finalize, robustness, recovery, trace and pipeline
-   reports wired into `dune runtest`. *)
+   the contention, finalize, robustness, recovery, trace, pipeline and
+   serve reports wired into `dune runtest`. *)
 
 module Profile = Pbca_codegen.Profile
 module Emit = Pbca_codegen.Emit
@@ -1805,6 +1805,310 @@ let pipeline_bench () =
   close_out oc;
   print_endline "wrote BENCH_pr7.json"
 
+(* ---------------------------------------------------------------- *)
+(* PR8: the bserve daemon. Cold-vs-cached service latency, sustained
+   throughput, shed rate under a 2x-capacity burst, and the regression
+   gate: parse results served by the daemon must carry the fingerprint
+   of a local one-shot parse, which itself must stay Cfg_diff-equal
+   serial vs parallel. Writes BENCH_pr8.json unless ~smoke.           *)
+
+let serve_percentile buckets n q =
+  if n = 0 then 0.0
+  else
+    let target =
+      max 1 (int_of_float (ceil (q *. float_of_int n)))
+    in
+    let rec go acc = function
+      | [] -> infinity
+      | (bound, c) :: rest ->
+        let acc = acc + c in
+        if acc >= target then bound else go acc rest
+    in
+    go 0 buckets
+
+let serve_report ~smoke () =
+  let module Serve = Pbca_serve.Serve in
+  let module Wire = Pbca_serve.Wire in
+  let module Sclient = Pbca_serve.Sclient in
+  let module Fault = Pbca_concurrent.Fault in
+  let module Metrics = Pbca_obs.Metrics in
+  let reps = if smoke then 2 else 4 in
+  let tput_n = if smoke then 5 else 20 in
+  let subjects =
+    (* service subjects are sized so re-discovery dominates the
+       checkpoint-replay cost on a cache hit; at coreutils scale (~40
+       funcs, ~2ms parses) the comparison is pure timer noise *)
+    if smoke then [ { Profile.default with Profile.n_funcs = 25; seed = 11 } ]
+    else
+      List.map
+        (fun i ->
+          { (Profile.coreutils_like i) with
+            Profile.n_funcs = 400;
+            seed = 9100 + i;
+          })
+        [ 1; 2 ]
+  in
+  let dir = Filename.temp_file "bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o700;
+  let cleanup () =
+    (try
+       let cache = Filename.concat dir "cache" in
+       (try
+          Array.iter
+            (fun e -> try Sys.remove (Filename.concat cache e) with _ -> ())
+            (Sys.readdir cache)
+        with Sys_error _ -> ());
+       (try Unix.rmdir cache with Unix.Unix_error _ -> ());
+       Array.iter
+         (fun e -> try Sys.remove (Filename.concat dir e) with _ -> ())
+         (try Sys.readdir dir with Sys_error _ -> [||]);
+       Unix.rmdir dir
+     with Unix.Unix_error _ | Sys_error _ -> ())
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  let sock = Filename.concat dir "d.sock" in
+  let roundtrip req =
+    match Sclient.roundtrip ~timeout_s:60.0 ~sock req with
+    | Ok r -> r
+    | Error e -> failwith ("bench serve: " ^ Sclient.error_to_string e)
+  in
+  (* --- service daemon: latency, cache, throughput, equality gate --- *)
+  let cfg =
+    { (Serve.default_config ~sock) with
+      Serve.sc_workers = 2;
+      sc_acceptors = 1;
+      sc_queue = 16;
+      sc_cache_dir = Some (Filename.concat dir "cache");
+    }
+  in
+  let subject_results, hist =
+    Serve.with_server cfg (fun t ->
+        let per_subject p =
+          let img = (Emit.generate p).Emit.image in
+          let bytes = Image.write img in
+          (* local oracle: serial and parallel one-shot parses *)
+          let parse threads =
+            let pool = TP.create ~threads in
+            Pbca_core.Parallel.parse_and_finalize ~pool img
+          in
+          let g_serial = parse 1 in
+          let g_par = parse 2 in
+          let local_equal = graphs_equal g_serial g_par in
+          let local_fp =
+            Pbca_core.Summary.fingerprint (Pbca_core.Summary.of_cfg g_serial)
+          in
+          let fp_of (r : Wire.reply) =
+            match String.index_opt r.Wire.rp_body ' ' with
+            | Some i -> String.sub r.Wire.rp_body 12 (i - 12)
+            | None -> r.Wire.rp_body
+          in
+          (* cold service latency: bypass the cache so every rep does the
+             full discovery + jump-table fixpoint *)
+          let cold_req =
+            Wire.request ~no_cache:true ~image:bytes Wire.Parse
+          in
+          let cold_us = ref max_int and daemon_ok = ref true in
+          for _ = 1 to reps do
+            let r = roundtrip cold_req in
+            if r.Wire.rp_status <> Wire.Ok_clean || fp_of r <> local_fp then
+              daemon_ok := false;
+            cold_us := min !cold_us r.Wire.rp_run_us
+          done;
+          (* populate, then measure the cached path: checkpoint replay
+             instead of re-discovery *)
+          let warm_req = Wire.request ~image:bytes Wire.Parse in
+          let first = roundtrip warm_req in
+          if first.Wire.rp_status <> Wire.Ok_clean || fp_of first <> local_fp
+          then daemon_ok := false;
+          let hit_us = ref max_int and hits = ref 0 in
+          for _ = 1 to reps do
+            let r = roundtrip warm_req in
+            if r.Wire.rp_status <> Wire.Ok_clean || fp_of r <> local_fp then
+              daemon_ok := false;
+            if r.Wire.rp_cache_hit then begin
+              incr hits;
+              hit_us := min !hit_us r.Wire.rp_run_us
+            end
+          done;
+          (* sustained sequential load over the cached path *)
+          let t0 = Unix.gettimeofday () in
+          for _ = 1 to tput_n do
+            let r = roundtrip warm_req in
+            if r.Wire.rp_status <> Wire.Ok_clean then daemon_ok := false
+          done;
+          let tput_wall = Unix.gettimeofday () -. t0 in
+          J_obj
+            [
+              ("subject", J_str p.Profile.name);
+              ("image_bytes", J_int (Bytes.length bytes));
+              ("daemon_matches_local", J_bool !daemon_ok);
+              ("local_serial_parallel_equal", J_bool local_equal);
+              ("cold_run_us", J_int !cold_us);
+              ("cached_hit_run_us",
+               J_int (if !hits > 0 then !hit_us else -1));
+              ("cache_hits_observed", J_int !hits);
+              ( "hit_speedup",
+                J_float
+                  (if !hits > 0 && !hit_us > 0 then
+                     float_of_int !cold_us /. float_of_int !hit_us
+                   else 0.0) );
+              ( "throughput_req_s",
+                J_float
+                  (if tput_wall > 0.0 then float_of_int tput_n /. tput_wall
+                   else 0.0) );
+            ]
+        in
+        let rs = List.map per_subject subjects in
+        let hist =
+          match
+            List.assoc_opt "serve_latency_s"
+              (Metrics.snapshot (Serve.metrics t))
+          with
+          | Some (Metrics.Histogram { n; buckets; _ }) ->
+            J_obj
+              [
+                ("n", J_int n);
+                ("p50_s", J_float (serve_percentile buckets n 0.50));
+                ("p99_s", J_float (serve_percentile buckets n 0.99));
+              ]
+          | _ -> J_obj [ ("n", J_int 0) ]
+        in
+        (rs, hist))
+  in
+  (* --- overload daemon: burst at ~2x capacity, count the sheds --- *)
+  let osock = Filename.concat dir "o.sock" in
+  let ocfg =
+    { (Serve.default_config ~sock:osock) with
+      Serve.sc_workers = 1;
+      sc_acceptors = 1;
+      sc_queue = 4;
+      sc_cache_dir = None;
+    }
+  in
+  let overload =
+    Fun.protect
+      ~finally:(fun () -> Fault.disarm_service ())
+      (fun () ->
+        Serve.with_server ocfg (fun t ->
+            (* the single worker sits on the first request while the rest
+               of the burst hits the admission bound *)
+            Fault.arm_service_at [ (0, Fault.Stall 0.4) ];
+            let img =
+              Image.write
+                (Emit.generate
+                   { Profile.default with Profile.n_funcs = 10; seed = 3 })
+                  .Emit.image
+            in
+            let capacity = ocfg.Serve.sc_queue + ocfg.Serve.sc_workers in
+            let n = 2 * capacity in
+            let reqs =
+              List.init n (fun _ -> Wire.request ~image:img Wire.Parse)
+            in
+            let replies = Sclient.burst ~timeout_s:60.0 ~sock:osock reqs in
+            let count st =
+              List.length
+                (List.filter
+                   (function
+                     | Ok (r : Wire.reply) -> r.Wire.rp_status = st
+                     | Error _ -> false)
+                   replies)
+            in
+            let client_errors =
+              List.length
+                (List.filter (function Error _ -> true | Ok _ -> false)
+                   replies)
+            in
+            let shed =
+              match
+                List.assoc_opt "serve_shed"
+                  (Metrics.snapshot (Serve.metrics t))
+              with
+              | Some (Metrics.Counter c) -> c
+              | _ -> 0
+            in
+            J_obj
+              [
+                ("burst", J_int n);
+                ("capacity", J_int capacity);
+                ("served_ok", J_int (count Wire.Ok_clean));
+                ("shed_overloaded", J_int (count Wire.Overloaded));
+                ("shed_counter", J_int shed);
+                ("client_errors", J_int client_errors);
+                ( "shed_rate",
+                  J_float (float_of_int shed /. float_of_int n) );
+              ]))
+  in
+  J_obj
+    [
+      ("bench", J_str "pr8_serve");
+      ("smoke", J_bool smoke);
+      ("reps", J_int reps);
+      ("throughput_requests", J_int tput_n);
+      ("subjects", J_arr subject_results);
+      ("latency_hist", hist);
+      ("overload", overload);
+    ]
+
+let serve_checks ~smoke j =
+  let failures = ref [] in
+  let check name ok = if not ok then failures := name :: !failures in
+  check "json well-formed" (json_well_formed (json_to_string j));
+  (match json_field j [ "subjects" ] with
+  | Some (J_arr subs) ->
+    check "at least one subject benched" (subs <> []);
+    List.iter
+      (fun s ->
+        let name =
+          match json_field s [ "subject" ] with Some (J_str n) -> n | _ -> "?"
+        in
+        let flag path =
+          match json_field s path with Some (J_bool b) -> b | _ -> false
+        in
+        check (name ^ ": daemon replies match the local one-shot parse")
+          (flag [ "daemon_matches_local" ]);
+        check (name ^ ": local serial and parallel parses Cfg_diff-equal")
+          (flag [ "local_serial_parallel_equal" ]);
+        check (name ^ ": cache hits observed")
+          (json_num s [ "cache_hits_observed" ] >= 1.0);
+        check
+          (name ^ ": throughput measured")
+          (json_num s [ "throughput_req_s" ] > 0.0);
+        (* the acceptance gate: replaying the checkpoint must beat
+           re-discovering the CFG. Too noisy to assert on the
+           seconds-long smoke subjects; the full bench asserts it. *)
+        if not smoke then
+          check
+            (name ^ ": cached hit beats cold parse")
+            (json_num s [ "cached_hit_run_us" ] > 0.0
+            && json_num s [ "cached_hit_run_us" ]
+               < json_num s [ "cold_run_us" ]))
+      subs
+  | _ -> check "subjects present" false);
+  check "overload: load was shed"
+    (json_num j [ "overload"; "shed_counter" ] >= 1.0);
+  check "overload: every burst request answered structurally"
+    (json_num j [ "overload"; "client_errors" ] = 0.0);
+  check "overload: admitted requests still served"
+    (json_num j [ "overload"; "served_ok" ] >= 1.0);
+  List.rev !failures
+
+let serve_bench () =
+  header "Analysis-as-a-service daemon (PR8)";
+  let j = serve_report ~smoke:false () in
+  let s = json_to_string j in
+  print_endline s;
+  (match serve_checks ~smoke:false j with
+  | [] -> print_endline "all serve checks passed"
+  | fs ->
+    List.iter (fun f -> Printf.printf "CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let oc = open_out "BENCH_pr8.json" in
+  output_string oc s;
+  output_char oc '\n';
+  close_out oc;
+  print_endline "wrote BENCH_pr8.json"
+
 (* seconds-long slice of the same reports, self-checking, for `dune
    runtest`; prints to stdout only (the test sandbox is read-only) *)
 let microsmoke () =
@@ -1852,8 +2156,15 @@ let microsmoke () =
     exit 1);
   let j7 = pipeline_report ~smoke:true () in
   print_endline (json_to_string j7);
-  match pipeline_checks ~smoke:true j7 with
+  (match pipeline_checks ~smoke:true j7 with
   | [] -> print_endline "microsmoke pipeline: ok"
+  | fs ->
+    List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
+    exit 1);
+  let j8 = serve_report ~smoke:true () in
+  print_endline (json_to_string j8);
+  match serve_checks ~smoke:true j8 with
+  | [] -> print_endline "microsmoke serve: ok"
   | fs ->
     List.iter (fun f -> Printf.printf "microsmoke CHECK FAILED: %s\n" f) fs;
     exit 1
@@ -1889,6 +2200,7 @@ let () =
   if want "recovery" then recovery_bench ();
   if want "trace" then trace_bench ();
   if want "pipeline" then pipeline_bench ();
+  if want "serve" then serve_bench ();
   (* microsmoke is runtest plumbing, not part of "all" *)
   if List.mem "microsmoke" cmds then microsmoke ();
   line ()

@@ -1,0 +1,126 @@
+(* bclient: one-shot driver for the bserve daemon.
+
+   Sends a single request (or --repeat N of them) and maps the reply
+   status onto the bparse exit-code family:
+
+     0  Ok_clean      full-fidelity result
+     1  Ok_degraded   budget/deadline-degraded result (body still valid)
+     2  Rejected / Bad_frame    the request itself was unserviceable
+     3  Failed        worker crashed on every allowed attempt
+     4  Overloaded / Expired / Draining   transient service condition
+     5  transport error (daemon down, timeout, torn reply)
+
+   With --repeat the worst exit code across the batch is returned. *)
+
+open Cmdliner
+module Wire = Pbca_serve.Wire
+module Sclient = Pbca_serve.Sclient
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let b = Bytes.create n in
+      really_input ic b 0 n;
+      b)
+
+let exit_of_status = function
+  | Wire.Ok_clean -> 0
+  | Wire.Ok_degraded -> 1
+  | Wire.Rejected | Wire.Bad_frame -> 2
+  | Wire.Failed -> 3
+  | Wire.Overloaded | Wire.Expired | Wire.Draining -> 4
+
+let print_reply ~quiet (r : Wire.reply) =
+  Printf.printf "status=%s%s%s wait=%dus run=%dus%s\n"
+    (Wire.status_name r.Wire.rp_status)
+    (if r.Wire.rp_cache_hit then " cache=hit" else "")
+    (if r.Wire.rp_retries > 0 then
+       Printf.sprintf " retries=%d" r.Wire.rp_retries
+     else "")
+    r.Wire.rp_wait_us r.Wire.rp_run_us
+    (if r.Wire.rp_msg = "" then "" else ": " ^ r.Wire.rp_msg);
+  if (not quiet) && r.Wire.rp_body <> "" then print_endline r.Wire.rp_body
+
+let run sock kind file deadline_ms no_cache timeout repeat quiet =
+  match Wire.kind_of_name kind with
+  | None ->
+    Printf.eprintf "bclient: unknown kind %s\n" kind;
+    2
+  | Some k ->
+    let image =
+      match (k, file) with
+      | (Wire.Parse | Wire.Hpcstruct | Wire.Binfeat), None ->
+        Printf.eprintf "bclient: kind %s needs an image FILE\n" kind;
+        exit 2
+      | _, Some path -> read_file path
+      | _, None -> Bytes.create 0
+    in
+    let req = Wire.request ~deadline_ms ~no_cache ~image k in
+    let worst = ref 0 in
+    for i = 1 to repeat do
+      let code =
+        match Sclient.roundtrip ~timeout_s:timeout ~sock req with
+        | Ok r ->
+          print_reply ~quiet r;
+          exit_of_status r.Wire.rp_status
+        | Error e ->
+          Printf.eprintf "bclient: %s\n" (Sclient.error_to_string e);
+          5
+      in
+      if i < repeat then ignore (Unix.sleepf 0.0);
+      worst := max !worst code
+    done;
+    !worst
+
+let sock =
+  Arg.(
+    value
+    & opt string "/tmp/bserve.sock"
+    & info [ "sock" ] ~docv:"PATH" ~doc:"Daemon socket path")
+
+let kind =
+  Arg.(
+    value & opt string "parse"
+    & info [ "kind" ] ~docv:"KIND"
+        ~doc:"Request kind: parse, hpcstruct, binfeat, ping, stats, shutdown")
+
+let file =
+  Arg.(
+    value
+    & pos 0 (some file) None
+    & info [] ~docv:"FILE" ~doc:"SBF image to analyze")
+
+let deadline_ms =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~doc:"Per-request deadline; 0 = server default")
+
+let no_cache =
+  Arg.(
+    value & flag
+    & info [ "no-cache" ] ~doc:"Bypass the daemon's result cache")
+
+let timeout =
+  Arg.(
+    value & opt float 30.0
+    & info [ "timeout" ] ~doc:"Seconds to wait for the reply")
+
+let repeat =
+  Arg.(
+    value & opt int 1
+    & info [ "repeat" ] ~doc:"Send the request N times (worst exit code wins)")
+
+let quiet =
+  Arg.(value & flag & info [ "quiet" ] ~doc:"Suppress the reply body")
+
+let cmd =
+  Cmd.v
+    (Cmd.info "bclient" ~doc:"Client for the bserve daemon")
+    Term.(
+      const run $ sock $ kind $ file $ deadline_ms $ no_cache $ timeout
+      $ repeat $ quiet)
+
+let () = exit (Cmd.eval' cmd)

@@ -33,6 +33,9 @@ module Profile = Pbca_codegen.Profile
 module Otrace = Pbca_obs.Trace
 module Clock = Pbca_obs.Clock
 module Metrics = Pbca_obs.Metrics
+module Serve = Pbca_serve.Serve
+module Wire = Pbca_serve.Wire
+module Sclient = Pbca_serve.Sclient
 
 type outcome = Clean | Degraded | Malformed of string | Crash of string
 
@@ -236,6 +239,179 @@ let run_corpus ~threads ~seeds ~base_seed ~deadline ~obs =
     (List.length !crashes) (List.length !hangs);
   if !crashes = [] && !hangs = [] then 0 else 3
 
+(* --serve mode: the same zero-crash contract, asserted at the service
+   layer. An in-process daemon takes real socket traffic — well-formed
+   requests, mutated images, garbled frames, raw garbage, stalled
+   clients — while the service fault plan kills workers, tears replies,
+   stalls services and rots cache artifacts. Every request must end in a
+   structured reply or a structured client-side error; a Timeout or
+   Unavailable means the daemon hung or died, which is the only failure.
+   Well-formed clean parse replies must carry the fingerprint of a local
+   one-shot parse of the same image. *)
+let fingerprint_of_body body =
+  let prefix = "fingerprint=" in
+  if String.length body > String.length prefix
+     && String.sub body 0 (String.length prefix) = prefix
+  then
+    let rest = String.sub body (String.length prefix)
+        (String.length body - String.length prefix) in
+    match String.index_opt rest ' ' with
+    | Some i -> Some (String.sub rest 0 i)
+    | None -> Some rest
+  else None
+
+let run_serve ~seeds ~base_seed ~obs =
+  let dir = Filename.temp_file "bfuzz-serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let sock = Filename.concat dir "d.sock" in
+  let cfg =
+    { (Serve.default_config ~sock) with
+      Serve.sc_workers = 2;
+      sc_acceptors = 2;
+      sc_queue = 8;
+      sc_cache_dir = Some (Filename.concat dir "cache");
+      sc_read_timeout_s = 0.25;
+      sc_retries = 2;
+      sc_backoff_base_s = 0.002;
+    }
+  in
+  (* local one-shot oracle for the well-formed requests *)
+  let pool = Pbca_concurrent.Task_pool.create ~threads:1 in
+  let bases = base_images () in
+  let nb = List.length bases in
+  let base_bytes = List.map Image.write bases in
+  let fps =
+    List.map
+      (fun img ->
+        Summary.fingerprint
+          (Summary.of_cfg
+             (Parallel.parse_and_finalize ~config:cfg.Serve.sc_analysis ~pool
+                img)))
+      bases
+  in
+  let tally = Hashtbl.create 16 in
+  let bump k =
+    Hashtbl.replace tally k (1 + Option.value ~default:0 (Hashtbl.find_opt tally k))
+  in
+  let failures = ref [] in
+  let fail s msg = failures := (base_seed + s, msg) :: !failures in
+  let t = Serve.start ~otrace:obs.obs_trace cfg in
+  Fun.protect
+    ~finally:(fun () ->
+      Fault.disarm_service ();
+      (try Serve.stop t
+       with e -> fail (-1) ("daemon crashed at drain: " ^ Printexc.to_string e));
+      (match obs.obs_metrics with
+      | Some acc -> Metrics.merge ~into:acc (Serve.metrics t)
+      | None -> ());
+      (try
+         Array.iter
+           (fun e -> try Sys.remove (Filename.concat (Filename.concat dir "cache") e) with Sys_error _ -> ())
+           (try Sys.readdir (Filename.concat dir "cache") with Sys_error _ -> [||]);
+         (try Unix.rmdir (Filename.concat dir "cache") with Unix.Unix_error _ -> ());
+         (try Sys.remove sock with Sys_error _ -> ());
+         Unix.rmdir dir
+       with Unix.Unix_error _ | Sys_error _ -> ()))
+    (fun () ->
+      Fault.arm_service ~seed:base_seed ~n:(max 1 (seeds / 10)) ~window:seeds
+        [ Fault.Kill_worker 1; Fault.Kill_worker 9; Fault.Torn_reply;
+          Fault.Stall 0.05; Fault.Cache_rot ];
+      let classify_result s = function
+        | Ok (r : Wire.reply) -> bump (Wire.status_name r.Wire.rp_status)
+        | Error (Sclient.Torn _) ->
+          (* torn replies are injected on purpose; the client error is
+             structured, which is all the contract asks *)
+          bump "client-torn"
+        | Error (Sclient.Io m) -> bump ("client-io:" ^ m)
+        | Error Sclient.Timeout ->
+          bump "client-timeout";
+          fail s "client timed out: daemon hung"
+        | Error (Sclient.Unavailable m) ->
+          bump "client-unavailable";
+          fail s ("daemon unavailable: " ^ m)
+      in
+      for s = 0 to seeds - 1 do
+        let rng = Rng.create (base_seed + s) in
+        let i = s mod nb in
+        let bytes = List.nth base_bytes i in
+        if s mod 50 = 13 then begin
+          (* stalled client: write a third of a frame, hold past the
+             daemon's read timeout; the daemon must evict us *)
+          bump "stalled-client";
+          match
+            Sclient.stall ~hold_s:0.3 ~sock
+              (Wire.encode_request (Wire.request ~image:bytes Wire.Parse))
+          with
+          | Ok () | Error _ -> ()
+        end
+        else
+          match s mod 5 with
+          | 0 ->
+            (* well-formed parse; clean replies must match the oracle *)
+            let no_cache = Rng.bool rng 0.3 in
+            let req = Wire.request ~no_cache ~image:bytes Wire.Parse in
+            let res = Sclient.roundtrip ~timeout_s:20.0 ~sock req in
+            (match res with
+            | Ok r when r.Wire.rp_status = Wire.Ok_clean -> (
+              match fingerprint_of_body r.Wire.rp_body with
+              | Some fp when fp = List.nth fps i -> ()
+              | Some fp ->
+                fail s
+                  (Printf.sprintf
+                     "fingerprint mismatch: daemon %s vs local %s%s" fp
+                     (List.nth fps i)
+                     (if r.Wire.rp_cache_hit then " (cache hit)" else ""))
+              | None -> fail s ("malformed parse body: " ^ r.Wire.rp_body))
+            | _ -> ());
+            classify_result s res
+          | 1 ->
+            (* hostile image, well-formed framing *)
+            let kind = Rng.choose_arr rng Mutate.image_kinds in
+            let mutant = Mutate.apply ~rng kind (List.nth bases i) in
+            classify_result s
+              (Sclient.roundtrip ~timeout_s:20.0 ~sock
+                 (Wire.request ~image:mutant Wire.Parse))
+          | 2 ->
+            (* well-formed request, garbled framing (the 8th axis) *)
+            let frame =
+              Mutate.garble_frame ~rng
+                (Wire.encode_request (Wire.request ~image:bytes Wire.Parse))
+            in
+            classify_result s (Sclient.send_raw ~timeout_s:20.0 ~sock frame)
+          | 3 ->
+            (* raw garbage bytes *)
+            let junk =
+              Bytes.init (Rng.int rng 200) (fun _ -> Char.chr (Rng.int rng 256))
+            in
+            classify_result s (Sclient.send_raw ~timeout_s:20.0 ~sock junk)
+          | _ ->
+            (* the other analysis kinds *)
+            let kind = if s mod 2 = 0 then Wire.Hpcstruct else Wire.Binfeat in
+            classify_result s
+              (Sclient.roundtrip ~timeout_s:20.0 ~sock
+                 (Wire.request ~image:bytes kind))
+      done;
+      (* liveness: after everything above, the daemon must still answer *)
+      (match Sclient.roundtrip ~timeout_s:5.0 ~sock (Wire.request Wire.Ping) with
+      | Ok { Wire.rp_status = Wire.Ok_clean; rp_body = "pong"; _ } -> ()
+      | Ok r ->
+        fail seeds ("final ping answered " ^ Wire.status_name r.Wire.rp_status)
+      | Error e ->
+        fail seeds ("final ping failed: " ^ Sclient.error_to_string e));
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) tally []
+      |> List.sort compare
+      |> List.iter (fun (k, v) -> Printf.printf "%-20s %d\n" k v);
+      List.iter
+        (fun (seed, msg) -> Printf.printf "VIOLATION seed=%d: %s\n" seed msg)
+        (List.rev !failures);
+      Printf.printf
+        "%d serve requests: %d contract violations (service faults drawn: %d)\n"
+        seeds
+        (List.length !failures)
+        (Fault.service_injected_count ());
+      if !failures = [] then 0 else 3)
+
 let run_file ~threads ~deadline ~obs path =
   let pool = Pbca_concurrent.Task_pool.create ~threads in
   let config = { Config.default with Config.deadline_s = deadline } in
@@ -253,12 +429,15 @@ let run_file ~threads ~deadline ~obs path =
     Printf.eprintf "%s: internal error: %s\n" path e;
     3
 
-let run file smoke seeds seed threads deadline trace_out metrics =
+let run file smoke serve seeds seed threads deadline trace_out metrics =
   let obs = make_obs ~trace_out ~metrics in
   finish_obs obs ~trace_out
   @@
   match file with
   | Some path -> run_file ~threads ~deadline ~obs path
+  | None when serve ->
+    let seeds = if smoke then 120 else seeds in
+    run_serve ~seeds ~base_seed:seed ~obs
   | None ->
     let seeds = if smoke then 200 else seeds in
     run_corpus ~threads ~seeds ~base_seed:seed ~deadline ~obs
@@ -273,6 +452,17 @@ let smoke =
   Arg.(
     value & flag
     & info [ "smoke" ] ~doc:"Quick fixed-seed run (200 mutants), for CI")
+
+let serve =
+  Arg.(
+    value & flag
+    & info [ "serve" ]
+        ~doc:
+          "Fuzz the bserve daemon instead of the parser: an in-process \
+           daemon takes mutated images, garbled frames, raw garbage and \
+           stalled clients under injected service faults; every request \
+           must end in a structured reply, the daemon must never crash or \
+           hang, and clean parse replies must match a local one-shot parse")
 
 let seeds =
   Arg.(value & opt int 1000 & info [ "seeds" ] ~doc:"Number of mutants")
@@ -308,7 +498,7 @@ let cmd =
   Cmd.v
     (Cmd.info "bfuzz" ~doc:"Mutation-fuzz the binary parser")
     Term.(
-      const run $ file $ smoke $ seeds $ seed $ threads $ deadline $ trace_out
-      $ metrics)
+      const run $ file $ smoke $ serve $ seeds $ seed $ threads $ deadline
+      $ trace_out $ metrics)
 
 let () = exit (Cmd.eval' cmd)

@@ -11,11 +11,12 @@ type kind =
   | Table_smash
   | Symbol_lies
   | Artifact_rot
+  | Frame_garble
 
 let image_kinds =
   [| Header_bits; Truncate; Byte_flips; Code_splice; Table_smash; Symbol_lies |]
 
-let all_kinds = Array.append image_kinds [| Artifact_rot |]
+let all_kinds = Array.append image_kinds [| Artifact_rot; Frame_garble |]
 
 let kind_name = function
   | Header_bits -> "header-bits"
@@ -25,6 +26,7 @@ let kind_name = function
   | Table_smash -> "table-smash"
   | Symbol_lies -> "symbol-lies"
   | Artifact_rot -> "artifact-rot"
+  | Frame_garble -> "frame-garble"
 
 let flip_bit b i bit =
   Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor (1 lsl bit)))
@@ -78,6 +80,44 @@ let corrupt_artifact ~rng bytes =
       let cut = Rng.int rng n in
       Bytes.fill b cut (n - cut) '\000';
       b
+
+(* Frame-level protocol mutations (the 8th axis). The layout convention is
+   the CRC-framed length-prefixed wire frame shared by the journal and the
+   bserve protocol: [magic(4)][len u32][crc u32][payload]. Each sub-mode
+   aims at one decoder defense: the magic check, the length bound, the
+   short-read path (truncated and torn frames), the CRC check, and the
+   payload decoder behind a CRC that no longer matches. On bytes that are
+   not actually a frame this degenerates to localized rot, which every
+   consumer must survive anyway. *)
+let garble_frame ~rng frame =
+  let b = Bytes.copy frame in
+  let n = Bytes.length b in
+  if n = 0 then b
+  else
+    let flip_in lo hi k =
+      let lo = min lo (n - 1) and hi = min hi n in
+      if hi > lo then
+        for _ = 1 to k do
+          flip_bit b (lo + Rng.int rng (hi - lo)) (Rng.int rng 8)
+        done;
+      b
+    in
+    match Rng.int rng 6 with
+    | 0 -> (* bad magic *) flip_in 0 4 (1 + Rng.int rng 4)
+    | 1 ->
+      (* wrong length field: anywhere from 0 to wildly past the payload *)
+      if n >= 8 then begin
+        Bytes.set_int32_le b 4 (Int32.of_int (Rng.int rng 0x7fffffff));
+        b
+      end
+      else flip_in 0 n 2
+    | 2 -> (* truncated frame: cut inside the header *) Bytes.sub b 0 (Rng.int rng (min n 13))
+    | 3 ->
+      (* torn frame: header intact, payload cut partway *)
+      if n > 12 then Bytes.sub b 0 (12 + Rng.int rng (n - 12))
+      else Bytes.sub b 0 (Rng.int rng n)
+    | 4 -> (* CRC flip *) if n >= 12 then flip_in 8 12 (1 + Rng.int rng 4) else flip_in 0 n 2
+    | _ -> (* payload rot behind a now-stale CRC *) if n > 12 then flip_in 12 n (1 + Rng.int rng 8) else flip_in 0 n 2
 
 let apply ~rng kind img =
   let base () = Image.write img in
@@ -146,6 +186,10 @@ let apply ~rng kind img =
     (* on an image this degenerates to generic byte rot; the axis is
        really aimed at recovery artifacts via {!corrupt_artifact} *)
     corrupt_artifact ~rng (base ())
+  | Frame_garble ->
+    (* on an image this degenerates to header/length-area rot; the axis
+       is really aimed at protocol frames via {!garble_frame} *)
+    garble_frame ~rng (base ())
 
 let mutate ~rng img =
   let k = Rng.choose_arr rng image_kinds in

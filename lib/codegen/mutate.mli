@@ -21,12 +21,16 @@ type kind =
   | Artifact_rot
       (** corrupt a recovery artifact (checkpoint / journal): truncation,
           bit rot, garbage splices, zeroed tails *)
+  | Frame_garble
+      (** frame-level protocol mutations: bad magic, wrong length field,
+          truncated/torn frames, CRC flips, payload rot — aimed at the
+          bserve wire decoder via {!garble_frame} *)
 
 val image_kinds : kind array
 (** The six image-directed axes — what {!mutate} draws from. *)
 
 val all_kinds : kind array
-(** All seven axes, including [Artifact_rot]. *)
+(** All eight axes, including [Artifact_rot] and [Frame_garble]. *)
 
 val kind_name : kind -> string
 
@@ -41,3 +45,10 @@ val corrupt_artifact : rng:Rng.t -> Bytes.t -> Bytes.t
     dying disk would: truncate at a random point, flip random bits, splice
     a garbage window, or zero the tail. Deterministic in the rng stream;
     the input is not modified. *)
+
+val garble_frame : rng:Rng.t -> Bytes.t -> Bytes.t
+(** Damage one encoded wire frame ([[magic(4)][len u32][crc u32][payload]]
+    layout) the way a hostile or broken peer would: flip magic bits, lie
+    in the length field, truncate inside the header, tear the payload,
+    flip CRC bits, or rot payload bytes behind a now-stale CRC.
+    Deterministic in the rng stream; the input is not modified. *)

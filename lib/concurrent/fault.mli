@@ -23,6 +23,25 @@
 
 type mode = Raise | Delay of float | Starve | Crash
 
+(** Service-layer fault points (PR8), injected per {e request} by the
+    bserve daemon rather than per task by the pool:
+
+    - [Kill_worker k] — the first [k] supervised attempts at the request
+      die as if the worker crashed mid-request; with [k] larger than the
+      daemon's retry budget the request must end in a structured failure
+      reply, never a daemon crash.
+    - [Torn_reply] — the daemon truncates its reply frame partway,
+      exercising the client's torn-frame handling.
+    - [Stall d] — the daemon stalls [d] seconds before replying,
+      exercising client timeouts and queue backpressure.
+    - [Cache_rot] — the request's cached checkpoint artifact is
+      corrupted before lookup; the daemon must serve it as a miss. *)
+type service =
+  | Kill_worker of int
+  | Torn_reply
+  | Stall of float
+  | Cache_rot
+
 exception Injected of int
 (** Carries the ordinal of the murdered task. *)
 
@@ -60,3 +79,31 @@ val crash_pending : unit -> bool
 val check_crash : unit -> unit
 (** Consume a pending crash: raises {!Crashed} if one fired, else no-op.
     Drivers call this at quiescent points, {e before} committing state. *)
+
+(** {2 Service-layer plan}
+
+    Independent of the task plan: arming one never perturbs the other,
+    and {!disarm} does not clear the service plan (use
+    {!disarm_service}). [Delay] faults and supervisor backoffs are
+    accounted on the monotonic {!Pbca_obs.Clock}, so injected service
+    stalls line up with trace spans. *)
+
+val arm_service_at : (int * service) list -> unit
+(** Fault exactly the given request ordinals (resets the request
+    counter). *)
+
+val arm_service : seed:int -> n:int -> window:int -> service list -> unit
+(** Seed-driven: fault [n] distinct request ordinals drawn uniformly
+    from [\[0, window)], each assigned a fault from [services] by the
+    same deterministic stream. The same seed always builds the same
+    plan. *)
+
+val disarm_service : unit -> unit
+val service_armed : unit -> bool
+
+val service_next : unit -> service option
+(** Called by the daemon once per admitted work request; returns the
+    fault planned for this request ordinal, if any. *)
+
+val service_injected_count : unit -> int
+(** Service faults drawn since arming. *)

@@ -20,7 +20,27 @@ type report = { r_id : string; r_outcome : outcome; r_restarts : int }
 let backoff_delay cfg k =
   Float.min cfg.backoff_cap_s (cfg.backoff_base_s *. (2. ** float_of_int k))
 
-let run_job ~trace cfg job =
+(* Deadline-based on the monotonic clock and polled in small slices, so a
+   drain/shutdown request interrupts the wait within ~2ms instead of the
+   domain sitting in one long [Unix.sleepf]. The iteration cap bounds the
+   real wall spent here even when a test has a frozen fake clock
+   installed (the deadline would then never arrive). *)
+let wait_backoff ~should_stop delay =
+  let slice = 0.002 in
+  let deadline = Pbca_obs.Clock.now () +. delay in
+  let max_iters = 1 + int_of_float (ceil (delay /. slice)) in
+  let rec go i =
+    if i < max_iters && not (should_stop ()) then begin
+      let remaining = deadline -. Pbca_obs.Clock.now () in
+      if remaining > 0.0 then begin
+        Unix.sleepf (Float.min remaining slice);
+        go (i + 1)
+      end
+    end
+  in
+  go 0
+
+let run_job ~trace ~should_stop cfg job =
   let rec go attempt =
     let outcome =
       (* one span per attempt: restarts show up as repeated supervisor
@@ -33,16 +53,22 @@ let run_job ~trace cfg job =
     match outcome with
     | Ok_clean | Ok_degraded | Rejected _ ->
       { r_id = job.j_id; r_outcome = outcome; r_restarts = attempt }
-    | Crashed _ when attempt < cfg.max_restarts ->
-      Unix.sleepf (backoff_delay cfg attempt);
-      go (attempt + 1)
+    | Crashed _ when attempt < cfg.max_restarts && not (should_stop ()) ->
+      wait_backoff ~should_stop (backoff_delay cfg attempt);
+      (* a drain that arrived during the backoff wins: the job keeps its
+         crashed outcome instead of starting an attempt nobody will wait
+         for *)
+      if should_stop () then
+        { r_id = job.j_id; r_outcome = outcome; r_restarts = attempt }
+      else go (attempt + 1)
     | Crashed _ ->
       { r_id = job.j_id; r_outcome = outcome; r_restarts = attempt }
   in
   go 0
 
-let run ?(config = default_config) ?(trace = Pbca_obs.Trace.disabled) jobs =
-  List.map (run_job ~trace config) jobs
+let run ?(config = default_config) ?(trace = Pbca_obs.Trace.disabled)
+    ?(should_stop = fun () -> false) jobs =
+  List.map (run_job ~trace ~should_stop config) jobs
 
 let exit_code = function
   | Ok_clean -> 0

@@ -45,12 +45,23 @@ val backoff_delay : config -> int -> float
     [min cap (base *. 2. ** k)]. Exposed for tests. *)
 
 val run :
-  ?config:config -> ?trace:Pbca_obs.Trace.t -> job list -> report list
+  ?config:config ->
+  ?trace:Pbca_obs.Trace.t ->
+  ?should_stop:(unit -> bool) ->
+  job list ->
+  report list
 (** Run every job under supervision, in order, returning one report per
     job (same order). Never raises: a job that exhausts its restarts is
     reported with its last [Crashed] outcome. With [?trace], each
     attempt records a ["supervisor"]-phase span named [job_id#attempt],
-    so restarts and their backoff gaps are visible in the trace. *)
+    so restarts and their backoff gaps are visible in the trace.
+
+    [?should_stop] makes the backoff wait interruptible: the wait is
+    deadline-based on the monotonic {!Pbca_obs.Clock} and polled in
+    ~2ms slices, and once [should_stop ()] turns true no further restart
+    is attempted — the job finishes with its last [Crashed] outcome.
+    This is what lets a draining daemon (bserve) never hang on a retry
+    sleep: in-flight attempts finish, queued backoffs cut short. *)
 
 val exit_code : outcome -> int
 (** Map an outcome to the bparse exit contract: 0 / 1 / 2 / 3. *)

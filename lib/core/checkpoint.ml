@@ -1,7 +1,7 @@
 module Parse_error = Pbca_binfmt.Parse_error
 
 let magic = "PBCK"
-let version = 1
+let version = 2
 
 type snapshot = {
   cp_round : int;
@@ -42,10 +42,12 @@ let counter_cells (s : Cfg.stats) =
 
 (* ------------------------------------------------------------------ *)
 (* Materialization: the live (quiescent) graph compacted to an op
-   stream. Only live state is described — dead edges, watcher lists,
-   waiter lists and return statuses are all reconstructed by the resumed
-   traversal, and the journal's dead/move ops have already been applied
-   to whatever produced this graph.                                     *)
+   stream. Only live state is described — dead edges, watcher lists and
+   waiter lists are all reconstructed by the resumed traversal, and the
+   journal's dead/move ops have already been applied to whatever
+   produced this graph. Resolved return statuses ARE recorded (v2):
+   they are monotone facts at the quiescent point, and replaying them
+   lets a complete artifact skip the traversal re-seeding entirely.     *)
 
 let materialize_ops ~pending (g : Cfg.t) =
   let ops = ref [] in
@@ -91,6 +93,17 @@ let materialize_ops ~pending (g : Cfg.t) =
              name = f.Cfg.f_name;
              from_symtab = f.Cfg.f_from_symtab;
            }))
+    (Cfg.funcs_list g);
+  List.iter
+    (fun (f : Cfg.func) ->
+      (* Returns only: it is the one monotone status. Noreturn at this
+         quiescent point may just mean "return point not found yet" under
+         a cut deadline — a resumed walk must be free to overturn it,
+         and set_returns only flips Unset. *)
+      match Atomic.get f.Cfg.f_ret with
+      | Cfg.Returns ->
+        push (Journal.Op_ret { entry = f.Cfg.f_entry_addr; status = 1 })
+      | Cfg.Unset | Cfg.Noreturn -> ())
     (Cfg.funcs_list g);
   List.iter
     (fun (addr, deadline) -> push (Journal.Op_degraded { addr; deadline }))

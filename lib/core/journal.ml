@@ -10,6 +10,7 @@ type op =
   | Op_func of { entry : int; name : string; from_symtab : bool }
   | Op_jt_pending of { end_ : int; reg : int }
   | Op_degraded of { addr : int; deadline : bool }
+  | Op_ret of { entry : int; status : int }
   | Op_commit of int
 
 let magic = "PBCJ"
@@ -48,6 +49,7 @@ let tag_of_op = function
   | Op_func _ -> 7
   | Op_jt_pending _ -> 8
   | Op_degraded _ -> 9
+  | Op_ret _ -> 11
   | Op_commit _ -> 10
 
 let add_addr b a = Buffer.add_int64_le b (Int64.of_int a)
@@ -102,6 +104,9 @@ let encode_payload buf ~seq op =
   | Op_degraded { addr; deadline } ->
     add_addr buf addr;
     Buffer.add_uint8 buf (if deadline then 1 else 0)
+  | Op_ret { entry; status } ->
+    add_addr buf entry;
+    Buffer.add_uint8 buf status
   | Op_commit round -> Buffer.add_int32_le buf (Int32.of_int round)
 
 let append_record buf ~seq op =
@@ -202,6 +207,11 @@ let decode_payload b =
     | 10 ->
       let round, _ = get_i32 b pos in
       Op_commit round
+    | 11 ->
+      let entry, pos = get_addr b pos in
+      let st, _ = get_u8 b pos in
+      if st <> 1 && st <> 2 then raise Short;
+      Op_ret { entry; status = st }
     | _ -> raise Short
   in
   (seq, op)

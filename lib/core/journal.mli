@@ -45,6 +45,14 @@ type op =
   | Op_degraded of { addr : int; deadline : bool }
       (** degradation mark; [deadline] marks are dropped on resume because
           the lost work is re-done under the renewed deadline *)
+  | Op_ret of { entry : int; status : int }
+      (** function return status at a quiescent point; only 1 = [Returns]
+          is ever emitted (checkpoint materialization, never live
+          journaling). [Returns] is the one monotone status — a return
+          point was decoded, which no amount of further work un-decodes —
+          so replaying it is always safe; [Noreturn] is a quiescence
+          default that a resumed traversal may legitimately overturn, so
+          it stays derived *)
   | Op_commit of int  (** round barrier: everything before this is durable *)
 
 val magic : string

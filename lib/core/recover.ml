@@ -92,7 +92,20 @@ let apply (g : Cfg.t) plan ~on_jt_pending =
       Some e
   in
   let deadline_marks = ref [] in
-  let block a = fst (Cfg.find_or_create_block g a) in
+  (* Replay is single-threaded over a graph nobody else sees, so a plain
+     hashtable can front the concurrent block map: the op stream touches
+     each block several times (creation, end, terminator, every incident
+     edge) and the memoized lookup makes replay cheaper than the decode
+     work it replaces. *)
+  let known : (int, Cfg.block) Hashtbl.t = Hashtbl.create 4096 in
+  let block a =
+    match Hashtbl.find_opt known a with
+    | Some b -> b
+    | None ->
+      let b = fst (Cfg.find_or_create_block g a) in
+      Hashtbl.add known a b;
+      b
+  in
   List.iter
     (fun op ->
       incr replayed;
@@ -132,6 +145,14 @@ let apply (g : Cfg.t) plan ~on_jt_pending =
         if deadline then deadline_marks := addr :: !deadline_marks
         else Cfg.mark_degraded g addr
       | Journal.Op_jt_pending { end_; reg } -> on_jt_pending ~end_ ~reg
+      | Journal.Op_ret { entry; status } -> (
+        (* checkpoint-only op; Op_func for [entry] precedes it in the
+           materialized stream, so a miss means damage — skip, the
+           resumed traversal re-derives the status. Only Returns (1) is
+           applied: Noreturn is never emitted and would not be safe. *)
+        match Addr_map.find g.Cfg.funcs entry with
+        | Some f when status = 1 -> Atomic.set f.Cfg.f_ret Cfg.Returns
+        | _ -> ())
       | Journal.Op_commit _ -> ())
     plan.pl_ops;
   (* Deadline-degraded degenerate blocks go back to candidates: their cut

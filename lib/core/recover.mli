@@ -49,7 +49,13 @@ val apply :
     (also added to [stats.replayed_ops]; [stats.resume_count] becomes
     [pl_resume_count + 1]).
 
-    Watcher lists, waiter lists, visited sets and return statuses are
-    deliberately {e not} persisted: the resumed parse re-seeds every
-    function's traversal, which rebuilds them (and the return-status
-    fixed point) from the recovered graph. *)
+    Watcher lists, waiter lists and visited sets are deliberately {e not}
+    persisted: the resumed parse re-seeds every function's traversal,
+    which rebuilds them from the recovered graph. [Returns] statuses
+    resolved at the checkpoint's quiescent point {e are} replayed
+    (checkpoint v2, [Op_ret]) — a decoded return point is a monotone
+    fact, so re-seeding merely confirms it, and a complete artifact (no
+    pending frontier, no candidates) can skip the re-walk altogether and
+    go straight to finalization (the serve-layer cache-hit path).
+    [Noreturn] stays derived: under a cut deadline it may only mean "not
+    found yet", and a replayed Noreturn would pin set_returns shut. *)

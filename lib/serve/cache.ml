@@ -1,0 +1,147 @@
+module Recover = Pbca_core.Recover
+
+(* Two tiers: the disk artifacts (durable, CRC-checked, survive restart)
+   and a bounded in-memory map of already-decoded plans in front of them.
+   The memory tier only ever holds plans that came from a successful disk
+   load or promote, so it can never outlive the artifact's integrity
+   guarantees — every mutation of the disk layer (promote, drop, rot,
+   clear) invalidates it first. *)
+
+let mem_cap = 64
+
+type t = {
+  dir : string;
+  seq : int Atomic.t;  (* unique staging suffixes within one daemon *)
+  mem : (string, Recover.plan) Hashtbl.t;
+  mem_mu : Mutex.t;
+}
+
+let create ~dir =
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  { dir; seq = Atomic.make 0; mem = Hashtbl.create 16; mem_mu = Mutex.create () }
+
+let with_mem t f =
+  Mutex.lock t.mem_mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mem_mu) (fun () -> f ())
+
+let mem_find t k = with_mem t (fun () -> Hashtbl.find_opt t.mem k)
+
+let mem_store t k plan =
+  with_mem t (fun () ->
+      if Hashtbl.length t.mem >= mem_cap then Hashtbl.reset t.mem;
+      Hashtbl.replace t.mem k plan)
+
+let mem_evict t k = with_mem t (fun () -> Hashtbl.remove t.mem k)
+
+(* Content digest: two FNV-1a 64 passes with distinct offset bases, hex
+   concatenated. Not cryptographic — the threat model is accidental
+   collision across distinct analysis inputs, and 128 bits of mixed state
+   over the full image bytes is ample for that. *)
+let fnv1a64 ~basis b =
+  let h = ref basis in
+  for i = 0 to Bytes.length b - 1 do
+    h := Int64.mul
+        (Int64.logxor !h (Int64.of_int (Char.code (Bytes.unsafe_get b i))))
+        0x100000001B3L
+  done;
+  !h
+
+let key image =
+  Printf.sprintf "%016Lx%016Lx"
+    (fnv1a64 ~basis:0xCBF29CE484222325L image)
+    (fnv1a64 ~basis:0x9AE16A3B2F90404FL image)
+
+let checkpoint_path t k = Filename.concat t.dir (k ^ ".cp")
+let journal_path t k = Filename.concat t.dir (k ^ ".journal")
+
+type staged = { st_checkpoint : string; st_journal : string }
+
+let stage t k =
+  let n = Atomic.fetch_and_add t.seq 1 in
+  let tmp ext =
+    Filename.concat t.dir (Printf.sprintf ".stage-%s-%d%s" k n ext)
+  in
+  { st_checkpoint = tmp ".cp"; st_journal = tmp ".journal" }
+
+let unlink_quiet p = try Unix.unlink p with Unix.Unix_error _ -> ()
+
+(* Promotion is rename-into-place: a concurrent reader either sees the old
+   complete artifact pair or the new one, never a half-written file. The
+   pair is not atomic as a unit, but [lookup] treats any inconsistency as
+   a miss, so the worst case is one wasted recompute. *)
+let promote t k staged =
+  mem_evict t k;
+  try
+    Unix.rename staged.st_checkpoint (checkpoint_path t k);
+    Unix.rename staged.st_journal (journal_path t k);
+    true
+  with Unix.Unix_error _ ->
+    unlink_quiet staged.st_checkpoint;
+    unlink_quiet staged.st_journal;
+    false
+
+let discard staged =
+  unlink_quiet staged.st_checkpoint;
+  unlink_quiet staged.st_journal
+
+let file_exists p = try (Unix.stat p).Unix.st_kind = Unix.S_REG with _ -> false
+
+let drop t k =
+  mem_evict t k;
+  unlink_quiet (checkpoint_path t k);
+  unlink_quiet (journal_path t k)
+
+(* Corruption is a MISS, never an error: the artifacts are a derived
+   acceleration structure, so a rotten checkpoint must cost a recompute,
+   not a failed request. Recover's own trust model (checkpoint
+   authoritative, journal advisory) surfaces damage as a structured
+   error; we translate that to eviction + None. *)
+let lookup t k =
+  match mem_find t k with
+  | Some plan -> Some plan
+  | None ->
+    let cp = checkpoint_path t k in
+    if not (file_exists cp) then None
+    else
+      let j = journal_path t k in
+      let src =
+        { Recover.src_checkpoint = Some cp;
+          src_journal = (if file_exists j then Some j else None) }
+      in
+      (match Recover.load src with
+      | Ok plan ->
+        mem_store t k plan;
+        Some plan
+      | Error _ | (exception _) ->
+        drop t k;
+        None)
+
+(* Fault-injection helper: rot the cached checkpoint bytes in place the
+   way Mutate.corrupt_artifact damages recovery artifacts. *)
+let rot ~rng t k =
+  mem_evict t k;
+  let cp = checkpoint_path t k in
+  if file_exists cp then begin
+    let ic = open_in_bin cp in
+    let n = in_channel_length ic in
+    let b = Bytes.create n in
+    really_input ic b 0 n;
+    close_in ic;
+    let rotten = Pbca_codegen.Mutate.corrupt_artifact ~rng b in
+    let oc = open_out_bin cp in
+    output_bytes oc rotten;
+    close_out oc;
+    true
+  end
+  else false
+
+let clear t =
+  with_mem t (fun () -> Hashtbl.reset t.mem);
+  match Sys.readdir t.dir with
+  | entries ->
+    Array.iter
+      (fun e ->
+        if Filename.check_suffix e ".cp" || Filename.check_suffix e ".journal"
+        then unlink_quiet (Filename.concat t.dir e))
+      entries
+  | exception Sys_error _ -> ()

@@ -1,0 +1,58 @@
+(** Content-addressed result cache for the bserve daemon.
+
+    Maps an image digest to the PR4 durability artifacts of a completed
+    parse (checkpoint + journal). A hit replays the artifacts through
+    {!Pbca_core.Recover} instead of re-running block discovery and the
+    jump-table fixpoint from scratch; any damage — torn files, bit rot,
+    version skew — is treated as a {e miss} (evict and recompute), never
+    an error, because the cache is a derived acceleration structure.
+
+    Two tiers: the disk artifacts are the durable, CRC-checked layer
+    that survives restart; a small bounded in-memory map of decoded
+    plans fronts them, so steady-state hits skip file IO and record
+    decoding. Every disk-layer mutation (promote, drop, rot, clear)
+    invalidates the memory tier first, so a cached plan never outlives
+    the artifact it was decoded from.
+
+    Concurrency: artifacts are written to unique staging paths and
+    promoted with [rename], so a concurrent {!lookup} sees either the
+    complete old pair or the complete new pair. Only clean, undegraded
+    results should be promoted (degraded CFGs encode a deadline cut that
+    the next request may not suffer). *)
+
+type t
+
+val create : dir:string -> t
+(** Create/open a cache directory (made if absent). *)
+
+val key : Bytes.t -> string
+(** Stable content digest of an image's bytes (32 hex chars). *)
+
+val checkpoint_path : t -> string -> string
+val journal_path : t -> string -> string
+
+type staged = { st_checkpoint : string; st_journal : string }
+
+val stage : t -> string -> staged
+(** Unique staging paths for a fresh result's artifacts. *)
+
+val promote : t -> string -> staged -> bool
+(** Rename staged artifacts into place; on failure the staging files are
+    removed and [false] is returned (the cache simply stays cold). *)
+
+val discard : staged -> unit
+(** Remove staged artifacts without promoting (failed/degraded run). *)
+
+val lookup : t -> string -> Pbca_core.Recover.plan option
+(** [Some plan] when a healthy artifact pair exists; corrupt or
+    unreadable artifacts are evicted and reported as [None]. *)
+
+val drop : t -> string -> unit
+(** Evict one entry. *)
+
+val rot : rng:Pbca_codegen.Rng.t -> t -> string -> bool
+(** Fault injection: corrupt the cached checkpoint bytes in place (via
+    {!Pbca_codegen.Mutate.corrupt_artifact}). [false] if absent. *)
+
+val clear : t -> unit
+(** Remove every cached artifact. *)

@@ -1,0 +1,93 @@
+type error =
+  | Unavailable of string
+  | Timeout
+  | Torn of string
+  | Io of string
+
+let error_to_string = function
+  | Unavailable m -> Printf.sprintf "daemon unavailable (%s)" m
+  | Timeout -> "timed out waiting for reply"
+  | Torn m -> Printf.sprintf "torn/invalid reply (%s)" m
+  | Io m -> Printf.sprintf "transport error (%s)" m
+
+let connect ~sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX sock) with
+  | () -> Ok fd
+  | exception Unix.Unix_error (e, _, _) ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Error (Unavailable (Unix.error_message e))
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let read_reply_err ?timeout_s fd =
+  match Wire.read_reply ?timeout_s fd with
+  | Ok reply -> Ok reply
+  | Error Wire.Stalled -> Error Timeout
+  | Error Wire.Peer_closed -> Error (Torn "peer closed before reply")
+  | Error (Wire.Frame e) -> Error (Torn (Wire.frame_error_to_string e))
+
+let roundtrip ?(timeout_s = 30.0) ~sock req =
+  match connect ~sock with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quiet fd)
+      (fun () ->
+        match Wire.write_frame fd (Wire.encode_request req) with
+        | Error m -> Error (Io m)
+        | Ok () -> read_reply_err ~timeout_s fd)
+
+let send_raw ?(timeout_s = 30.0) ~sock frame =
+  match connect ~sock with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quiet fd)
+      (fun () ->
+        match Wire.write_frame fd frame with
+        | Error m -> Error (Io m)
+        | Ok () -> read_reply_err ~timeout_s fd)
+
+(* A deliberately misbehaving client: send only a prefix of a frame and
+   then hold the connection open for [hold_s]. The daemon's read timeout
+   must evict us without an acceptor staying hostage. *)
+let stall ?(hold_s = 0.0) ~sock frame =
+  match connect ~sock with
+  | Error e -> Error e
+  | Ok fd ->
+    Fun.protect
+      ~finally:(fun () -> close_quiet fd)
+      (fun () ->
+        let cut = max 1 (Bytes.length frame / 3) in
+        match Wire.write_frame fd (Bytes.sub frame 0 cut) with
+        | Error m -> Error (Io m)
+        | Ok () ->
+          if hold_s > 0.0 then Unix.sleepf hold_s;
+          Ok ())
+
+(* Open one connection per request and write every request before reading
+   any reply — the overload pattern the admission queue exists for. Small
+   reply frames sit in kernel socket buffers, so this cannot deadlock. *)
+let burst ?(timeout_s = 60.0) ~sock reqs =
+  let conns =
+    List.map
+      (fun req ->
+        match connect ~sock with
+        | Error e -> `Err e
+        | Ok fd -> (
+          match Wire.write_frame fd (Wire.encode_request req) with
+          | Error m ->
+            close_quiet fd;
+            `Err (Io m)
+          | Ok () -> `Fd fd))
+      reqs
+  in
+  List.map
+    (function
+      | `Err e -> Error e
+      | `Fd fd ->
+        Fun.protect
+          ~finally:(fun () -> close_quiet fd)
+          (fun () -> read_reply_err ~timeout_s fd))
+    conns

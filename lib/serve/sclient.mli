@@ -1,0 +1,36 @@
+(** Client side of the bserve protocol.
+
+    Every failure mode of the transport is a structured {!error} — the
+    daemon being down, a reply that never arrives, and torn or invalid
+    reply frames are all distinguishable, mirroring the daemon's own
+    reply-status taxonomy. *)
+
+type error =
+  | Unavailable of string  (** connect failed — daemon down or wrong path *)
+  | Timeout  (** no (complete) reply within the timeout *)
+  | Torn of string  (** reply frame truncated or failed to decode *)
+  | Io of string  (** transport write error *)
+
+val error_to_string : error -> string
+
+val roundtrip :
+  ?timeout_s:float -> sock:string -> Wire.request -> (Wire.reply, error) result
+(** One request, one reply, on a fresh connection. *)
+
+val send_raw :
+  ?timeout_s:float -> sock:string -> Bytes.t -> (Wire.reply, error) result
+(** Send arbitrary bytes as the request frame (fuzzing: garbled or
+    hand-built frames) and try to read a structured reply. *)
+
+val stall : ?hold_s:float -> sock:string -> Bytes.t -> (unit, error) result
+(** Misbehave on purpose: send a prefix of [frame], hold the connection
+    [hold_s] seconds, close. Exercises the daemon's stalled-client
+    eviction. *)
+
+val burst :
+  ?timeout_s:float ->
+  sock:string ->
+  Wire.request list ->
+  (Wire.reply, error) result list
+(** Open one connection per request, write all requests before reading
+    any reply (the overload pattern), then collect every reply. *)

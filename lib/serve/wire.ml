@@ -1,0 +1,361 @@
+module Journal = Pbca_core.Journal
+
+let magic = "PBSF"
+let version = 1
+let header_bytes = 12
+let max_payload = 1 lsl 24
+
+(* ------------------------------------------------------------------ *)
+(* Types.                                                              *)
+
+type req_kind = Parse | Hpcstruct | Binfeat | Ping | Stats | Shutdown
+
+type request = {
+  rq_kind : req_kind;
+  rq_deadline_ms : int;
+  rq_no_cache : bool;
+  rq_image : Bytes.t;
+}
+
+let request ?(deadline_ms = 0) ?(no_cache = false) ?(image = Bytes.create 0)
+    kind =
+  { rq_kind = kind; rq_deadline_ms = deadline_ms; rq_no_cache = no_cache;
+    rq_image = image }
+
+type status =
+  | Ok_clean
+  | Ok_degraded
+  | Rejected
+  | Failed
+  | Overloaded
+  | Expired
+  | Draining
+  | Bad_frame
+
+type reply = {
+  rp_status : status;
+  rp_cache_hit : bool;
+  rp_retries : int;
+  rp_wait_us : int;
+  rp_run_us : int;
+  rp_msg : string;
+  rp_body : string;
+}
+
+let reply ?(cache_hit = false) ?(retries = 0) ?(wait_us = 0) ?(run_us = 0)
+    ?(msg = "") ?(body = "") status =
+  { rp_status = status; rp_cache_hit = cache_hit; rp_retries = retries;
+    rp_wait_us = wait_us; rp_run_us = run_us; rp_msg = msg; rp_body = body }
+
+let kind_code = function
+  | Parse -> 0
+  | Hpcstruct -> 1
+  | Binfeat -> 2
+  | Ping -> 3
+  | Stats -> 4
+  | Shutdown -> 5
+
+let kind_of_code = function
+  | 0 -> Some Parse
+  | 1 -> Some Hpcstruct
+  | 2 -> Some Binfeat
+  | 3 -> Some Ping
+  | 4 -> Some Stats
+  | 5 -> Some Shutdown
+  | _ -> None
+
+let kind_name = function
+  | Parse -> "parse"
+  | Hpcstruct -> "hpcstruct"
+  | Binfeat -> "binfeat"
+  | Ping -> "ping"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+let kind_of_name = function
+  | "parse" -> Some Parse
+  | "hpcstruct" -> Some Hpcstruct
+  | "binfeat" -> Some Binfeat
+  | "ping" -> Some Ping
+  | "stats" -> Some Stats
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+let status_code = function
+  | Ok_clean -> 0
+  | Ok_degraded -> 1
+  | Rejected -> 2
+  | Failed -> 3
+  | Overloaded -> 4
+  | Expired -> 5
+  | Draining -> 6
+  | Bad_frame -> 7
+
+let status_of_code = function
+  | 0 -> Some Ok_clean
+  | 1 -> Some Ok_degraded
+  | 2 -> Some Rejected
+  | 3 -> Some Failed
+  | 4 -> Some Overloaded
+  | 5 -> Some Expired
+  | 6 -> Some Draining
+  | 7 -> Some Bad_frame
+  | _ -> None
+
+let status_name = function
+  | Ok_clean -> "ok"
+  | Ok_degraded -> "degraded"
+  | Rejected -> "rejected"
+  | Failed -> "failed"
+  | Overloaded -> "overloaded"
+  | Expired -> "expired"
+  | Draining -> "draining"
+  | Bad_frame -> "bad-frame"
+
+(* ------------------------------------------------------------------ *)
+(* Framing. [magic(4)][u32 len][u32 crc32(payload)][payload], little
+   endian, same CRC discipline as the journal.                         *)
+
+type frame_error =
+  | Bad_magic
+  | Bad_length of int
+  | Torn of string
+  | Crc_mismatch
+  | Bad_payload of string
+
+let frame_error_to_string = function
+  | Bad_magic -> "bad frame magic"
+  | Bad_length n -> Printf.sprintf "bad frame length %d" n
+  | Torn what -> Printf.sprintf "torn frame (%s)" what
+  | Crc_mismatch -> "frame crc mismatch"
+  | Bad_payload what -> Printf.sprintf "malformed payload (%s)" what
+
+let frame_of_payload payload =
+  let len = Bytes.length payload in
+  let b = Bytes.create (header_bytes + len) in
+  Bytes.blit_string magic 0 b 0 4;
+  Bytes.set_int32_le b 4 (Int32.of_int len);
+  Bytes.set_int32_le b 8 (Int32.of_int (Journal.crc32 payload 0 len));
+  Bytes.blit payload 0 b header_bytes len;
+  b
+
+(* Pure decoder over complete bytes (unit tests, garble fuzzing). *)
+let decode_frame b =
+  let n = Bytes.length b in
+  if n < header_bytes then Error (Torn "short header")
+  else if Bytes.sub_string b 0 4 <> magic then Error Bad_magic
+  else
+    let len = Int32.to_int (Bytes.get_int32_le b 4) in
+    if len < 0 || len > max_payload then Error (Bad_length len)
+    else if n < header_bytes + len then Error (Torn "short payload")
+    else
+      let crc = Int32.to_int (Bytes.get_int32_le b 8) land 0xFFFFFFFF in
+      let payload = Bytes.sub b header_bytes len in
+      if Journal.crc32 payload 0 len <> crc then Error Crc_mismatch
+      else Ok payload
+
+(* ------------------------------------------------------------------ *)
+(* Payload codecs. Cursor style shared with [Journal]: any short read
+   or bad field surfaces as a structured [Bad_payload].                *)
+
+exception Short of string
+
+let get_u8 b pos what =
+  if pos + 1 > Bytes.length b then raise (Short what);
+  (Bytes.get_uint8 b pos, pos + 1)
+
+let get_u16 b pos what =
+  if pos + 2 > Bytes.length b then raise (Short what);
+  (Bytes.get_uint16_le b pos, pos + 2)
+
+let get_u32 b pos what =
+  if pos + 4 > Bytes.length b then raise (Short what);
+  let v = Int32.to_int (Bytes.get_int32_le b pos) in
+  if v < 0 then raise (Short what);
+  (v, pos + 4)
+
+let get_bytes b pos len what =
+  if len < 0 || pos + len > Bytes.length b then raise (Short what);
+  (Bytes.sub b pos len, pos + len)
+
+let encode_request_payload r =
+  let buf = Buffer.create (64 + Bytes.length r.rq_image) in
+  Buffer.add_uint8 buf version;
+  Buffer.add_uint8 buf (kind_code r.rq_kind);
+  Buffer.add_int32_le buf (Int32.of_int r.rq_deadline_ms);
+  Buffer.add_uint8 buf (if r.rq_no_cache then 1 else 0);
+  Buffer.add_int32_le buf (Int32.of_int (Bytes.length r.rq_image));
+  Buffer.add_bytes buf r.rq_image;
+  Buffer.to_bytes buf
+
+let decode_request_payload b =
+  try
+    let v, pos = get_u8 b 0 "version" in
+    if v <> version then
+      Error (Bad_payload (Printf.sprintf "unsupported version %d" v))
+    else
+      let kc, pos = get_u8 b pos "kind" in
+      match kind_of_code kc with
+      | None -> Error (Bad_payload (Printf.sprintf "unknown request kind %d" kc))
+      | Some kind ->
+        let deadline_ms, pos = get_u32 b pos "deadline" in
+        let flags, pos = get_u8 b pos "flags" in
+        let ilen, pos = get_u32 b pos "image length" in
+        let image, pos = get_bytes b pos ilen "image bytes" in
+        if pos <> Bytes.length b then Error (Bad_payload "trailing bytes")
+        else
+          Ok
+            {
+              rq_kind = kind;
+              rq_deadline_ms = deadline_ms;
+              rq_no_cache = flags land 1 <> 0;
+              rq_image = image;
+            }
+  with Short what -> Error (Bad_payload what)
+
+let encode_reply_payload r =
+  let buf = Buffer.create (64 + String.length r.rp_body) in
+  Buffer.add_uint8 buf version;
+  Buffer.add_uint8 buf (status_code r.rp_status);
+  Buffer.add_uint8 buf (if r.rp_cache_hit then 1 else 0);
+  Buffer.add_uint8 buf (min r.rp_retries 0xff);
+  Buffer.add_int32_le buf (Int32.of_int r.rp_wait_us);
+  Buffer.add_int32_le buf (Int32.of_int r.rp_run_us);
+  let msg =
+    if String.length r.rp_msg > 0xffff then String.sub r.rp_msg 0 0xffff
+    else r.rp_msg
+  in
+  Buffer.add_uint16_le buf (String.length msg);
+  Buffer.add_string buf msg;
+  Buffer.add_int32_le buf (Int32.of_int (String.length r.rp_body));
+  Buffer.add_string buf r.rp_body;
+  Buffer.to_bytes buf
+
+let decode_reply_payload b =
+  try
+    let v, pos = get_u8 b 0 "version" in
+    if v <> version then
+      Error (Bad_payload (Printf.sprintf "unsupported version %d" v))
+    else
+      let sc, pos = get_u8 b pos "status" in
+      match status_of_code sc with
+      | None -> Error (Bad_payload (Printf.sprintf "unknown status %d" sc))
+      | Some status ->
+        let flags, pos = get_u8 b pos "flags" in
+        let retries, pos = get_u8 b pos "retries" in
+        let wait_us, pos = get_u32 b pos "wait" in
+        let run_us, pos = get_u32 b pos "run" in
+        let mlen, pos = get_u16 b pos "msg length" in
+        let msg, pos = get_bytes b pos mlen "msg bytes" in
+        let blen, pos = get_u32 b pos "body length" in
+        let body, pos = get_bytes b pos blen "body bytes" in
+        if pos <> Bytes.length b then Error (Bad_payload "trailing bytes")
+        else
+          Ok
+            {
+              rp_status = status;
+              rp_cache_hit = flags land 1 <> 0;
+              rp_retries = retries;
+              rp_wait_us = wait_us;
+              rp_run_us = run_us;
+              rp_msg = Bytes.to_string msg;
+              rp_body = Bytes.to_string body;
+            }
+  with Short what -> Error (Bad_payload what)
+
+let encode_request r = frame_of_payload (encode_request_payload r)
+let encode_reply r = frame_of_payload (encode_reply_payload r)
+
+let decode_request b =
+  Result.bind (decode_frame b) decode_request_payload
+
+let decode_reply b = Result.bind (decode_frame b) decode_reply_payload
+
+(* ------------------------------------------------------------------ *)
+(* Blocking fd IO with timeouts.                                       *)
+
+type io_error = Frame of frame_error | Stalled | Peer_closed
+
+let io_error_to_string = function
+  | Frame e -> frame_error_to_string e
+  | Stalled -> "peer stalled (read timeout)"
+  | Peer_closed -> "peer closed the connection"
+
+let set_timeouts fd timeout_s =
+  if timeout_s > 0.0 then begin
+    (try Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout_s
+     with Unix.Unix_error _ -> ());
+    try Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout_s
+    with Unix.Unix_error _ -> ()
+  end
+
+(* [read_exact] distinguishes the three failure shapes the daemon and the
+   client both need: a clean EOF before any byte ([`Closed]), an EOF or
+   error partway through a frame ([`Torn]), and a receive timeout
+   ([`Stalled]). *)
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off = n then `Ok b
+    else
+      match Unix.read fd b off (n - off) with
+      | 0 -> if off = 0 then `Closed else `Torn
+      | k -> go (off + k)
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        `Stalled
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception Unix.Unix_error (_, _, _) ->
+        if off = 0 then `Closed else `Torn
+  in
+  go 0
+
+let read_frame ?timeout_s fd =
+  (match timeout_s with Some t -> set_timeouts fd t | None -> ());
+  match read_exact fd header_bytes with
+  | `Closed -> Error Peer_closed
+  | `Stalled -> Error Stalled
+  | `Torn -> Error (Frame (Torn "short header"))
+  | `Ok hdr ->
+    if Bytes.sub_string hdr 0 4 <> magic then Error (Frame Bad_magic)
+    else
+      let len = Int32.to_int (Bytes.get_int32_le hdr 4) in
+      if len < 0 || len > max_payload then Error (Frame (Bad_length len))
+      else
+        let crc = Int32.to_int (Bytes.get_int32_le hdr 8) land 0xFFFFFFFF in
+        (match read_exact fd len with
+        | `Closed | `Torn -> Error (Frame (Torn "short payload"))
+        | `Stalled -> Error Stalled
+        | `Ok payload ->
+          if Journal.crc32 payload 0 len <> crc then
+            Error (Frame Crc_mismatch)
+          else Ok payload)
+
+let write_all fd b off len =
+  let rec go off len =
+    if len = 0 then Ok ()
+    else
+      match Unix.write fd b off len with
+      | k -> go (off + k) (len - k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off len
+      | exception Unix.Unix_error (e, _, _) ->
+        Error (Unix.error_message e)
+  in
+  go off len
+
+let write_frame fd frame = write_all fd frame 0 (Bytes.length frame)
+
+let read_request ?timeout_s fd =
+  match read_frame ?timeout_s fd with
+  | Error e -> Error e
+  | Ok payload -> (
+    match decode_request_payload payload with
+    | Ok r -> Ok r
+    | Error e -> Error (Frame e))
+
+let read_reply ?timeout_s fd =
+  match read_frame ?timeout_s fd with
+  | Error e -> Error e
+  | Ok payload -> (
+    match decode_reply_payload payload with
+    | Ok r -> Ok r
+    | Error e -> Error (Frame e))

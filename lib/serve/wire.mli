@@ -1,0 +1,129 @@
+(** The bserve wire protocol: CRC-framed, length-prefixed messages over a
+    unix-domain socket.
+
+    One frame is [[magic "PBSF"][u32 len][u32 crc32(payload)][payload]],
+    little endian, with the same CRC32 (IEEE 802.3) discipline as the
+    {!Pbca_core.Journal}: a frame whose CRC does not match its payload is
+    rejected as a unit, never partially decoded. Decoding is total — every
+    hostile input maps to a structured {!frame_error}, never an exception
+    — which is what lets the daemon answer garbage with a [Bad_frame]
+    reply instead of dying.
+
+    The pure [decode_*] functions operate on complete byte strings (unit
+    tests, {!Pbca_codegen.Mutate.garble_frame} fuzzing); the [read_*] /
+    [write_*] functions do blocking fd IO with an optional receive
+    timeout, mapping short reads and timeouts to structured
+    {!io_error}s. *)
+
+val magic : string
+val version : int
+
+val header_bytes : int
+(** Frame header size: magic + length + CRC. *)
+
+val max_payload : int
+(** Upper bound on a frame's payload length; a length field beyond it is
+    rejected without allocating. *)
+
+(** {2 Requests} *)
+
+type req_kind = Parse | Hpcstruct | Binfeat | Ping | Stats | Shutdown
+
+type request = {
+  rq_kind : req_kind;
+  rq_deadline_ms : int;  (** 0 = server default *)
+  rq_no_cache : bool;  (** bypass the result cache for this request *)
+  rq_image : Bytes.t;  (** serialized SBF image; empty for control kinds *)
+}
+
+val request :
+  ?deadline_ms:int -> ?no_cache:bool -> ?image:Bytes.t -> req_kind -> request
+
+val kind_name : req_kind -> string
+val kind_of_name : string -> req_kind option
+
+(** {2 Replies} *)
+
+(** Reply status taxonomy — every way a request can end, each structured:
+    - [Ok_clean]: full-fidelity result.
+    - [Ok_degraded]: result produced under a budget/deadline cut (the
+      safe over-approximation); body still well-formed.
+    - [Rejected]: the request itself is unserviceable (bad image,
+      unsupported kind) — retrying is pointless.
+    - [Failed]: the worker crashed on every allowed attempt.
+    - [Overloaded]: admission queue full — load was shed; retry later.
+    - [Expired]: the deadline passed before or during service.
+    - [Draining]: the daemon is shutting down and admits no new work.
+    - [Bad_frame]: the request frame or payload failed to decode. *)
+type status =
+  | Ok_clean
+  | Ok_degraded
+  | Rejected
+  | Failed
+  | Overloaded
+  | Expired
+  | Draining
+  | Bad_frame
+
+type reply = {
+  rp_status : status;
+  rp_cache_hit : bool;
+  rp_retries : int;  (** worker restarts consumed by this request *)
+  rp_wait_us : int;  (** admission-to-start queue wait *)
+  rp_run_us : int;  (** service time *)
+  rp_msg : string;  (** human-readable detail (error replies) *)
+  rp_body : string;  (** result payload (fingerprint line, XML, digest) *)
+}
+
+val reply :
+  ?cache_hit:bool ->
+  ?retries:int ->
+  ?wait_us:int ->
+  ?run_us:int ->
+  ?msg:string ->
+  ?body:string ->
+  status ->
+  reply
+
+val status_code : status -> int
+val status_name : status -> string
+val status_of_code : int -> status option
+
+(** {2 Pure codecs} *)
+
+type frame_error =
+  | Bad_magic
+  | Bad_length of int
+  | Torn of string
+  | Crc_mismatch
+  | Bad_payload of string
+
+val frame_error_to_string : frame_error -> string
+
+val frame_of_payload : Bytes.t -> Bytes.t
+(** Wrap a payload in a frame header. *)
+
+val decode_frame : Bytes.t -> (Bytes.t, frame_error) result
+(** Total: any byte string maps to a payload or a structured error. *)
+
+val encode_request : request -> Bytes.t
+val encode_reply : reply -> Bytes.t
+val decode_request : Bytes.t -> (request, frame_error) result
+val decode_reply : Bytes.t -> (reply, frame_error) result
+
+(** {2 Blocking fd IO} *)
+
+type io_error =
+  | Frame of frame_error
+  | Stalled  (** receive timeout expired mid-frame *)
+  | Peer_closed  (** clean EOF before any byte of a frame *)
+
+val io_error_to_string : io_error -> string
+
+val read_frame : ?timeout_s:float -> Unix.file_descr -> (Bytes.t, io_error) result
+val read_request : ?timeout_s:float -> Unix.file_descr -> (request, io_error) result
+val read_reply : ?timeout_s:float -> Unix.file_descr -> (reply, io_error) result
+
+val write_frame : Unix.file_descr -> Bytes.t -> (unit, string) result
+(** Write a complete frame; [Error] carries the [Unix] error message.
+    SIGPIPE must be ignored by the process (the daemon does this). *)

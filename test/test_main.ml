@@ -19,4 +19,5 @@ let () =
       ("recovery", Test_recovery.suite);
       ("apps", Test_apps.suite);
       ("pipeline", Test_pipeline.suite);
+      ("serve", Test_serve.suite);
     ]
