@@ -11,27 +11,44 @@ let profiles =
     ("default", Pbca_codegen.Profile.default);
   ]
 
-let generate_one dir profile =
-  let r = Pbca_codegen.Emit.generate profile in
-  let path = Filename.concat dir (profile.Pbca_codegen.Profile.name ^ ".sbf") in
+let save_one dir (r : Pbca_codegen.Emit.result) name =
+  let path = Filename.concat dir (name ^ ".sbf") in
   Pbca_binfmt.Image.save r.image path;
   Printf.printf "%s: %d bytes (%d functions, %d jump tables)\n" path
     (Pbca_binfmt.Image.total_size r.image)
     (List.length r.ground_truth.gt_funcs)
     (List.length r.ground_truth.gt_tables)
 
-let run dir profile corpus count seed funcs =
+let generate_one ~strip dir profile =
+  let r = Pbca_codegen.Emit.generate profile in
+  let r = if strip then Pbca_codegen.Family.strip r else r in
+  save_one dir r profile.Pbca_codegen.Profile.name
+
+let run dir profile corpus family count seed funcs strip =
   if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
   (match corpus with
   | Some "coreutils" ->
     for i = 0 to count - 1 do
-      generate_one dir (Pbca_codegen.Profile.coreutils_like i)
+      generate_one ~strip dir (Pbca_codegen.Profile.coreutils_like i)
     done
   | Some "forensics" ->
     for i = 0 to count - 1 do
-      generate_one dir (Pbca_codegen.Profile.forensics_member i)
+      generate_one ~strip dir (Pbca_codegen.Profile.forensics_member i)
     done
   | Some other -> Printf.eprintf "unknown corpus %s\n" other
+  | None -> ());
+  (match family with
+  | Some name -> (
+    match Pbca_codegen.Family.name_of_string name with
+    | Some fam ->
+      for i = 0 to count - 1 do
+        let r = Pbca_codegen.Family.generate fam i in
+        let r = if strip then Pbca_codegen.Family.strip r else r in
+        save_one dir r (Pbca_codegen.Family.profile fam i).Pbca_codegen.Profile.name
+      done
+    | None ->
+      Printf.eprintf "unknown family %s (stripped, overlap, obfuscated)\n"
+        name)
   | None -> ());
   match profile with
   | Some name -> (
@@ -41,7 +58,7 @@ let run dir profile corpus count seed funcs =
       let p =
         match funcs with Some n -> { p with n_funcs = n } | None -> p
       in
-      generate_one dir p
+      generate_one ~strip dir p
     | None -> Printf.eprintf "unknown profile %s\n" name)
   | None -> ()
 
@@ -60,15 +77,32 @@ let corpus =
     & opt (some string) None
     & info [ "c"; "corpus" ] ~doc:"Corpus family (coreutils, forensics)")
 
+let family =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "f"; "family" ]
+        ~doc:"Wild-binary family (stripped, overlap, obfuscated)")
+
 let count = Arg.(value & opt int 10 & info [ "n" ] ~doc:"Corpus size")
 let seed = Arg.(value & opt (some int) None & info [ "seed" ] ~doc:"RNG seed")
 
 let funcs =
   Arg.(value & opt (some int) None & info [ "funcs" ] ~doc:"Function count override")
 
+let strip =
+  Arg.(
+    value & flag
+    & info [ "strip" ]
+        ~doc:
+          "Strip function symbols after generation (ground truth records \
+           the loss)")
+
 let cmd =
   Cmd.v
     (Cmd.info "bgen" ~doc:"Generate synthetic binaries with ground truth")
-    Term.(const run $ dir $ profile $ corpus $ count $ seed $ funcs)
+    Term.(
+      const run $ dir $ profile $ corpus $ family $ count $ seed $ funcs
+      $ strip)
 
 let () = exit (Cmd.eval cmd)

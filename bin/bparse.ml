@@ -8,11 +8,17 @@
    [--fault-crash N] arms a simulated kill at task ordinal N, for
    exercising the recovery path end to end.
 
-   Exit codes: 0 clean, 1 degraded (budgets hit or tasks contained: the
-   CFG is a partial over-approximation), 2 malformed input — including a
-   corrupt checkpoint under --resume — and 3 internal error or
-   unrecovered crash. Malformed input is the binary's fault; exit 3 is
-   ours. In batch mode the process exit is the worst per-file code. *)
+   Discovery: [--gap] turns on gap parsing — after the symbol-seeded
+   parse, unclaimed .text gaps are scanned for entry candidates
+   (prologue, call-target and alignment heuristics), which then flow
+   through the normal parallel traversal tagged [From_heuristic].
+
+   Exit codes: 0 clean, 1 degraded (budgets hit, tasks contained, or any
+   function resting on heuristic evidence under --gap: the CFG is a
+   partial or best-effort over-approximation), 2 malformed input —
+   including a corrupt checkpoint under --resume — and 3 internal error
+   or unrecovered crash. Malformed input is the binary's fault; exit 3
+   is ours. In batch mode the process exit is the worst per-file code. *)
 
 open Cmdliner
 module Cfg = Pbca_core.Cfg
@@ -30,6 +36,7 @@ type opts = {
   serial : bool;
   diff_with : string option;
   metrics : bool;
+  gap : bool;
 }
 
 type artifacts = { a_cp : string; a_journal : string }
@@ -126,14 +133,25 @@ let run_one ~pool ~opts ~otrace ~persist ~resume_mode ~attempt path :
         parse_wall_total := !parse_wall_total +. Clock.elapsed t0
       in
       try
+        let config =
+          if opts.gap then
+            Some { Pbca_core.Config.default with gap_parse = true }
+          else None
+        in
         let g =
-          if opts.serial then Pbca_core.Serial.parse_and_finalize image
-          else Parallel.parse_and_finalize ~otrace ?persist ?resume ~pool image
+          if opts.serial then Pbca_core.Serial.parse_and_finalize ?config image
+          else
+            Parallel.parse_and_finalize ?config ~otrace ?persist ?resume ~pool
+              image
         in
         Atomic.set g.Cfg.stats.Cfg.supervisor_restarts attempt;
         report_cfg ~opts ~dt:(Clock.elapsed t0) path g;
-        if Cfg.degraded_count g > 0 || Cfg.task_failure_count g > 0 then
-          Supervisor.Ok_degraded
+        let _, _, heuristic_funcs = Cfg.conf_counts g in
+        if
+          Cfg.degraded_count g > 0
+          || Cfg.task_failure_count g > 0
+          || heuristic_funcs > 0
+        then Supervisor.Ok_degraded
         else Supervisor.Ok_clean
       with
       | Fault.Crashed k ->
@@ -229,7 +247,7 @@ let main files opts checkpoint resume batch fault_crash trace_out =
     |> List.fold_left max 0
 
 let run files threads dump serial diff_with checkpoint resume batch fault_crash
-    trace_out metrics =
+    trace_out metrics gap =
   if files = [] then `Error (true, "at least one BINARY is required")
   else if serial && (checkpoint <> None || resume || batch || fault_crash >= 0)
   then
@@ -244,7 +262,7 @@ let run files threads dump serial diff_with checkpoint resume batch fault_crash
   else if fault_crash >= 0 && checkpoint = None then
     `Error (true, "--fault-crash requires --checkpoint")
   else
-    let opts = { threads; dump_funcs = dump; serial; diff_with; metrics } in
+    let opts = { threads; dump_funcs = dump; serial; diff_with; metrics; gap } in
     `Ok (main files opts checkpoint resume batch fault_crash trace_out)
 
 let files = Arg.(value & pos_all file [] & info [] ~docv:"BINARY")
@@ -312,12 +330,22 @@ let metrics =
     & info [ "metrics" ]
         ~doc:"Print the run's full metrics registry after each summary")
 
+let gap =
+  Arg.(
+    value & flag
+    & info [ "gap" ]
+        ~doc:
+          "Scan unclaimed .text gaps for function entries after the \
+           symbol-seeded parse (stripped binaries); discovered functions are \
+           confidence-tagged and their presence makes the run degraded \
+           (exit 1)")
+
 let cmd =
   Cmd.v
     (Cmd.info "bparse" ~doc:"Construct and summarize a binary's CFG")
     Term.(
       ret
         (const run $ files $ threads $ dump $ serial $ diff_with $ checkpoint
-       $ resume $ batch $ fault_crash $ trace_out $ metrics))
+       $ resume $ batch $ fault_crash $ trace_out $ metrics $ gap))
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,63 @@
+module Image = Pbca_binfmt.Image
+
+type name = Stripped | Overlap | Obfuscated
+
+let all = [ Stripped; Overlap; Obfuscated ]
+
+let name_of_string = function
+  | "stripped" -> Some Stripped
+  | "overlap" -> Some Overlap
+  | "obfuscated" -> Some Obfuscated
+  | _ -> None
+
+let to_string = function
+  | Stripped -> "stripped"
+  | Overlap -> "overlap"
+  | Obfuscated -> "obfuscated"
+
+(* Stripping happens after emission so the ground truth keeps exact
+   boundaries while recording that no symbol will seed the entries: every
+   function (except anything already tail-call-only) flips to
+   [gf_in_symtab = false], mirroring what the parser will actually see.
+   The image entry point survives stripping, so [main] stays seeded. *)
+let strip (r : Emit.result) : Emit.result =
+  let image = Image.strip r.Emit.image in
+  let gt = r.Emit.ground_truth in
+  let entry = r.Emit.image.Image.entry in
+  let funcs =
+    List.map
+      (fun (gf : Ground_truth.gfun) ->
+        if gf.Ground_truth.gf_entry = entry then gf
+        else { gf with Ground_truth.gf_in_symtab = false })
+      gt.Ground_truth.gt_funcs
+  in
+  let gt = { gt with Ground_truth.gt_funcs = funcs } in
+  (* the image self-describes via its .ground section: re-serialize so
+     on-disk consumers see the cleared in-symtab flags too *)
+  let gt_w = Pbca_binfmt.Bio.W.create () in
+  Ground_truth.write gt_w gt;
+  let sections =
+    List.map
+      (fun (s : Pbca_binfmt.Section.t) ->
+        if s.Pbca_binfmt.Section.name = ".ground" then
+          Pbca_binfmt.Section.make ~name:".ground"
+            ~addr:s.Pbca_binfmt.Section.addr
+            (Pbca_binfmt.Bio.W.contents gt_w)
+        else s)
+      image.Image.sections
+  in
+  let image =
+    Image.make ~name:image.Image.name ~entry:image.Image.entry ~sections
+      image.Image.symtab
+  in
+  { r with Emit.image; Emit.ground_truth = gt }
+
+let profile fam i =
+  match fam with
+  | Stripped -> Profile.stripped_like i
+  | Overlap -> Profile.overlap_like i
+  | Obfuscated -> Profile.obfuscated_like i
+
+let generate fam i =
+  let r = Emit.generate (profile fam i) in
+  match fam with Stripped -> strip r | Overlap | Obfuscated -> r

@@ -1,0 +1,28 @@
+(** Wild-binary families (PR9): generated subjects modelling the hostile
+    inputs real tools meet outside the build lab.
+
+    - [Stripped]: the function symbols are removed after emission and the
+      ground truth's [gf_in_symtab] flags are cleared to match, so the
+      parser must earn every entry except the image entry point through
+      gap parsing.
+    - [Overlap]: heavy shared-stub pressure plus both Listing-1 ambiguous
+      pairs — instruction tails claimed by several functions at once.
+    - [Obfuscated]: opaque conditional chains feeding flattened
+      jump-table dispatcher loops ([Profile.obfuscated_like]). *)
+
+type name = Stripped | Overlap | Obfuscated
+
+val all : name list
+val name_of_string : string -> name option
+val to_string : name -> string
+
+val strip : Emit.result -> Emit.result
+(** Drop the function symbols from an emitted image and clear the ground
+    truth's [gf_in_symtab] flags (the image entry point stays seeded). *)
+
+val profile : name -> int -> Profile.t
+(** The i-th member's generation profile. *)
+
+val generate : name -> int -> Emit.result
+(** Generate the i-th member of a family, stripping applied for
+    [Stripped]. *)

@@ -10,11 +10,20 @@ type kind =
   | Code_splice
   | Table_smash
   | Symbol_lies
+  | Strip_symtab
   | Artifact_rot
   | Frame_garble
 
 let image_kinds =
-  [| Header_bits; Truncate; Byte_flips; Code_splice; Table_smash; Symbol_lies |]
+  [|
+    Header_bits;
+    Truncate;
+    Byte_flips;
+    Code_splice;
+    Table_smash;
+    Symbol_lies;
+    Strip_symtab;
+  |]
 
 let all_kinds = Array.append image_kinds [| Artifact_rot; Frame_garble |]
 
@@ -25,6 +34,7 @@ let kind_name = function
   | Code_splice -> "code-splice"
   | Table_smash -> "table-smash"
   | Symbol_lies -> "symbol-lies"
+  | Strip_symtab -> "strip-symtab"
   | Artifact_rot -> "artifact-rot"
   | Frame_garble -> "frame-garble"
 
@@ -182,6 +192,14 @@ let apply ~rng kind img =
     Image.write
       (Image.make ~name:img.Image.name ~entry:img.Image.entry
          ~sections:img.Image.sections st)
+  | Strip_symtab ->
+    (* the wild's most common hostile input is not damage but absence:
+       drop the function symbols (half the time every symbol), leaving
+       the parser only the entry point — and the gap heuristics, when
+       enabled — to seed from *)
+    Image.write
+      (if Rng.bool rng 0.5 then Image.strip img
+       else Image.strip ~keep:(fun _ -> false) img)
   | Artifact_rot ->
     (* on an image this degenerates to generic byte rot; the axis is
        really aimed at recovery artifacts via {!corrupt_artifact} *)

@@ -18,6 +18,9 @@ type kind =
           non-terminating instruction sequences *)
   | Table_smash  (** replace [.rodata] words with wild addresses *)
   | Symbol_lies  (** re-point symbol offsets at arbitrary addresses *)
+  | Strip_symtab
+      (** drop the function symbols (sometimes every symbol): the
+          stripped-binary axis — absence as the hostile input *)
   | Artifact_rot
       (** corrupt a recovery artifact (checkpoint / journal): truncation,
           bit rot, garbage splices, zeroed tails *)
@@ -27,10 +30,10 @@ type kind =
           bserve wire decoder via {!garble_frame} *)
 
 val image_kinds : kind array
-(** The six image-directed axes — what {!mutate} draws from. *)
+(** The seven image-directed axes — what {!mutate} draws from. *)
 
 val all_kinds : kind array
-(** All eight axes, including [Artifact_rot] and [Frame_garble]. *)
+(** All nine axes, including [Artifact_rot] and [Frame_garble]. *)
 
 val kind_name : kind -> string
 

@@ -28,6 +28,7 @@ type t = {
   p_inline : float;
   debug_pad_per_cu : int;
   p_data_in_text : float;
+  p_flatten : float;
 }
 
 let default =
@@ -61,6 +62,7 @@ let default =
     p_inline = 0.2;
     debug_pad_per_cu = 2048;
     p_data_in_text = 0.0;
+    p_flatten = 0.0;
   }
 
 let coreutils_like i =
@@ -108,6 +110,42 @@ let forensics_member i =
       p_cold = 0.0;
     }
   else base
+
+(* The wild-binary families (PR9). Stripped members carry everything the
+   gap heuristics key on — aligned units, mostly-framed prologues — plus
+   a little data-in-text so precision is earned, not free. The stripping
+   itself happens at the Family level: the profile only shapes the code. *)
+let stripped_like i =
+  {
+    (coreutils_like i) with
+    name = Printf.sprintf "stripped_%03d" i;
+    seed = 0x57A1 + (i * 7919);
+    p_data_in_text = 0.03;
+  }
+
+let overlap_like i =
+  {
+    default with
+    name = Printf.sprintf "overlap_%03d" i;
+    seed = 0x07E1 + (i * 104729);
+    n_funcs = 40 + (i mod 40);
+    n_shared_stubs = 10;
+    sharers_per_stub = 6;
+    p_stub_tail = 0.5;
+    n_listing1 = 2;
+    with_error_style = true;
+  }
+
+let obfuscated_like i =
+  {
+    default with
+    name = Printf.sprintf "obfuscated_%03d" i;
+    seed = 0x0BF5 + (i * 7919);
+    n_funcs = 30 + (i mod 30);
+    p_flatten = 0.5;
+    p_jump_table = 0.08;
+    p_data_in_text = 0.05;
+  }
 
 (* The four Table-1 subjects, scaled down ~100x from the paper's binaries
    while keeping their relative proportions: TensorFlow is text-light but

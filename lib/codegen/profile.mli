@@ -46,6 +46,11 @@ type t = {
           between two functions: never reachable, so control-flow traversal
           skips it, but a linear sweep decodes it as garbage — the classic
           data-in-text hazard (Schwarz et al.) *)
+  p_flatten : float;
+      (** chance a function is generated obfuscated: an opaque conditional
+          chain funnelling into a flattened jump-table dispatcher loop
+          whose cases all branch back to it. 0.0 draws nothing from the
+          rng, so existing profiles are bit-identical. *)
 }
 
 val default : t
@@ -55,6 +60,18 @@ val coreutils_like : int -> t
 
 val forensics_member : int -> t
 (** Member of the 504-binary BinFeat corpus. *)
+
+val stripped_like : int -> t
+(** Member of the stripped-binary family (PR9): coreutils-shaped code with
+    some data-in-text; {!Family.stripped} drops its function symbols. *)
+
+val overlap_like : int -> t
+(** Member of the overlapping-tails family: shared stubs everywhere, both
+    Listing-1 ambiguous pairs enabled. *)
+
+val obfuscated_like : int -> t
+(** Member of the obfuscated family: half the functions are opaque-chain +
+    flattened-dispatcher shapes ([p_flatten]). *)
 
 val llnl1 : t
 val llnl2 : t

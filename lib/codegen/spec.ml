@@ -125,9 +125,54 @@ let gen_ender ctx ~fidx ~frame:_ ~i ~n rng : term =
   else if n - 1 = i || Rng.bool rng 0.9 then T_ret
   else T_ret
 
+(* Flattened / opaque obfuscated shape (PR9): an opaque conditional chain
+   (blocks 0..k-1) funnels into a jump-table dispatcher (block k) whose
+   case blocks all branch back to it; block k+1 is the bounds-check
+   default and the only exit. The dispatcher is deliberately not block 0:
+   a branch back to the entry reads as a tail call (see [block_reachable]
+   below), which would make ground truth depend on whether the image
+   still carries its symbols. *)
+let gen_flattened ctx ~fidx ~cu rng : fspec =
+  let p = ctx.p in
+  let frame = Rng.bool rng p.p_frame in
+  let k = 2 + Rng.int rng 3 in
+  let m =
+    Rng.range rng p.jt_min_targets (max p.jt_min_targets p.jt_max_targets)
+  in
+  let n = k + 2 + m in
+  let block i =
+    let body_n = Rng.range rng p.min_body_insns p.max_body_insns in
+    let body = gen_body rng ~frame body_n in
+    let term =
+      if i < k then T_cond (any_cond rng, Rng.range rng (i + 1) k)
+      else if i = k then
+        T_jumptable
+          { targets = List.init m (fun j -> k + 2 + j); spilled = false }
+      else if i = k + 1 then T_ret
+      else T_jmp k
+    in
+    { bs_body = body; bs_term = term }
+  in
+  {
+    fs_name = Printf.sprintf "fn_%04d" fidx;
+    fs_blocks = Array.init n block;
+    fs_frame = frame;
+    fs_cold = None;
+    fs_secondary = None;
+    fs_cu = cu;
+    fs_error_style = false;
+    fs_noreturn_leaf = false;
+  }
+
 let gen_function ctx ~fidx ~cu : fspec =
   let p = ctx.p in
   let rng = Rng.split ctx.rng in
+  if
+    p.p_flatten > 0.0
+    && (not (List.mem fidx ctx.noreturn_leaves))
+    && Rng.bool rng p.p_flatten
+  then gen_flattened ctx ~fidx ~cu rng
+  else
   let frame = Rng.bool rng p.p_frame in
   let noreturn_leaf = List.mem fidx ctx.noreturn_leaves in
   (* Reserve the last block as a secondary-entry region when drawn. *)

@@ -82,6 +82,27 @@ let fresh_finalize_stats () =
    work skipped because the global deadline passed. *)
 type budget_site = B_block | B_slice | B_table | B_deadline
 
+(* Provenance of a function entry: how sure we are the address really
+   starts a function. Ordered strongest first; the wire codes are part of
+   the journal/checkpoint format. *)
+type confidence = From_symbol | From_call_target | From_heuristic
+
+let conf_code = function
+  | From_symbol -> 0
+  | From_call_target -> 1
+  | From_heuristic -> 2
+
+let conf_of_code = function
+  | 0 -> From_symbol
+  | 1 -> From_call_target
+  | 2 -> From_heuristic
+  | n -> invalid_arg (Printf.sprintf "Cfg.conf_of_code: %d" n)
+
+let confidence_name = function
+  | From_symbol -> "symbol"
+  | From_call_target -> "call-target"
+  | From_heuristic -> "heuristic"
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -124,6 +145,14 @@ type stats = {
       (* microseconds consumers spent blocked on an empty channel *)
   stream_producer_block_us : int Atomic.t;
       (* microseconds producers spent blocked on a full channel *)
+  gap_gaps_scanned : int Atomic.t;
+      (* unclaimed .text gaps examined by the gap-parsing rounds *)
+  gap_entries_proposed : int Atomic.t;
+      (* entry addresses the gap heuristics proposed *)
+  gap_entries_accepted : int Atomic.t;
+      (* proposals whose parse produced a real (non-degenerate) entry *)
+  gap_entries_rejected : int Atomic.t;
+      (* proposals that decoded to nothing and were discarded *)
 }
 
 type t = {
@@ -141,6 +170,12 @@ type t = {
          over-approximation; consulted by the checker and diff tooling.
          The value records whether the mark was deadline-caused: those are
          dropped on resume because the lost work is re-done. *)
+  conf : int Addr_map.t;
+      (* function-entry confidence overrides, keyed by entry address and
+         holding a [conf_code]. Absent means derived: [From_symbol] for
+         symtab entries and the image entry point, [From_call_target]
+         otherwise. First writer wins, so a heuristic proposal tagged
+         before its function is created keeps its tag. *)
   deadline : float;
       (* absolute *monotonic* bound: [Clock.now] at create plus the
          configured budget ([infinity] when off). Monotonic, not wall: an
@@ -199,6 +234,10 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       stream_hwm = Atomic.make 0;
       stream_consumer_idle_us = Atomic.make 0;
       stream_producer_block_us = Atomic.make 0;
+      gap_gaps_scanned = Atomic.make 0;
+      gap_entries_proposed = Atomic.make 0;
+      gap_entries_accepted = Atomic.make 0;
+      gap_entries_rejected = Atomic.make 0;
     }
   in
   (* Per-run metrics registry: the scattered hot-path atomics are adopted
@@ -230,6 +269,10 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
     c "csr_deltas" stats.csr_deltas;
     c "csr_compactions" stats.csr_compactions;
     c "stream_published" stats.stream_published;
+    c "gap_gaps_scanned" stats.gap_gaps_scanned;
+    c "gap_entries_proposed" stats.gap_entries_proposed;
+    c "gap_entries_accepted" stats.gap_entries_accepted;
+    c "gap_entries_rejected" stats.gap_entries_rejected;
     (* per-stage occupancy as gauges: snapshot-time reads of the stream
        counters the pipeline drivers record after their channels close *)
     let gf = Pbca_obs.Metrics.register_gauge_fn metrics in
@@ -256,6 +299,7 @@ let create ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
       static_entries;
       ft_guard = amap ();
       degraded = amap ();
+      conf = amap ();
       deadline =
         (if config.Config.deadline_s > 0.0 then
            Pbca_obs.Clock.now () +. config.Config.deadline_s
@@ -332,6 +376,36 @@ let mark_degraded ?(deadline = false) t addr =
     jemit t (Journal.Op_degraded { addr; deadline })
 
 let unmark_degraded t addr = ignore (Addr_map.remove t.degraded addr)
+
+(* Confidence tagging. First writer wins (a heuristic proposal tagged
+   before the traversal reaches the same address keeps its tag); every
+   stored tag is journaled so resume replays it verbatim. *)
+let set_conf t addr code =
+  if addr >= 0 && Addr_map.insert_if_absent t.conf addr code then
+    jemit t (Journal.Op_conf { addr; conf = code })
+
+let conf_at t addr = Addr_map.find t.conf addr
+
+let func_confidence t (f : func) =
+  match Addr_map.find t.conf f.f_entry_addr with
+  | Some c -> conf_of_code c
+  | None ->
+    if f.f_from_symtab || f.f_entry_addr = t.image.Pbca_binfmt.Image.entry then
+      From_symbol
+    else From_call_target
+
+let conf_list t =
+  Addr_map.fold (fun a c acc -> (a, c) :: acc) t.conf [] |> List.sort compare
+
+(* (symbol, call-target, heuristic) function counts. Quiescent use only. *)
+let conf_counts t =
+  Addr_map.fold
+    (fun _ f (s, c, h) ->
+      match func_confidence t f with
+      | From_symbol -> (s + 1, c, h)
+      | From_call_target -> (s, c + 1, h)
+      | From_heuristic -> (s, c, h + 1))
+    t.funcs (0, 0, 0)
 
 let degraded_list t =
   Addr_map.fold (fun a dl acc -> (a, dl) :: acc) t.degraded []
@@ -453,7 +527,14 @@ let find_or_create_func t ~name ~from_symtab addr =
           f_blocks = [];
         })
   in
-  if created then jemit t (Journal.Op_func { entry = addr; name; from_symtab });
+  if created then begin
+    jemit t (Journal.Op_func { entry = addr; name; from_symtab });
+    (* derived-confidence entries ([From_symbol]) stay out of the map;
+       only call-target discoveries need a stored tag, and a heuristic
+       proposal that tagged this entry first keeps its tag *)
+    if (not from_symtab) && addr <> t.image.Pbca_binfmt.Image.entry then
+      set_conf t addr (conf_code From_call_target)
+  end;
   (f, created)
 
 let add_edge t ?jt src dst kind =

@@ -110,6 +110,21 @@ type finalize_stats = {
     work skipped because the global work-unit deadline passed. *)
 type budget_site = B_block | B_slice | B_table | B_deadline
 
+(** Provenance of a function entry, strongest first: named by a symbol (or
+    the image entry point), decoded as the target of a direct call in
+    already-trusted code, or proposed by the gap-parsing heuristics. The
+    wire codes ({!conf_code}) are part of the journal/checkpoint format. *)
+type confidence = From_symbol | From_call_target | From_heuristic
+
+val conf_code : confidence -> int
+(** [0 / 1 / 2] in declaration order. *)
+
+val conf_of_code : int -> confidence
+(** Raises [Invalid_argument] outside [0..2]. *)
+
+val confidence_name : confidence -> string
+(** ["symbol" / "call-target" / "heuristic"]. *)
+
 type stats = {
   insns_decoded : int Atomic.t;
   blocks_created : int Atomic.t;
@@ -172,6 +187,14 @@ type stats = {
   stream_producer_block_us : int Atomic.t;
       (** cumulative microseconds producers spent blocked on a full
           channel (backpressure: the consumers were the bottleneck) *)
+  gap_gaps_scanned : int Atomic.t;
+      (** unclaimed [.text] gaps examined by the gap-parsing rounds *)
+  gap_entries_proposed : int Atomic.t;
+      (** entry addresses the gap heuristics proposed *)
+  gap_entries_accepted : int Atomic.t;
+      (** proposals whose parse produced a real (non-degenerate) entry *)
+  gap_entries_rejected : int Atomic.t;
+      (** proposals that decoded to nothing and were discarded *)
 }
 
 type t = {
@@ -198,6 +221,12 @@ type t = {
           table left unresolved, traversal abandoned); the checker treats
           differences explained by these marks as [Expected]. The value is
           true for deadline-caused marks, which resume drops and re-does *)
+  conf : int Addr_map.t;
+      (** function-entry confidence overrides ({!conf_code} values), keyed
+          by entry address. Absent means derived: [From_symbol] for symtab
+          entries and the image entry point, [From_call_target] otherwise.
+          First writer wins and every stored tag is journaled ([Op_conf]),
+          so tags survive checkpoint/resume verbatim. *)
   deadline : float;
       (** absolute {e monotonic} bound: [Pbca_obs.Clock.now] at {!create}
           plus [Config.deadline_s]; [infinity] when the deadline is off.
@@ -264,6 +293,28 @@ val func_degraded : t -> func -> bool
 
 val task_failure_count : t -> int
 val task_failures : t -> (string * string) list
+
+(** {2 Confidence tagging} *)
+
+val set_conf : t -> int -> int -> unit
+(** [set_conf t addr code] — tag [addr] with a {!conf_code} unless it
+    already carries one (first writer wins; negative addresses dropped).
+    A winning insert is journaled as [Op_conf]. *)
+
+val conf_at : t -> int -> int option
+(** The stored tag at [addr], if any (no derivation). *)
+
+val func_confidence : t -> func -> confidence
+(** The function's effective confidence: its stored tag, else
+    [From_symbol] for symtab entries and the image entry point, else
+    [From_call_target]. *)
+
+val conf_list : t -> (int * int) list
+(** Sorted [(addr, code)] stored tags. Quiescent use only. *)
+
+val conf_counts : t -> int * int * int
+(** Function counts per confidence level, [(symbol, call_target,
+    heuristic)]. Quiescent use only. *)
 
 val past_deadline : t -> bool
 (** True once the work-unit deadline has passed (never true when off). *)

@@ -1,7 +1,11 @@
 module Parse_error = Pbca_binfmt.Parse_error
 
 let magic = "PBCK"
-let version = 2
+
+(* v3: confidence tags ([Op_conf]) materialize with the graph and the gap
+   counters join the header block. Strictly checked on load — a v2 file is
+   rejected as unsupported, never half-read. *)
+let version = 3
 
 type snapshot = {
   cp_round : int;
@@ -25,6 +29,10 @@ let counter_names =
     "budget_table";
     "journal_records";
     "replayed_ops";
+    "gap_gaps_scanned";
+    "gap_entries_proposed";
+    "gap_entries_accepted";
+    "gap_entries_rejected";
   |]
 
 let counter_cells (s : Cfg.stats) =
@@ -38,6 +46,10 @@ let counter_cells (s : Cfg.stats) =
     s.Cfg.budget_table;
     s.Cfg.journal_records;
     s.Cfg.replayed_ops;
+    s.Cfg.gap_gaps_scanned;
+    s.Cfg.gap_entries_proposed;
+    s.Cfg.gap_entries_accepted;
+    s.Cfg.gap_entries_rejected;
   |]
 
 (* ------------------------------------------------------------------ *)
@@ -47,7 +59,10 @@ let counter_cells (s : Cfg.stats) =
    journal's dead/move ops have already been applied to whatever
    produced this graph. Resolved return statuses ARE recorded (v2):
    they are monotone facts at the quiescent point, and replaying them
-   lets a complete artifact skip the traversal re-seeding entirely.     *)
+   lets a complete artifact skip the traversal re-seeding entirely.
+   Confidence tags are recorded too (v3): provenance is a write-once
+   fact, and a resumed gap scan must see which entries were already
+   proposed heuristically.                                              *)
 
 let materialize_ops ~pending (g : Cfg.t) =
   let ops = ref [] in
@@ -84,6 +99,12 @@ let materialize_ops ~pending (g : Cfg.t) =
                }))
         (Cfg.out_edges b))
     blocks;
+  (* confidence tags strictly before the functions they describe: the
+     replayed Op_func re-derives a call-target tag (write-once), so a
+     stored heuristic tag must already be present when it lands *)
+  List.iter
+    (fun (addr, conf) -> push (Journal.Op_conf { addr; conf }))
+    (Cfg.conf_list g);
   List.iter
     (fun (f : Cfg.func) ->
       push

@@ -2,7 +2,8 @@
 
     A checkpoint is the quiescent graph compacted to a {!Journal.op}
     stream: blocks, resolved ends and terminators, live edges, functions,
-    degradation marks and the pending jump-table frontier, preceded by a
+    confidence tags (v3), degradation marks and the pending jump-table
+    frontier, preceded by a
     CRC-framed versioned header (round, resume count, journal sequence
     floor, elapsed progress, stats counters) and terminated by an
     [Op_commit] footer. Op records share the journal's CRC framing, and

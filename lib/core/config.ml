@@ -10,6 +10,9 @@ type t = {
   deadline_s : float;
   deadline_poll_every : int;
   csr_compact_threshold : float;
+  gap_parse : bool;
+  gap_align : int;
+  gap_max_rounds : int;
 }
 
 let default =
@@ -25,4 +28,7 @@ let default =
     deadline_s = 0.0;
     deadline_poll_every = 32;
     csr_compact_threshold = 0.25;
+    gap_parse = false;
+    gap_align = 16;
+    gap_max_rounds = 8;
   }

@@ -43,6 +43,22 @@ type t = {
           kills trigger a compaction (a fresh {!Csr.build}) instead of
           letting readers keep skipping dead entries; [1.0] effectively
           disables compaction, [0.0] compacts after any kill *)
+  gap_parse : bool;
+      (** after the symbol-seeded parse reaches its fixed point, scan the
+          unclaimed [.text] gaps for function entries (prologue,
+          call-target and alignment heuristics) and parse the proposals
+          through the normal traversal, tagging everything discovered
+          this way [From_heuristic]. Off by default: symbol-rich binaries
+          don't need it and clients must opt into heuristic results. *)
+  gap_align : int;
+      (** alignment modulus of the gap-entry alignment heuristic: an
+          aligned gap offset whose bytes decode to a frame-setup prologue
+          is proposed as an entry. 0 disables the alignment heuristic
+          (prologue and call-target proposals still run). *)
+  gap_max_rounds : int;
+      (** bound on gap-scan rounds (each round re-scans the gaps left by
+          the previous one's discoveries); hostile images cannot keep the
+          scanner alive past this many rounds *)
 }
 
 val default : t

@@ -278,11 +278,28 @@ let correct_tail_calls g =
     edges;
   !flips > 0
 
+(* Heuristic gap entries have no symbol and typically no incoming call —
+   that absence is exactly why the gap scanner had to propose them, so it
+   cannot be grounds for pruning. Keep the ones whose entry actually
+   decoded; degenerate proposals (nothing decodable at the address) prune
+   like any other stray function. *)
+let keep_heuristic g addr =
+  match Cfg.conf_at g addr with
+  | Some c when Cfg.conf_of_code c = Cfg.From_heuristic -> (
+    match Addr_map.find g.Cfg.blocks addr with
+    | Some b -> Cfg.block_end b > addr
+    | None -> false)
+  | _ -> false
+
 let prune_functions g =
   let doomed = ref [] in
   Addr_map.iter
     (fun addr (f : Cfg.func) ->
-      if (not f.Cfg.f_from_symtab) && addr <> g.Cfg.image.Image.entry then begin
+      if
+        (not f.Cfg.f_from_symtab)
+        && addr <> g.Cfg.image.Image.entry
+        && not (keep_heuristic g addr)
+      then begin
         let has_interproc_in =
           match Addr_map.find g.Cfg.blocks addr with
           | None -> false
@@ -452,7 +469,11 @@ let prune_functions_snap g (snap : Csr.t) =
   let doomed = ref [] in
   Addr_map.iter
     (fun addr (f : Cfg.func) ->
-      if (not f.Cfg.f_from_symtab) && addr <> g.Cfg.image.Image.entry then begin
+      if
+        (not f.Cfg.f_from_symtab)
+        && addr <> g.Cfg.image.Image.entry
+        && not (keep_heuristic g addr)
+      then begin
         let has_interproc_in =
           match Csr.index_of snap addr with
           | None -> false

@@ -11,6 +11,7 @@ type op =
   | Op_jt_pending of { end_ : int; reg : int }
   | Op_degraded of { addr : int; deadline : bool }
   | Op_ret of { entry : int; status : int }
+  | Op_conf of { addr : int; conf : int }
   | Op_commit of int
 
 let magic = "PBCJ"
@@ -50,6 +51,7 @@ let tag_of_op = function
   | Op_jt_pending _ -> 8
   | Op_degraded _ -> 9
   | Op_ret _ -> 11
+  | Op_conf _ -> 12
   | Op_commit _ -> 10
 
 let add_addr b a = Buffer.add_int64_le b (Int64.of_int a)
@@ -107,6 +109,9 @@ let encode_payload buf ~seq op =
   | Op_ret { entry; status } ->
     add_addr buf entry;
     Buffer.add_uint8 buf status
+  | Op_conf { addr; conf } ->
+    add_addr buf addr;
+    Buffer.add_uint8 buf conf
   | Op_commit round -> Buffer.add_int32_le buf (Int32.of_int round)
 
 let append_record buf ~seq op =
@@ -212,6 +217,11 @@ let decode_payload b =
       let st, _ = get_u8 b pos in
       if st <> 1 && st <> 2 then raise Short;
       Op_ret { entry; status = st }
+    | 12 ->
+      let addr, pos = get_addr b pos in
+      let conf, _ = get_u8 b pos in
+      if conf > 2 then raise Short;
+      Op_conf { addr; conf }
     | _ -> raise Short
   in
   (seq, op)

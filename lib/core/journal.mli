@@ -53,6 +53,12 @@ type op =
           so replaying it is always safe; [Noreturn] is a quiescence
           default that a resumed traversal may legitimately overturn, so
           it stays derived *)
+  | Op_conf of { addr : int; conf : int }
+      (** function-entry confidence tag ({!Cfg.conf_code}: 0 symbol, 1
+          call target, 2 heuristic). Emitted when a tag is first stored —
+          notably for every gap-parse proposal — so resumed parses carry
+          the same provenance the uninterrupted run recorded. Tags are
+          write-once (first writer wins), making replay idempotent. *)
   | Op_commit of int  (** round barrier: everything before this is durable *)
 
 val magic : string

@@ -17,6 +17,22 @@ type t = {
   undecodable : int;  (** bytes skipped because no instruction fit *)
 }
 
+(** One chunk of a sweep over [\[lo, cap)]: decoded blocks (reverse
+    order), every decode position (for seam resynchronization), and the
+    true end of the stream (the final instruction may overshoot the cap).
+    Exposed for the gap-parsing heuristics, which sweep exactly the
+    unclaimed [.text] ranges. *)
+type range_sweep = {
+  rs_blocks : block list;  (** reverse order *)
+  rs_positions : (int, unit) Hashtbl.t;
+  rs_insns : int;
+  rs_skipped : int;  (** bytes skipped because no instruction fit *)
+  rs_end : int;
+}
+
+val sweep_range : Pbca_binfmt.Image.t -> int -> int -> range_sweep
+(** [sweep_range image lo cap] — serial sweep of one address range. *)
+
 val sweep :
   ?pool:Pbca_concurrent.Task_pool.t -> Pbca_binfmt.Image.t -> t
 

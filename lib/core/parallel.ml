@@ -324,6 +324,77 @@ let finish_tables ctx =
     ctx.jt_pending
 
 (* ------------------------------------------------------------------ *)
+(* Gap parsing (opt-in, [Config.gap_parse]): entry heuristics over the
+   unclaimed [.text] ranges left by the symbol-seeded fixed point.
+   Stripped binaries leave almost the whole section unclaimed; the
+   proposals below recover function entries without symtab help and are
+   tagged [From_heuristic] so consumers see the provenance honestly.    *)
+
+(* Unclaimed ranges of [\[lo, hi)] given the quiescent block map. Every
+   block claims at least its start byte — candidates and degenerates
+   included: an address the traversal already proposed is not a gap,
+   whatever came of it. [blocks_list] is sorted by start, so one sweep
+   suffices. Zero-length ranges are never emitted.                      *)
+let unclaimed_gaps g ~lo ~hi =
+  let gaps = ref [] in
+  let pos = ref lo in
+  List.iter
+    (fun (b : Cfg.block) ->
+      let s = b.Cfg.b_start in
+      if s >= lo && s < hi then begin
+        if s > !pos then gaps := (!pos, s) :: !gaps;
+        let e = max (s + 1) (min hi (Cfg.block_end b)) in
+        pos := max !pos e
+      end)
+    (Cfg.blocks_list g);
+  if !pos < hi then gaps := (!pos, hi) :: !gaps;
+  List.rev !gaps
+
+(* Entry proposals for one gap, in decreasing signal strength:
+   - prologue: a frame-setup instruction at any position the in-gap
+     linear sweep reaches opens a function;
+   - call target: a direct call decoded inside the gap whose target also
+     lies in unclaimed space — stripped code calling stripped code;
+   - alignment: the first non-padding decodable offset of the gap when it
+     sits on a unit boundary — unreferenced frameless functions follow
+     their predecessor's padding.
+   Direct-jump targets are deliberately NOT proposed: intra-function
+   branches inside the same gap would mint spurious entries; genuine tail
+   calls are recovered by the normal traversal once the proposal parses. *)
+let propose_in_gap image ~in_gap ~gap_align (lo, hi) =
+  let props = ref [] in
+  let add a = if in_gap a then props := a :: !props in
+  let rs = Linear_sweep.sweep_range image lo hi in
+  Hashtbl.iter
+    (fun a () ->
+      match Image.decode_at image a with
+      | Some (Insn.Enter _, _) -> add a
+      | _ -> ())
+    rs.Linear_sweep.rs_positions;
+  List.iter
+    (fun (blk : Linear_sweep.block) ->
+      match blk.Linear_sweep.term with
+      | None -> ()
+      | Some insn -> (
+        let len = Pbca_isa.Codec.encoded_length insn in
+        let addr = blk.Linear_sweep.e - len in
+        match Semantics.flow ~addr ~len insn with
+        | Semantics.Call_direct t -> add t
+        | _ -> ()))
+    rs.Linear_sweep.rs_blocks;
+  if gap_align > 0 then begin
+    let rec skip_pad a =
+      if a < hi then
+        match Image.decode_at image a with
+        | Some (Insn.Nop, len) -> skip_pad (a + len)
+        | Some _ when a mod gap_align = 0 -> add a
+        | _ -> ()
+    in
+    skip_pad lo
+  end;
+  List.sort_uniq compare !props
+
+(* ------------------------------------------------------------------ *)
 
 type persist = { p_journal : string; p_checkpoint : string; p_every : int }
 
@@ -563,6 +634,81 @@ let parse ?(config = Config.default) ?(trace = Pbca_simsched.Trace.disabled)
           rounds (n + 1)
       in
       rounds 0;
+      (* Stage 2.5 (opt-in): gap parsing. On the quiescent graph the
+         unclaimed [.text] ranges are scanned for entry proposals;
+         accepted proposals run through the ordinary traversal — budgets,
+         journal and jump-table rounds included — tagged
+         [From_heuristic]. Each round is a deterministic function of the
+         quiescent graph, so a killed-and-resumed scan converges to the
+         same CFG as an uninterrupted one.                               *)
+      if config.Config.gap_parse then begin
+        match Image.text_opt image with
+        | None -> ()
+        | Some text ->
+          let stats = g.Cfg.stats in
+          let lo = text.Pbca_binfmt.Section.addr in
+          let hi = lo + Pbca_binfmt.Section.size text in
+          let max_rounds = max 1 config.Config.gap_max_rounds in
+          let rec gap_round n =
+            if n < max_rounds && not (Cfg.past_deadline g) then begin
+              let gaps = unclaimed_gaps g ~lo ~hi in
+              ignore
+                (Atomic.fetch_and_add stats.Cfg.gap_gaps_scanned
+                   (List.length gaps));
+              let in_gap a =
+                List.exists (fun (l, h) -> a >= l && a < h) gaps
+              in
+              let proposals =
+                List.sort_uniq compare
+                  (List.concat_map
+                     (propose_in_gap image ~in_gap
+                        ~gap_align:config.Config.gap_align)
+                     gaps)
+              in
+              (* an address already carrying a tag was proposed by an
+                 earlier (possibly pre-crash, replayed) round *)
+              let proposals =
+                List.filter (fun a -> Cfg.conf_at g a = None) proposals
+              in
+              if proposals <> [] then begin
+                ignore
+                  (Atomic.fetch_and_add stats.Cfg.gap_entries_proposed
+                     (List.length proposals));
+                Trace.barrier trace;
+                (* provenance first, for ALL proposals, before ANY spawn:
+                   the heuristic tag must reach the journal strictly
+                   before the Op_func it describes (or replay would keep
+                   the derived call-target tag), and a spawned walk that
+                   calls into a later proposal must find it already
+                   tagged — the write-once race would otherwise make the
+                   tag schedule-dependent *)
+                List.iter
+                  (fun a ->
+                    Cfg.set_conf g a (Cfg.conf_code Cfg.From_heuristic))
+                  proposals;
+                run_contained "gap-seed" (fun spawn ->
+                    ctx.spawn <- spawn;
+                    Trace.run trace ~label:"gap-seed" ~deps:[] (fun () ->
+                        List.iter
+                          (fun a ->
+                            spawn_traced ~addr:a ctx "gap" (fun () ->
+                                ignore (ensure_func ctx a)))
+                          proposals));
+                quiesce ~checkpoint:true;
+                rounds 0 (* jump tables discovered inside gap code *);
+                List.iter
+                  (fun a ->
+                    match Addr_map.find g.Cfg.blocks a with
+                    | Some b when Cfg.block_end b > a ->
+                      Atomic.incr stats.Cfg.gap_entries_accepted
+                    | _ -> Atomic.incr stats.Cfg.gap_entries_rejected)
+                  proposals;
+                gap_round (n + 1)
+              end
+            end
+          in
+          gap_round 0
+      end;
       (* Stage 3: unresolved statuses are non-returning (cyclic rule); no
          new fall-throughs can arise from that, so traversal is complete. *)
       Otrace.with_span otrace ~phase:"region" "finish-tables" (fun () ->

@@ -71,6 +71,10 @@ let counter_cell (s : Cfg.stats) = function
   | "budget_table" -> Some s.Cfg.budget_table
   | "journal_records" -> Some s.Cfg.journal_records
   | "replayed_ops" -> Some s.Cfg.replayed_ops
+  | "gap_gaps_scanned" -> Some s.Cfg.gap_gaps_scanned
+  | "gap_entries_proposed" -> Some s.Cfg.gap_entries_proposed
+  | "gap_entries_accepted" -> Some s.Cfg.gap_entries_accepted
+  | "gap_entries_rejected" -> Some s.Cfg.gap_entries_rejected
   | _ -> None
 
 let apply (g : Cfg.t) plan ~on_jt_pending =
@@ -141,6 +145,13 @@ let apply (g : Cfg.t) plan ~on_jt_pending =
       | Journal.Op_func { entry; name; from_symtab } ->
         if entry >= 0 then
           ignore (Cfg.find_or_create_func g ~name ~from_symtab entry)
+      | Journal.Op_conf { addr; conf } ->
+        (* write-once, so insert_if_absent makes re-application converge;
+           seq order preserves which writer really won. [Op_conf] for a
+           heuristic proposal precedes its [Op_func] in both live and
+           materialized streams, so the replayed find_or_create_func's
+           derived tag never shadows the stored one. *)
+        Cfg.set_conf g addr conf
       | Journal.Op_degraded { addr; deadline } ->
         if deadline then deadline_marks := addr :: !deadline_marks
         else Cfg.mark_degraded g addr

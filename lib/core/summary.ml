@@ -1,4 +1,10 @@
-type block_sum = { bs_start : int; bs_end : int; bs_insns : int }
+type block_sum = {
+  bs_start : int;
+  bs_end : int;
+  bs_insns : int;
+  bs_conf : int;
+}
+
 type edge_sum = { es_src : int; es_dst : int; es_kind : Cfg.edge_kind }
 
 type func_sum = {
@@ -6,6 +12,7 @@ type func_sum = {
   fs_name : string;
   fs_returns : bool;
   fs_blocks : int list;
+  fs_conf : int;
 }
 
 type t = {
@@ -15,6 +22,28 @@ type t = {
 }
 
 let of_cfg g =
+  (* Block confidence is derived, not stored: the strongest (lowest-code)
+     confidence among the functions that own the block after boundary
+     assignment. Blocks not owned by any function (pre-finalize, or
+     stranded) fall back to their own entry tag, then to [From_symbol]. *)
+  let fconf f = Cfg.conf_code (Cfg.func_confidence g f) in
+  let block_conf = Hashtbl.create 1024 in
+  List.iter
+    (fun (f : Cfg.func) ->
+      let c = fconf f in
+      List.iter
+        (fun (b : Cfg.block) ->
+          let s = b.Cfg.b_start in
+          match Hashtbl.find_opt block_conf s with
+          | Some c' when c' <= c -> ()
+          | _ -> Hashtbl.replace block_conf s c)
+        f.Cfg.f_blocks)
+    (Cfg.funcs_list g);
+  let bconf (b : Cfg.block) =
+    match Hashtbl.find_opt block_conf b.Cfg.b_start with
+    | Some c -> c
+    | None -> ( match Cfg.conf_at g b.Cfg.b_start with Some c -> c | None -> 0)
+  in
   let blocks =
     List.map
       (fun (b : Cfg.block) ->
@@ -22,6 +51,7 @@ let of_cfg g =
           bs_start = b.b_start;
           bs_end = Cfg.block_end b;
           bs_insns = Atomic.get b.Cfg.b_ninsns;
+          bs_conf = bconf b;
         })
       (Cfg.blocks_list g)
   in
@@ -49,6 +79,7 @@ let of_cfg g =
           fs_blocks =
             List.sort compare
               (List.map (fun (b : Cfg.block) -> b.Cfg.b_start) f.Cfg.f_blocks);
+          fs_conf = fconf f;
         })
       (Cfg.funcs_list g)
   in
@@ -69,7 +100,10 @@ let diff a b =
   let bset t =
     S.of_list
       (keyed "block"
-         (fun b -> Printf.sprintf "[0x%x,0x%x) n=%d" b.bs_start b.bs_end b.bs_insns)
+         (fun b ->
+           Printf.sprintf "[0x%x,0x%x) n=%d conf=%s" b.bs_start b.bs_end
+             b.bs_insns
+             (Cfg.confidence_name (Cfg.conf_of_code b.bs_conf)))
          t.blocks)
   in
   let eset t =
@@ -82,8 +116,9 @@ let diff a b =
     S.of_list
       (keyed "func"
          (fun f ->
-           Printf.sprintf "0x%x %s ret=%b blocks=%s" f.fs_entry f.fs_name
-             f.fs_returns
+           Printf.sprintf "0x%x %s ret=%b conf=%s blocks=%s" f.fs_entry
+             f.fs_name f.fs_returns
+             (Cfg.confidence_name (Cfg.conf_of_code f.fs_conf))
              (String.concat "," (List.map (Printf.sprintf "0x%x") f.fs_blocks)))
          t.funcs)
   in
@@ -167,6 +202,20 @@ let pp_stats fmt (g : Cfg.t) =
       (Atomic.get s.replayed_ops)
       (Atomic.get s.resume_count)
       (Atomic.get s.supervisor_restarts);
+  if
+    Atomic.get s.gap_gaps_scanned > 0
+    || Atomic.get s.gap_entries_proposed > 0
+  then begin
+    let sym, ct, heur = Cfg.conf_counts g in
+    Format.fprintf fmt
+      "@ gap: gaps=%d proposed=%d accepted=%d rejected=%d \
+       confidence[symbol=%d call-target=%d heuristic=%d]"
+      (Atomic.get s.gap_gaps_scanned)
+      (Atomic.get s.gap_entries_proposed)
+      (Atomic.get s.gap_entries_accepted)
+      (Atomic.get s.gap_entries_rejected)
+      sym ct heur
+  end;
   if Atomic.get s.deadline_checks > 0 then
     Format.fprintf fmt
       "@ deadline_clock: checks=%d polls=%d syscalls_saved=%d"

@@ -6,7 +6,15 @@
     thread counts, different schedules, serial vs parallel — can be
     compared for exact equality. *)
 
-type block_sum = { bs_start : int; bs_end : int; bs_insns : int }
+type block_sum = {
+  bs_start : int;
+  bs_end : int;
+  bs_insns : int;
+  bs_conf : int;
+      (** strongest {!Cfg.confidence} code among the owning functions
+          (post-finalize boundary assignment); falls back to the block's
+          own entry tag, then [From_symbol] *)
+}
 
 type edge_sum = {
   es_src : int;  (** source block start *)
@@ -19,6 +27,7 @@ type func_sum = {
   fs_name : string;
   fs_returns : bool;
   fs_blocks : int list;  (** starts of boundary blocks, sorted *)
+  fs_conf : int;  (** {!Cfg.confidence} code ({!Cfg.func_confidence}) *)
 }
 
 type t = {
@@ -48,5 +57,7 @@ val pp_stats : Format.formatter -> Cfg.t -> unit
     snapshot-diff of the pool's counters around the parse). When the
     graph has been finalized ([fz_rounds > 0]), also the finalization
     round/snapshot counts, per-round dirty-set sizes and per-step wall
-    times in milliseconds from [stats.finalize]. When a span trace was
-    attached, a [phase_wall_ms] breakdown of span wall per phase. *)
+    times in milliseconds from [stats.finalize]. When gap parsing ran, a
+    [gap:] line with gaps scanned, entries proposed/accepted/rejected and
+    the per-confidence function census. When a span trace was attached, a
+    [phase_wall_ms] breakdown of span wall per phase. *)

@@ -127,11 +127,21 @@ let us_of span = int_of_float (span *. 1e6)
 
 let body_of_parse cfg_graph =
   let s = Summary.of_cfg cfg_graph in
-  Printf.sprintf "fingerprint=%s blocks=%d edges=%d funcs=%d"
+  (* provenance census rides in every reply: a client of a gap-parsed
+     (stripped) image sees exactly how much of the answer rests on
+     heuristics rather than symbols *)
+  let conf c =
+    List.length
+      (List.filter (fun (f : Summary.func_sum) -> f.Summary.fs_conf = c) s.Summary.funcs)
+  in
+  Printf.sprintf
+    "fingerprint=%s blocks=%d edges=%d funcs=%d conf_symbol=%d \
+     conf_call_target=%d conf_heuristic=%d"
     (Summary.fingerprint s)
     (List.length s.Summary.blocks)
     (List.length s.Summary.edges)
     (List.length s.Summary.funcs)
+    (conf 0) (conf 1) (conf 2)
 
 let index_digest index =
   let entries = Hashtbl.fold (fun k v acc -> (k, v) :: acc) index [] in
@@ -173,6 +183,12 @@ let run_attempt t pool job ~attempt result_cell =
       result_cell :=
         Some { sv_body = body; sv_degraded = degraded; sv_cache_hit = cache_hit };
       if degraded then Supervisor.Ok_degraded else Supervisor.Ok_clean
+    in
+    (* heuristic gap discoveries are honest degradation too: the graph is
+       complete but parts of it rest on guessed entry points *)
+    let heuristic g =
+      let _, _, h = Cfg.conf_counts g in
+      h > 0
     in
     (match job.jb_req.Wire.rq_kind with
     | Wire.Parse ->
@@ -217,7 +233,7 @@ let run_attempt t pool job ~attempt result_cell =
           end
         in
         finish ~cache_hit:true
-          ~degraded:(Cfg.degraded_count g > 0)
+          ~degraded:(Cfg.degraded_count g > 0 || heuristic g)
           (body_of_parse g)
       | None ->
         if use_cache then Metrics.incr t.cnt.c_cache_misses;
@@ -244,14 +260,16 @@ let run_attempt t pool job ~attempt result_cell =
             Option.iter (fun (_, s) -> Cache.discard s) staged;
             raise e
         in
-        let degraded = Cfg.degraded_count g > 0 in
+        let budget_cut = Cfg.degraded_count g > 0 in
         Option.iter
           (fun (c, s) ->
-            (* only clean full-fidelity results are worth replaying;
-               a degraded artifact would pin the deadline cut forever *)
-            if degraded then Cache.discard s else ignore (Cache.promote c key s))
+            (* only full-fidelity results are worth replaying; a
+               budget-degraded artifact would pin the deadline cut
+               forever. Heuristic provenance is fine to cache — conf ops
+               are journaled, so replay reproduces the tags exactly. *)
+            if budget_cut then Cache.discard s else ignore (Cache.promote c key s))
           staged;
-        finish ~degraded (body_of_parse g))
+        finish ~degraded:(budget_cut || heuristic g) (body_of_parse g))
     | Wire.Hpcstruct ->
       let r = Pbca_hpcstruct.Hpcstruct.run_image ~config:acfg ~pool img in
       finish

@@ -20,4 +20,5 @@ let () =
       ("apps", Test_apps.suite);
       ("pipeline", Test_pipeline.suite);
       ("serve", Test_serve.suite);
+      ("gap", Test_gap.suite);
     ]

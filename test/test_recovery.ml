@@ -94,6 +94,8 @@ let sample_ops =
     Journal.Op_edge_dead { src = 0x1000; dst = 0x1020; kind = 6 };
     Journal.Op_edge_move { src = 0x1000; dst = 0x1010; kind = 0; new_src = 0x1008 };
     Journal.Op_jt_pending { end_ = 0x1010; reg = 3 };
+    Journal.Op_conf { addr = 0x1030; conf = 2 };
+    Journal.Op_conf { addr = 0x1040; conf = 1 };
     Journal.Op_degraded { addr = 0x1010; deadline = true };
     Journal.Op_degraded { addr = 0x1020; deadline = false };
   ]

@@ -397,6 +397,32 @@ let test_fault_delay_monotonic () =
            dt)
         true (dt >= 0.05))
 
+(* PR9: a daemon configured for gap parsing tells stripped-image clients
+   the truth — Ok_degraded status, heuristic entries counted in the body. *)
+let test_gap_confidence_in_reply () =
+  with_daemon
+    ~tweak:(fun c ->
+      { c with
+        Serve.sc_analysis = { Config.default with Config.gap_parse = true } })
+    (fun _ sock ->
+      let img =
+        Pbca_binfmt.Image.write
+          (Pbca_codegen.Family.generate Pbca_codegen.Family.Stripped 0)
+            .Emit.image
+      in
+      let r = ok_roundtrip ~sock (Wire.request ~image:img Wire.Parse) in
+      Alcotest.(check status)
+        "heuristic graph reported degraded" Wire.Ok_degraded r.Wire.rp_status;
+      let heur =
+        Scanf.sscanf r.Wire.rp_body
+          "fingerprint=%s blocks=%d edges=%d funcs=%d conf_symbol=%d \
+           conf_call_target=%d conf_heuristic=%d"
+          (fun _ _ _ _ _ _ h -> h)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "reply census has heuristic entries (%d)" heur)
+        true (heur > 0))
+
 let suite =
   [
     quick "wire: request/reply round-trip" test_wire_roundtrip;
@@ -414,6 +440,8 @@ let suite =
     quick "daemon: garbage frames answered Bad_frame" test_bad_frame_structured;
     quick "daemon: malformed image rejected, not retried" test_rejected_image;
     quick "daemon: drain loses zero in-flight requests" test_drain_zero_loss;
+    quick "daemon: gap confidence surfaces in reply"
+      test_gap_confidence_in_reply;
     quick "supervisor: backoff interruptible by drain"
       test_supervisor_backoff_interruptible;
     quick "fault: Delay accounted on monotonic clock" test_fault_delay_monotonic;
